@@ -1,0 +1,332 @@
+package harp
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark runs
+// the corresponding experiment at a bench-friendly repetition count and
+// reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipelines and prints the reproduced numbers.
+// cmd/harpbench prints the full tables at paper-scale repetition counts.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/experiments"
+	"github.com/harpnet/harp/internal/packing"
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/schedulers"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+// BenchmarkFig7dStaticAllocation regenerates the partitioned slotframe of
+// the 50-node testbed (Fig. 7(d)) and reports the static-phase message
+// cost.
+func BenchmarkFig7dStaticAllocation(b *testing.B) {
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Static.Total()
+	}
+	b.ReportMetric(float64(msgs), "static-msgs")
+}
+
+// BenchmarkFig9StaticLatency regenerates the per-node latency profile of
+// the static 50-node network (Fig. 9) and reports the worst mean latency
+// (paper: bounded by the 1.99 s slotframe).
+func BenchmarkFig9StaticLatency(b *testing.B) {
+	cfg := experiments.DefaultFig9()
+	cfg.Minutes = 2 // bench-scale; cmd/harpbench runs the full 30 minutes
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, n := range res.Nodes {
+			if n.MeanSec > worst {
+				worst = n.MeanSec
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-mean-latency-s")
+}
+
+// BenchmarkFig10DynamicLatency regenerates the rate-step scenario of
+// Fig. 10 and reports the latency spike of the escalated adjustment.
+func BenchmarkFig10DynamicLatency(b *testing.B) {
+	cfg := experiments.DefaultFig10()
+	var spike float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spike = res.MaxLatencySec
+	}
+	b.ReportMetric(spike, "max-latency-s")
+}
+
+// BenchmarkTableIIAdjustmentOverhead regenerates the six adjustment events
+// of Table II on the distributed agent fleet and reports the largest
+// message count.
+func BenchmarkTableIIAdjustmentOverhead(b *testing.B) {
+	cfg := experiments.DefaultTableII()
+	var maxMsgs int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableII(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxMsgs = 0
+		for _, r := range res.Rows {
+			if r.Messages > maxMsgs {
+				maxMsgs = r.Messages
+			}
+		}
+	}
+	b.ReportMetric(float64(maxMsgs), "max-event-msgs")
+}
+
+// BenchmarkFig11aCollisionVsRate regenerates the data-rate sweep of
+// Fig. 11(a) and reports the baselines' mean collision probability at rate
+// 8 alongside HARP's (which must be 0).
+func BenchmarkFig11aCollisionVsRate(b *testing.B) {
+	cfg := experiments.DefaultFig11a()
+	cfg.Topologies = 10 // bench-scale; cmd/harpbench runs the paper's 100
+	var randomAt8, harpAt8 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			last := s.Points[len(s.Points)-1].Y
+			switch s.Name {
+			case "random":
+				randomAt8 = last
+			case "harp":
+				harpAt8 = last
+			}
+		}
+	}
+	b.ReportMetric(randomAt8, "random-prob-rate8")
+	b.ReportMetric(harpAt8, "harp-prob-rate8")
+}
+
+// BenchmarkFig11bCollisionVsChannels regenerates the channel sweep of
+// Fig. 11(b) and reports probabilities at 2 channels.
+func BenchmarkFig11bCollisionVsChannels(b *testing.B) {
+	cfg := experiments.DefaultFig11b()
+	cfg.Topologies = 10
+	var randomAt2, harpAt2 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			first := s.Points[0].Y
+			switch s.Name {
+			case "random":
+				randomAt2 = first
+			case "harp":
+				harpAt2 = first
+			}
+		}
+	}
+	b.ReportMetric(randomAt2, "random-prob-2ch")
+	b.ReportMetric(harpAt2, "harp-prob-2ch")
+}
+
+// BenchmarkFig12AdjustmentOverhead regenerates the per-layer adjustment
+// overhead comparison (Fig. 12) and reports both schedulers' cost at the
+// deepest layer.
+func BenchmarkFig12AdjustmentOverhead(b *testing.B) {
+	cfg := experiments.DefaultFig12()
+	cfg.Topologies = 2
+	var apas10, harp10 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			last := s.Points[len(s.Points)-1].Y
+			switch s.Name {
+			case "apas":
+				apas10 = last
+			case "harp":
+				harp10 = last
+			}
+		}
+	}
+	b.ReportMetric(apas10, "apas-msgs-layer10")
+	b.ReportMetric(harp10, "harp-msgs-layer10")
+}
+
+// BenchmarkChurnMigration measures HARP absorbing RPL parent switches
+// incrementally (topology dynamics, §V) and reports the mean migration
+// message cost against the full static rebuild cost.
+func BenchmarkChurnMigration(b *testing.B) {
+	cfg := experiments.DefaultChurn()
+	cfg.Events = 10
+	var mean, static float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Churn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0.0
+		for _, m := range res.MigrationMessages {
+			total += m
+		}
+		if len(res.MigrationMessages) > 0 {
+			mean = total / float64(len(res.MigrationMessages))
+		}
+		static = float64(res.StaticMessages)
+	}
+	b.ReportMetric(mean, "migration-msgs")
+	b.ReportMetric(static, "rebuild-msgs")
+}
+
+// Ablation benches (design choices called out in DESIGN.md).
+
+// BenchmarkAblationTwoPassComposition quantifies the channel saving of
+// Alg. 1's second packing pass.
+func BenchmarkAblationTwoPassComposition(b *testing.B) {
+	cfg := experiments.AblationConfig{Instances: 100, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTwoPass(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLayeredInterface quantifies the slot saving of the
+// layered interface design (Fig. 3).
+func BenchmarkAblationLayeredInterface(b *testing.B) {
+	cfg := experiments.AblationConfig{Instances: 50, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationLayeredInterface(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAdjustmentHeuristic compares Alg. 2's neighbour-first
+// eviction against a full repack.
+func BenchmarkAblationAdjustmentHeuristic(b *testing.B) {
+	cfg := experiments.AblationConfig{Instances: 100, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAdjustment(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPackers compares the skyline and bottom-left strip
+// packers.
+func BenchmarkAblationPackers(b *testing.B) {
+	cfg := experiments.AblationConfig{Instances: 100, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPackers(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks for the hot paths.
+
+// BenchmarkSkylinePack measures the strip packer on a typical composition
+// instance.
+func BenchmarkSkylinePack(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rects := make([]packing.Rect, 24)
+	for i := range rects {
+		rects[i] = packing.Rect{ID: i, W: 1 + rng.Intn(8), H: 1 + rng.Intn(12)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packing.PackStrip(rects, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStaticPlan50 measures a full static partition allocation for the
+// 50-node testbed.
+func BenchmarkStaticPlan50(b *testing.B) {
+	tree := topology.Testbed50()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := schedule.Testbed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPlan(tree, frame, demand, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicAdjustment measures one Case-2 partition adjustment.
+func BenchmarkDynamicAdjustment(b *testing.B) {
+	tree := topology.Testbed50()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := schedule.Slotframe{Slots: 400, Channels: 16, DataSlots: 380, SlotDuration: 10_000_000}
+	l := topology.Link{Child: 15, Direction: topology.Uplink}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		plan, err := core.NewPlan(tree, frame, demand, core.Options{RootGap: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := plan.SetLinkDemand(l, plan.Demand(l)+2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerBuild measures schedule construction per scheduler on
+// the 50-node network.
+func BenchmarkSchedulerBuild(b *testing.B) {
+	tree := topology.Testbed50()
+	demand, err := traffic.PerLink(tree, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := schedule.Slotframe{Slots: 199, Channels: 16, DataSlots: 199, SlotDuration: 10_000_000}
+	for _, sched := range schedulers.All() {
+		b.Run(sched.Name(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Build(tree, frame, demand, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+// Command harpbench regenerates the paper's evaluation: every table and
+// figure of HARP (ICDCS 2022) plus the repository's ablation studies.
+//
+// Usage:
+//
+//	harpbench                 # run everything
+//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|ablations
+//	harpbench -quick          # reduced repetition counts for a fast pass
+//
+// Output is the same rows/series the paper reports, as fixed-width text
+// tables on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/harpnet/harp/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (table1, fig7d, fig9, fig10, table2, fig11a, fig11b, fig12, churn, ablations)")
+	quick := flag.Bool("quick", false, "reduced repetitions for a fast pass")
+	flag.Parse()
+
+	runner := &runner{quick: *quick}
+	all := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table1", runner.table1},
+		{"fig7d", runner.fig7d},
+		{"fig9", runner.fig9},
+		{"fig10", runner.fig10},
+		{"table2", runner.table2},
+		{"fig11a", runner.fig11a},
+		{"fig11b", runner.fig11b},
+		{"fig12", runner.fig12},
+		{"churn", runner.churn},
+		{"ablations", runner.ablations},
+	}
+	ran := 0
+	for _, e := range all {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		ran++
+		start := time.Now()
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "harpbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "harpbench: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}
+
+type runner struct {
+	quick bool
+}
+
+func (r *runner) table1() error {
+	fmt.Println(experiments.TableIHandlers())
+	return nil
+}
+
+func (r *runner) fig7d() error {
+	res, err := experiments.Fig7d()
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table)
+	fmt.Println(res.Map)
+	fmt.Printf("static phase messages: %d interface, %d partition, %d schedule (total %d)\n",
+		res.Static.InterfaceMessages, res.Static.PartitionMessages,
+		res.Static.ScheduleMessages, res.Static.Total())
+	return nil
+}
+
+func (r *runner) fig9() error {
+	cfg := experiments.DefaultFig9()
+	if r.quick {
+		cfg.Minutes = 3
+	}
+	res, err := experiments.Fig9(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table)
+	fmt.Printf("slotframe duration: %.2fs (the paper's latency bound)\n", res.SlotframeSec)
+	return nil
+}
+
+func (r *runner) fig10() error {
+	res, err := experiments.Fig10(experiments.DefaultFig10())
+	if err != nil {
+		return err
+	}
+	for _, e := range res.Events {
+		fmt.Printf("t=%.1fs: rate -> %.1f pkt/sf, %s, %d HARP msgs + %d sched msgs, reconfigured in %.2fs (%d slotframes)\n",
+			e.AtSec, e.Rate, e.Case, e.Messages, e.SchedMsgs, e.DelaySec, e.Slotframes)
+	}
+	fmt.Println()
+	fmt.Println(res.Table)
+	fmt.Printf("max latency: %.2fs\n", res.MaxLatencySec)
+	return nil
+}
+
+func (r *runner) table2() error {
+	res, err := experiments.TableII(experiments.DefaultTableII())
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table)
+	return nil
+}
+
+func (r *runner) fig11a() error {
+	cfg := experiments.DefaultFig11a()
+	if r.quick {
+		cfg.Topologies = 10
+	}
+	res, err := experiments.Fig11a(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table)
+	fmt.Printf("mean total cells per slotframe across the sweep: %.0f .. %.0f\n",
+		res.TotalCells[0], res.TotalCells[len(res.TotalCells)-1])
+	return nil
+}
+
+func (r *runner) fig11b() error {
+	cfg := experiments.DefaultFig11b()
+	if r.quick {
+		cfg.Topologies = 10
+	}
+	res, err := experiments.Fig11b(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table)
+	return nil
+}
+
+func (r *runner) fig12() error {
+	cfg := experiments.DefaultFig12()
+	if r.quick {
+		cfg.Topologies = 3
+	}
+	res, err := experiments.Fig12(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table)
+	return nil
+}
+
+func (r *runner) churn() error {
+	cfg := experiments.DefaultChurn()
+	if r.quick {
+		cfg.Events = 8
+	}
+	res, err := experiments.Churn(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table)
+	return nil
+}
+
+func (r *runner) ablations() error {
+	cfg := experiments.DefaultAblation()
+	if r.quick {
+		cfg.Instances = 50
+	}
+	for _, fn := range []func(experiments.AblationConfig) (fmt.Stringer, error){
+		wrap(experiments.AblationTwoPass),
+		wrap(experiments.AblationLayeredInterface),
+		wrap(experiments.AblationAdjustment),
+		wrap(experiments.AblationPackers),
+	} {
+		table, err := fn(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table)
+	}
+	return nil
+}
+
+// wrap adapts the concrete table-returning ablations to fmt.Stringer.
+func wrap[T fmt.Stringer](fn func(experiments.AblationConfig) (T, error)) func(experiments.AblationConfig) (fmt.Stringer, error) {
+	return func(cfg experiments.AblationConfig) (fmt.Stringer, error) {
+		t, err := fn(cfg)
+		return t, err
+	}
+}

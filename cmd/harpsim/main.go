@@ -1,0 +1,160 @@
+// Command harpsim runs one simulated network scenario: it builds (or
+// loads) a topology, runs the chosen scheduler, simulates the schedule for
+// a number of slotframes, and prints schedule quality and latency metrics.
+//
+// Examples:
+//
+//	harpsim -topology testbed50 -scheduler harp -slotframes 100
+//	harpsim -nodes 50 -layers 5 -scheduler msf -rate 3 -channels 8
+//	harpsim -topology-file net.json -scheduler ldsf -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/schedulers"
+	"github.com/harpnet/harp/internal/sim"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+func main() {
+	var (
+		topoName   = flag.String("topology", "", "canned topology: fig1, testbed50, deep81 (overrides -nodes/-layers)")
+		topoFile   = flag.String("topology-file", "", "JSON topology file (see topogen)")
+		nodes      = flag.Int("nodes", 50, "random topology size")
+		layers     = flag.Int("layers", 5, "random topology depth")
+		fanout     = flag.Int("fanout", 3, "random topology fan-out cap (0 = unlimited)")
+		schedName  = flag.String("scheduler", "harp", "scheduler: harp, random, msf, ldsf, alice")
+		rate       = flag.Float64("rate", 1, "task rate in packets/slotframe")
+		perLink    = flag.Bool("per-link", false, "per-link demand (no convergecast accumulation) instead of echo tasks")
+		slots      = flag.Int("slots", 199, "slotframe length")
+		dataSlots  = flag.Int("data-slots", 190, "data sub-frame length")
+		channels   = flag.Int("channels", 16, "channel count")
+		slotframes = flag.Int("slotframes", 50, "slotframes to simulate")
+		pdr        = flag.Float64("pdr", 1, "per-transmission delivery ratio")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*topoName, *topoFile, *nodes, *layers, *fanout, *schedName,
+		*rate, *perLink, *slots, *dataSlots, *channels, *slotframes, *pdr, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "harpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func pickScheduler(name string) (schedulers.Scheduler, error) {
+	for _, s := range append(schedulers.All(), schedulers.ALICE{}) {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown scheduler %q", name)
+}
+
+func pickTopology(name, file string, nodes, layers, fanout int, rng *rand.Rand) (*topology.Tree, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var tree topology.Tree
+		if err := json.Unmarshal(data, &tree); err != nil {
+			return nil, err
+		}
+		return &tree, nil
+	}
+	switch name {
+	case "fig1":
+		return topology.Fig1(), nil
+	case "testbed50":
+		return topology.Testbed50(), nil
+	case "deep81":
+		return topology.Deep81(), nil
+	case "":
+		return topology.Generate(topology.GenSpec{Nodes: nodes, Layers: layers, MaxChildren: fanout}, rng)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
+	rate float64, perLink bool, slots, dataSlots, channels, slotframes int, pdr float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	tree, err := pickTopology(topoName, topoFile, nodes, layers, fanout, rng)
+	if err != nil {
+		return err
+	}
+	frame := schedule.Slotframe{
+		Slots: slots, Channels: channels, DataSlots: dataSlots,
+		SlotDuration: 10 * time.Millisecond,
+	}
+	sched, err := pickScheduler(schedName)
+	if err != nil {
+		return err
+	}
+
+	var demand *traffic.Demand
+	tasks, err := traffic.UniformEcho(tree, rate)
+	if err != nil {
+		return err
+	}
+	if perLink {
+		demand, err = traffic.PerLink(tree, rate)
+	} else {
+		demand, err = traffic.Compute(tree, tasks)
+	}
+	if err != nil {
+		return err
+	}
+
+	s, err := sched.Build(tree, frame, demand, rng)
+	if err != nil {
+		return err
+	}
+	collisions, err := schedulers.AnalyzeCollisions(tree, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %d nodes, %d layers; scheduler: %s; demand: %d cells/slotframe\n",
+		tree.Len(), tree.MaxLayer(), sched.Name(), demand.TotalCells())
+	fmt.Printf("schedule: %d scheduled transmissions, collision probability %.4f (%d cell, %d half-duplex)\n",
+		collisions.TotalTransmissions, collisions.Probability(),
+		collisions.CellCollisions, collisions.HalfDuplexCollisions)
+
+	simulator, err := sim.New(sim.Config{Tree: tree, Frame: frame, Tasks: tasks, PDR: pdr, Seed: seed})
+	if err != nil {
+		return err
+	}
+	simulator.SetSchedule(s)
+	if err := simulator.RunSlotframes(slotframes); err != nil {
+		return err
+	}
+
+	slotSec := frame.SlotDuration.Seconds()
+	var latencies []float64
+	delivered, generated := 0, 0
+	for _, r := range simulator.Records() {
+		generated++
+		if r.Delivered {
+			delivered++
+			latencies = append(latencies, float64(r.Latency())*slotSec)
+		}
+	}
+	sum := stats.Summarize(latencies)
+	fmt.Printf("simulated %d slotframes (%.1fs): %d/%d packets delivered\n",
+		slotframes, float64(slotframes*frame.Slots)*slotSec, delivered, generated)
+	fmt.Printf("e2e latency: mean %.3fs, p50 %.3fs, p95 %.3fs, max %.3fs\n",
+		sum.Mean, sum.P50, sum.P95, sum.Max)
+	fmt.Printf("radio events: %d collisions, %d receiver misses, %d channel losses, %d half-duplex deferrals, %d drops\n",
+		simulator.Collisions, simulator.ReceiverMisses, simulator.LossFailures,
+		simulator.HalfDuplexBlocks, simulator.Drops)
+	return nil
+}

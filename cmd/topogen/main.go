@@ -1,0 +1,70 @@
+// Command topogen emits network topologies as JSON, either generated
+// randomly (tree-shaped, like the paper's simulation topologies) or formed
+// by the RPL-lite model over a random geometric link-quality graph.
+//
+// Examples:
+//
+//	topogen -nodes 50 -layers 5 > net.json
+//	topogen -rpl -nodes 50 -radius 0.3 > net.json
+//	topogen -canned testbed50 > testbed.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/harpnet/harp/internal/rpl"
+	"github.com/harpnet/harp/internal/topology"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 50, "node count (including the gateway)")
+		layers = flag.Int("layers", 5, "tree depth for random generation")
+		fanout = flag.Int("fanout", 0, "fan-out cap (0 = unlimited)")
+		useRPL = flag.Bool("rpl", false, "form the tree with RPL-lite over a random geometric graph")
+		radius = flag.Float64("radius", 0.3, "radio radius for -rpl (unit square)")
+		canned = flag.String("canned", "", "emit a canned topology: fig1, testbed50, deep81")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	tree, err := build(*canned, *useRPL, *nodes, *layers, *fanout, *radius, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tree); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "topogen: %d nodes, %d layers\n", tree.Len(), tree.MaxLayer())
+}
+
+func build(canned string, useRPL bool, nodes, layers, fanout int, radius float64, seed int64) (*topology.Tree, error) {
+	switch canned {
+	case "fig1":
+		return topology.Fig1(), nil
+	case "testbed50":
+		return topology.Testbed50(), nil
+	case "deep81":
+		return topology.Deep81(), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown canned topology %q", canned)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if useRPL {
+		graph, err := rpl.RandomGeometric(nodes, radius, rng)
+		if err != nil {
+			return nil, err
+		}
+		return graph.FormTree()
+	}
+	return topology.Generate(topology.GenSpec{Nodes: nodes, Layers: layers, MaxChildren: fanout}, rng)
+}

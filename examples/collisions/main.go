@@ -1,0 +1,91 @@
+// Collisions compares the four schedulers of the paper's §VII-A study —
+// random, MSF, LDSF and HARP — on one random 50-node network, printing the
+// schedule collision probability and then *simulating* each schedule so the
+// collision numbers turn into concrete delivery-rate and latency damage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/schedulers"
+	"github.com/harpnet/harp/internal/sim"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+func main() {
+	const (
+		rate       = 3.0
+		seed       = 42
+		slotframes = 30
+	)
+	rng := rand.New(rand.NewSource(seed))
+	tree, err := topology.Generate(topology.GenSpec{Nodes: 50, Layers: 5, MaxChildren: 3}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame := schedule.Slotframe{Slots: 199, Channels: 16, DataSlots: 199, SlotDuration: 10_000_000}
+	demand, err := traffic.PerLink(tree, rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A matching task set for the simulator: per-link demand corresponds to
+	// single-hop traffic, so simulate echo tasks at the same rate for the
+	// latency comparison.
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simDemand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("random 50-node, 5-layer network; per-link demand %.0f cells (%d total)\n\n", rate, demand.TotalCells())
+	table := stats.NewTable("scheduler comparison",
+		"scheduler", "collision prob", "delivery rate", "mean latency(s)", "p95 latency(s)")
+
+	for _, sched := range schedulers.All() {
+		srng := rand.New(rand.NewSource(seed))
+		s, err := sched.Build(tree, frame, demand, srng)
+		if err != nil {
+			log.Fatalf("%s: %v", sched.Name(), err)
+		}
+		collisions, err := schedulers.AnalyzeCollisions(tree, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Simulate the same scheduler on the echo workload.
+		simSched, err := sched.Build(tree, frame, simDemand, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		simulator, err := sim.New(sim.Config{Tree: tree, Frame: frame, Tasks: tasks, PDR: 1, Seed: seed, MaxRetries: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simulator.SetSchedule(simSched)
+		if err := simulator.RunSlotframes(slotframes); err != nil {
+			log.Fatal(err)
+		}
+		delivered, generated := 0, 0
+		var latencies []float64
+		for _, r := range simulator.Records() {
+			generated++
+			if r.Delivered {
+				delivered++
+				latencies = append(latencies, float64(r.Latency())*frame.SlotDuration.Seconds())
+			}
+		}
+		sum := stats.Summarize(latencies)
+		table.AddRow(sched.Name(), collisions.Probability(),
+			float64(delivered)/float64(generated), sum.Mean, sum.P95)
+	}
+	fmt.Println(table)
+	fmt.Println("HARP's dedicated per-link partitions keep the collision probability at zero,")
+	fmt.Println("which is what preserves both delivery rate and latency under load (Fig. 11).")
+}

@@ -1,0 +1,3 @@
+module github.com/harpnet/harp
+
+go 1.22

@@ -1,0 +1,195 @@
+package harp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildFig1Network(t *testing.T) {
+	tree := Fig1Topology()
+	tasks, err := UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Build(tree, TestbedSlotframe(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := nw.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(tree); err != nil {
+		t.Fatalf("public API produced conflicting schedule: %v", err)
+	}
+	if sched.TotalCells() == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+func TestNetworkSetTaskRate(t *testing.T) {
+	tree := Fig1Topology()
+	tasks, err := UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Build(tree, TestbedSlotframe(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := nw.SetTaskRate(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("rate change produced no adjustments")
+	}
+	if TotalMessages(reports) < 0 {
+		t.Fatal("negative message total")
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("invalid after rate change: %v", err)
+	}
+	// Every link on node 8's path now carries 3 cells for the task plus
+	// forwarding demand.
+	l := Link{Child: 8, Direction: Uplink}
+	if got := len(nw.Plan.CellsOf(l)); got != 3 {
+		t.Errorf("link %v cells = %d, want 3", l, got)
+	}
+	// Decreases release locally and never fail.
+	if _, err := nw.SetTaskRate(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown task surfaces an error.
+	if _, err := nw.SetTaskRate(999, 1); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestNetworkRejectsImpossibleRate(t *testing.T) {
+	tree := Fig1Topology()
+	tasks, err := UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Build(tree, TestbedSlotframe(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.SetTaskRate(8, 500); err == nil {
+		t.Error("impossible rate accepted")
+	}
+}
+
+func TestGenerateAndSimulateThroughFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree, err := GenerateTopology(GenSpec{Nodes: 20, Layers: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := TestbedSlotframe()
+	nw, err := Build(tree, frame, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := nw.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimulator(SimConfig{Tree: tree, Frame: frame, Tasks: tasks, PDR: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSchedule(sched)
+	if err := s.RunSlotframes(5); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for _, r := range s.Records() {
+		if r.Delivered {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no deliveries through facade pipeline")
+	}
+	if s.Collisions != 0 {
+		t.Fatalf("collisions on HARP schedule: %d", s.Collisions)
+	}
+}
+
+func TestCannedTopologiesExported(t *testing.T) {
+	if Fig1Topology().Len() != 12 || Testbed50Topology().Len() != 50 || Deep81Topology().Len() != 81 {
+		t.Error("canned topology sizes wrong")
+	}
+	if GatewayID != 0 {
+		t.Error("gateway id wrong")
+	}
+	if Uplink == Downlink {
+		t.Error("directions collide")
+	}
+	demand, err := PerLinkDemand(Fig1Topology(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demand.TotalCells() != 2*11*2 {
+		t.Errorf("per-link demand = %d, want 44", demand.TotalCells())
+	}
+	set := NewTaskSet()
+	if set.Len() != 0 {
+		t.Error("new task set not empty")
+	}
+}
+
+func TestNetworkReparentNode(t *testing.T) {
+	tree := Fig1Topology()
+	tasks, err := UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Build(tree, TestbedSlotframe(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 5 (with children 8, 9) switches from parent 1 to parent 3.
+	rep, err := nw.ReparentNode(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMessages() <= 0 {
+		t.Error("migration reported no messages")
+	}
+	if p, _ := tree.Parent(5); p != 3 {
+		t.Errorf("parent(5) = %d, want 3", p)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("invalid after reparent: %v", err)
+	}
+	// Traffic still flows: demand-complete on the new routes.
+	demand, err := ComputeDemand(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range demand.Links() {
+		if got := len(nw.Plan.CellsOf(l)); got != demand.Cells(l) {
+			t.Errorf("link %v: %d cells, want %d", l, got, demand.Cells(l))
+		}
+	}
+	// Invalid moves surface errors (8 is now a descendant of 3).
+	if _, err := nw.ReparentNode(3, 8); err == nil {
+		t.Error("cycle-creating move accepted")
+	}
+	if _, err := nw.ReparentNode(GatewayID, 1); err == nil {
+		t.Error("gateway move accepted")
+	}
+}

@@ -1,0 +1,864 @@
+// Package agent implements HARP as a distributed protocol: one Node per
+// network device, exchanging the CoAP messages of Table I over a transport.
+// The agents execute the same three phases as the centralized planner in
+// internal/core — bottom-up interface generation, top-down partition
+// allocation, distributed schedule generation, and dynamic partition
+// adjustment — but each node holds only its own slice of state, exactly as
+// on the paper's testbed. The per-node computations are shared with the
+// planner (core.Compose, core.AllocateRoot, core.SplitPartition,
+// core.AssignCells, core.AdjustLayout), so the distributed execution
+// provably converges to the same schedules (asserted by integration tests).
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/harpnet/harp/internal/coap"
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/proto"
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/transport"
+)
+
+// dirState is one direction's protocol state at a node.
+type dirState struct {
+	// demand and topRate describe the links between this node and its
+	// children ("each node only maintains the cell requirements for the
+	// links passing through it", §II-A).
+	demand  map[topology.NodeID]int
+	topRate map[topology.NodeID]float64
+
+	// childIfaces holds the interfaces reported by non-leaf children.
+	childIfaces map[topology.NodeID]proto.DirInterface
+	// iface is this node's computed interface.
+	iface proto.DirInterface
+
+	// layouts and childComps are the committed composition state per layer
+	// (> own link layer).
+	layouts    map[int]core.Layout
+	childComps map[int]map[topology.NodeID]core.Component
+
+	// pending holds recompositions computed while escalating an adjustment,
+	// committed when the parent grants the new partition.
+	pendingLayouts map[int]core.Layout
+	pendingComps   map[int]map[topology.NodeID]core.Component
+
+	// parts are the partitions granted by the parent (or self-allocated at
+	// the gateway), keyed by layer.
+	parts map[int]schedule.Region
+
+	// assignment is the RM cell assignment of the own-layer links.
+	assignment map[topology.NodeID][]schedule.Cell
+	// sentRegions caches the last partition regions pushed to children, to
+	// send updates only on change.
+	sentRegions map[int]map[topology.NodeID]schedule.Region
+
+	// myCells are the cells the parent granted for this node's own link.
+	myCells []schedule.Cell
+}
+
+func newDirState() *dirState {
+	return &dirState{
+		demand:         make(map[topology.NodeID]int),
+		topRate:        make(map[topology.NodeID]float64),
+		childIfaces:    make(map[topology.NodeID]proto.DirInterface),
+		layouts:        make(map[int]core.Layout),
+		childComps:     make(map[int]map[topology.NodeID]core.Component),
+		pendingLayouts: make(map[int]core.Layout),
+		pendingComps:   make(map[int]map[topology.NodeID]core.Component),
+		parts:          make(map[int]schedule.Region),
+		assignment:     make(map[topology.NodeID][]schedule.Cell),
+		sentRegions:    make(map[int]map[topology.NodeID]schedule.Region),
+	}
+}
+
+// Node is one HARP protocol agent.
+type Node struct {
+	mu sync.Mutex
+
+	id       topology.NodeID
+	parent   topology.NodeID
+	children []topology.NodeID // sorted
+	nonLeaf  []topology.NodeID // sorted non-leaf children
+	ownLayer int               // l(V_i) = depth+1
+	maxLayer int               // l(G_Vi)
+	frame    schedule.Slotframe
+	rootGap  int // gateway only: idle slots between layer partitions
+	net      transport.Network
+
+	dirs  [2]*dirState
+	msgID uint16
+
+	// joining is set while this node re-attaches after a parent switch: the
+	// next interface report goes out with the Join flag and these own-link
+	// demands.
+	joining    bool
+	joinDemand [2]int
+
+	// Rejections counts adjustment requests the node (as gateway) could not
+	// satisfy.
+	Rejections int
+}
+
+func (n *Node) dir(d topology.Direction) *dirState { return n.dirs[d] }
+
+// ID returns the node's identifier.
+func (n *Node) ID() topology.NodeID { return n.id }
+
+func (n *Node) nextMsgID() uint16 {
+	n.msgID++
+	return n.msgID
+}
+
+func (n *Node) isGateway() bool { return n.parent == topology.None }
+
+// send builds and transmits a CoAP request carrying a HARP payload.
+func (n *Node) send(to topology.NodeID, method coap.Code, path string, payload []byte) {
+	msg := coap.NewRequest(coap.NonConfirmable, method, n.nextMsgID(), path)
+	msg.Payload = payload
+	// Transport errors indicate a mis-deployed fleet; agents cannot repair
+	// that, so the failure surfaces via the transport's own accounting.
+	_ = n.net.Send(n.id, to, msg)
+}
+
+// Handle implements transport.Handler: the CoAP router of Table I.
+func (n *Node) Handle(from topology.NodeID, msg coap.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case msg.Code == coap.POST && msg.Path() == proto.PathInterface:
+		if m, err := proto.DecodeInterfaceReport(msg.Payload); err == nil {
+			if m.Join {
+				n.onChildJoin(m)
+			} else {
+				n.onInterfaceReport(m)
+			}
+		}
+	case msg.Code == coap.DELETE && msg.Path() == proto.PathInterface:
+		n.onChildLeave(from)
+	case msg.Code == coap.PUT && msg.Path() == proto.PathInterface:
+		if m, err := proto.DecodeAdjustRequest(msg.Payload); err == nil {
+			n.onAdjustRequest(from, m)
+		}
+	case msg.Code == coap.POST && msg.Path() == proto.PathPartition:
+		if m, err := proto.DecodePartitionSet(msg.Payload); err == nil {
+			n.onPartitionSet(m)
+		}
+	case msg.Code == coap.PUT && msg.Path() == proto.PathPartition:
+		if m, err := proto.DecodePartitionUpdate(msg.Payload); err == nil {
+			n.onPartitionUpdate(m)
+		}
+	case msg.Code == coap.POST && msg.Path() == proto.PathSchedule:
+		if m, err := proto.DecodeScheduleNotice(msg.Payload); err == nil {
+			n.dir(m.Direction).myCells = m.Cells
+		}
+	}
+}
+
+// start kicks off the static phase at this node: non-leaf nodes whose
+// children are all leaves can compute and report immediately.
+func (n *Node) start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.children) == 0 {
+		return // leaves report nothing; parents hold their link demands
+	}
+	if len(n.nonLeaf) == 0 {
+		n.computeAndForwardInterface()
+	}
+}
+
+// onInterfaceReport stores a child's interface; when all non-leaf children
+// have reported, this node composes its own interface and forwards it (or
+// allocates, at the gateway).
+func (n *Node) onInterfaceReport(m proto.InterfaceReport) {
+	n.dir(topology.Uplink).childIfaces[m.Owner] = m.Up
+	n.dir(topology.Downlink).childIfaces[m.Owner] = m.Down
+	if len(n.dir(topology.Uplink).childIfaces) < len(n.nonLeaf) {
+		return
+	}
+	n.computeAndForwardInterface()
+}
+
+// computeAndForwardInterface runs interface generation (§IV-B) for both
+// directions, then reports upward or allocates at the gateway.
+func (n *Node) computeAndForwardInterface() {
+	for _, d := range topology.Directions() {
+		n.computeInterface(d)
+	}
+	if n.isGateway() {
+		n.allocateRoot()
+		return
+	}
+	report := proto.InterfaceReport{
+		Owner: n.id,
+		Up:    n.dir(topology.Uplink).iface,
+		Down:  n.dir(topology.Downlink).iface,
+	}
+	if n.joining {
+		report.Join = true
+		report.Up.OwnDemand = n.joinDemand[topology.Uplink]
+		report.Down.OwnDemand = n.joinDemand[topology.Downlink]
+		n.joining = false
+	}
+	n.send(n.parent, coap.POST, proto.PathInterface, proto.EncodeInterfaceReport(report))
+}
+
+func (n *Node) computeInterface(d topology.Direction) {
+	st := n.dir(d)
+	comps := make([]core.Component, 0, n.maxLayer-n.ownLayer+1)
+	demands := make([]int, 0, len(n.children))
+	for _, c := range n.children {
+		demands = append(demands, st.demand[c])
+	}
+	comps = append(comps, core.OwnLayerComponent(demands))
+	for layer := n.ownLayer + 1; layer <= n.maxLayer; layer++ {
+		children := make([]core.ChildComponent, 0, len(n.nonLeaf))
+		byChild := make(map[topology.NodeID]core.Component)
+		for _, c := range n.nonLeaf {
+			ci, ok := st.childIfaces[c]
+			if !ok {
+				continue
+			}
+			idx := layer - ci.FirstLayer
+			if idx < 0 || idx >= len(ci.Comps) || ci.Comps[idx].Empty() {
+				continue
+			}
+			children = append(children, core.ChildComponent{Child: c, Comp: ci.Comps[idx]})
+			byChild[c] = ci.Comps[idx]
+		}
+		comp, layout, err := core.Compose(children, n.frame.Channels)
+		if err != nil {
+			comp, layout = core.Component{}, core.Layout{}
+		}
+		comps = append(comps, comp)
+		st.layouts[layer] = layout
+		st.childComps[layer] = byChild
+	}
+	st.iface = proto.DirInterface{FirstLayer: n.ownLayer, Comps: comps}
+}
+
+// allocateRoot is the gateway's partition allocation (§IV-C).
+func (n *Node) allocateRoot() {
+	up := core.Interface{Owner: n.id, FirstLayer: n.dir(topology.Uplink).iface.FirstLayer, Comps: n.dir(topology.Uplink).iface.Comps}
+	down := core.Interface{Owner: n.id, FirstLayer: n.dir(topology.Downlink).iface.FirstLayer, Comps: n.dir(topology.Downlink).iface.Comps}
+	alloc, err := core.AllocateRoot(up, down, n.frame, false, n.rootGap)
+	if err != nil {
+		n.Rejections++
+		return
+	}
+	for dl, region := range alloc.Partitions {
+		n.dir(dl.Direction).parts[dl.Layer] = region
+	}
+	n.settle()
+}
+
+// settle consumes this node's partitions: RM assignment at the own layer,
+// splitting and dissemination at deeper layers (one POST /part per
+// non-leaf child).
+func (n *Node) settle() {
+	type grant struct {
+		entries []proto.PartitionEntry
+	}
+	grants := make(map[topology.NodeID]*grant)
+	for _, d := range topology.Directions() {
+		st := n.dir(d)
+		layers := sortedLayers(st.parts)
+		for _, layer := range layers {
+			region := st.parts[layer]
+			if layer == n.ownLayer {
+				n.assignOwn(d)
+				continue
+			}
+			split, err := core.SplitPartition(region, st.layouts[layer], st.childComps[layer])
+			if err != nil {
+				continue
+			}
+			if st.sentRegions[layer] == nil {
+				st.sentRegions[layer] = make(map[topology.NodeID]schedule.Region)
+			}
+			for child, r := range split {
+				st.sentRegions[layer][child] = r
+				if grants[child] == nil {
+					grants[child] = &grant{}
+				}
+				grants[child].entries = append(grants[child].entries, proto.PartitionEntry{
+					Direction: d, Layer: layer, Region: r,
+				})
+			}
+		}
+	}
+	// Every non-leaf child gets a PartitionSet (possibly empty) so the
+	// static phase terminates even in zero-demand subtrees.
+	for _, c := range n.nonLeaf {
+		g := grants[c]
+		var entries []proto.PartitionEntry
+		if g != nil {
+			entries = g.entries
+		}
+		n.send(c, coap.POST, proto.PathPartition, proto.EncodePartitionSet(proto.PartitionSet{Entries: entries}))
+	}
+}
+
+// onPartitionSet installs the partitions granted by the parent and
+// continues the top-down phase.
+func (n *Node) onPartitionSet(m proto.PartitionSet) {
+	for _, e := range m.Entries {
+		n.dir(e.Direction).parts[e.Layer] = e.Region
+	}
+	n.settle()
+}
+
+// assignOwn runs RM assignment inside the own-layer partition and notifies
+// children whose cells changed.
+func (n *Node) assignOwn(d topology.Direction) {
+	st := n.dir(d)
+	region, ok := st.parts[n.ownLayer]
+	demands := make([]core.LinkDemand, 0, len(n.children))
+	total := 0
+	for _, c := range n.children {
+		demands = append(demands, core.LinkDemand{
+			Link:    topology.Link{Child: c, Direction: d},
+			Cells:   st.demand[c],
+			TopRate: st.topRate[c],
+		})
+		total += st.demand[c]
+	}
+	if !ok {
+		if total == 0 {
+			st.assignment = make(map[topology.NodeID][]schedule.Cell)
+		}
+		return
+	}
+	assignment, err := core.AssignCells(region, demands)
+	if err != nil {
+		return
+	}
+	next := make(map[topology.NodeID][]schedule.Cell, len(assignment))
+	for l, cells := range assignment {
+		next[l.Child] = cells
+	}
+	for _, c := range n.children {
+		if !cellsEqual(st.assignment[c], next[c]) {
+			n.send(c, coap.POST, proto.PathSchedule, proto.EncodeScheduleNotice(proto.ScheduleNotice{
+				Direction: d, Cells: next[c],
+			}))
+		}
+	}
+	st.assignment = next
+}
+
+func cellsEqual(a, b []schedule.Cell) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedLayers(m map[int]schedule.Region) []int {
+	out := make([]int, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SetChildDemand is the traffic-change entry point (§V): the parent of the
+// affected link updates the requirement and performs local schedule update,
+// or escalates a partition adjustment.
+func (n *Node) SetChildDemand(child topology.NodeID, d topology.Direction, cells int, topRate float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !containsNode(n.children, child) {
+		return fmt.Errorf("agent: node %d has no child %d", n.id, child)
+	}
+	if cells < 0 {
+		return fmt.Errorf("agent: negative demand %d", cells)
+	}
+	n.applyChildDemand(child, d, cells, topRate)
+	return nil
+}
+
+// applyChildDemand is SetChildDemand's body; callers hold n.mu.
+func (n *Node) applyChildDemand(child topology.NodeID, d topology.Direction, cells int, topRate float64) {
+	st := n.dir(d)
+	old := st.demand[child]
+	st.demand[child] = cells
+	st.topRate[child] = topRate
+	if cells <= old {
+		n.assignOwn(d) // Release: cells freed locally.
+		return
+	}
+	total := 0
+	for _, c := range n.children {
+		total += st.demand[c]
+	}
+	if region, ok := st.parts[n.ownLayer]; ok && total <= region.CellCount() {
+		n.assignOwn(d) // Case 1: local schedule update.
+		return
+	}
+	// Case 2: escalate with the grown own-layer component.
+	n.escalate(d, n.ownLayer, core.Component{Slots: total, Channels: 1})
+}
+
+// escalate requests a grown component at the given layer from the parent,
+// or — at the gateway — widens its own layer partition in place.
+func (n *Node) escalate(d topology.Direction, layer int, comp core.Component) {
+	if n.isGateway() {
+		if !n.rootWiden(d, layer, comp) {
+			n.Rejections++
+		}
+		return
+	}
+	n.send(n.parent, coap.PUT, proto.PathInterface, proto.EncodeAdjustRequest(proto.AdjustRequest{
+		Origin: n.id, Direction: d, Layer: layer, Comp: comp,
+	}))
+}
+
+// RequestDemand is the child-initiated traffic-change request of the
+// paper's flowchart (Fig. 8(b)): the node noticing increased queueing on
+// its own link sends a PUT /intf carrying the new requirement to its
+// parent, which absorbs it locally or escalates. cells is the requested
+// demand of this node's own link in the given direction.
+func (n *Node) RequestDemand(d topology.Direction, cells int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.isGateway() {
+		return fmt.Errorf("agent: gateway has no own link")
+	}
+	if cells < 0 {
+		return fmt.Errorf("agent: negative demand %d", cells)
+	}
+	n.send(n.parent, coap.PUT, proto.PathInterface, proto.EncodeAdjustRequest(proto.AdjustRequest{
+		Origin:    n.id,
+		Direction: d,
+		Layer:     n.ownLayer - 1, // the layer of this node's link to its parent
+		Comp:      core.Component{Slots: cells, Channels: 1},
+	}))
+	return nil
+}
+
+// onAdjustRequest handles a child's PUT /intf: feasibility test (Problem 2)
+// plus the cost-aware adjustment (Alg. 2), escalating when the local
+// partition cannot host the increase.
+func (n *Node) onAdjustRequest(from topology.NodeID, m proto.AdjustRequest) {
+	layer := m.Layer
+	if layer == n.ownLayer && containsNode(n.children, from) {
+		// A child reports a new requirement for its own link (RequestDemand):
+		// this is a link-demand change handled exactly like SetChildDemand.
+		n.applyChildDemand(from, m.Direction, m.Comp.Slots, float64(m.Comp.Slots))
+		return
+	}
+	n.hostChildComponent(from, m.Direction, layer, m.Comp)
+}
+
+// hostChildComponent places a child's (grown or newly appearing) component
+// at one layer: Alg. 2 inside the current partition when possible,
+// otherwise minimal extension and escalation (or in-place extension at the
+// gateway).
+func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, layer int, comp core.Component) {
+	st := n.dir(d)
+	if region, ok := st.parts[layer]; ok {
+		newLayout, moved, fits := core.AdjustLayout(region.Slots, region.Channels,
+			st.layouts[layer], st.childComps[layer], from, comp)
+		if fits {
+			if st.childComps[layer] == nil {
+				st.childComps[layer] = make(map[topology.NodeID]core.Component)
+			}
+			st.childComps[layer][from] = comp
+			st.layouts[layer] = newLayout
+			if st.sentRegions[layer] == nil {
+				st.sentRegions[layer] = make(map[topology.NodeID]schedule.Region)
+			}
+			for _, child := range moved {
+				c := st.childComps[layer][child]
+				off := newLayout[child]
+				r := c.Region(region.Slot+off.Slot, region.Channel+off.Channel)
+				st.sentRegions[layer][child] = r
+				n.send(child, coap.PUT, proto.PathPartition, proto.EncodePartitionUpdate(proto.PartitionUpdate{
+					Direction: d, Layer: layer, Region: r,
+				}))
+			}
+			return
+		}
+	}
+	if n.isGateway() {
+		// End of the line: extend the layer partition in place.
+		if !n.rootHost(d, layer, from, comp) {
+			n.Rejections++
+		}
+		return
+	}
+	// Grow this node's component at the layer just enough to host the
+	// increase, keeping siblings in place, and escalate the enlarged
+	// component; the new layout commits when the parent grants the space.
+	merged := make(map[topology.NodeID]core.Component, len(st.childComps[layer])+1)
+	for id, c := range st.childComps[layer] {
+		merged[id] = c
+	}
+	merged[from] = comp
+	var hostComp core.Component
+	if region, ok := st.parts[layer]; ok {
+		hostComp = core.Component{Slots: region.Slots, Channels: region.Channels}
+	}
+	grown, layout, ok := core.MinimalExtension(hostComp, st.layouts[layer], st.childComps[layer], from, comp, n.frame.Channels)
+	if !ok {
+		n.Rejections++
+		return
+	}
+	st.pendingComps[layer] = merged
+	st.pendingLayouts[layer] = layout
+	n.escalate(d, layer, grown)
+}
+
+// onChildLeave handles DELETE /intf: the child (and its subtree) detached —
+// the release case of §V. Its components disappear from every layer; the
+// freed cells stay idle inside this branch's partitions, and the own-layer
+// schedule shrinks.
+func (n *Node) onChildLeave(from topology.NodeID) {
+	if !containsNode(n.children, from) {
+		return
+	}
+	n.children = removeNode(n.children, from)
+	n.nonLeaf = removeNode(n.nonLeaf, from)
+	for _, d := range topology.Directions() {
+		st := n.dir(d)
+		delete(st.demand, from)
+		delete(st.topRate, from)
+		delete(st.childIfaces, from)
+		for layer := range st.childComps {
+			delete(st.childComps[layer], from)
+		}
+		for layer := range st.layouts {
+			delete(st.layouts[layer], from)
+		}
+		for layer := range st.sentRegions {
+			delete(st.sentRegions[layer], from)
+		}
+		n.assignOwn(d)
+	}
+}
+
+// onChildJoin handles a Join-flagged POST /intf: a node (with its subtree)
+// attached under this node after a topology change. Every layer of the
+// reported interface is hosted through the ordinary adjustment machinery,
+// then the new link's demand is absorbed like a traffic change.
+func (n *Node) onChildJoin(m proto.InterfaceReport) {
+	if !containsNode(n.children, m.Owner) {
+		n.children = insertNode(n.children, m.Owner)
+	}
+	dirIfaces := [2]proto.DirInterface{m.Up, m.Down}
+	hasComps := false
+	for _, di := range dirIfaces {
+		for _, c := range di.Comps {
+			if !c.Empty() {
+				hasComps = true
+			}
+		}
+	}
+	if hasComps {
+		if !containsNode(n.nonLeaf, m.Owner) {
+			n.nonLeaf = insertNode(n.nonLeaf, m.Owner)
+		}
+		n.dir(topology.Uplink).childIfaces[m.Owner] = m.Up
+		n.dir(topology.Downlink).childIfaces[m.Owner] = m.Down
+	}
+	for _, d := range topology.Directions() {
+		di := dirIfaces[d]
+		for i, comp := range di.Comps {
+			if comp.Empty() {
+				continue
+			}
+			n.hostChildComponent(m.Owner, d, di.FirstLayer+i, comp)
+		}
+		n.applyChildDemand(m.Owner, d, di.OwnDemand, float64(di.OwnDemand))
+	}
+}
+
+func removeNode(ids []topology.NodeID, id topology.NodeID) []topology.NodeID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func insertNode(ids []topology.NodeID, id topology.NodeID) []topology.NodeID {
+	out := append(ids, id)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Root-level adjustment at the gateway agent mirrors the centralized
+// planner: layer partitions are an ordered sequence of slot intervals
+// (compliant order, time-disjoint because adjacent layers share nodes); a
+// grown layer extends in place and later intervals shift only as far as
+// needed.
+
+// rootIntervals snapshots the gateway's layer partitions.
+func (n *Node) rootIntervals() (map[core.DirLayer]int, map[core.DirLayer]int) {
+	widths := make(map[core.DirLayer]int)
+	chans := make(map[core.DirLayer]int)
+	for _, dd := range topology.Directions() {
+		for l, r := range n.dir(dd).parts {
+			k := core.DirLayer{Direction: dd, Layer: l}
+			widths[k] = r.Slots
+			chans[k] = r.Channels
+		}
+	}
+	return widths, chans
+}
+
+func totalWidth(widths map[core.DirLayer]int) int {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	return total
+}
+
+// reflowRoot lays the layer partitions out as ordered intervals with
+// minimal movement and applies the changed ones (applyPartition skips
+// descendants whose regions are unchanged).
+func (n *Node) reflowRoot(widths, chans map[core.DirLayer]int, target core.DirLayer) bool {
+	comps := make(map[core.DirLayer]core.Component, len(widths))
+	for k, w := range widths {
+		comps[k] = core.Component{Slots: w, Channels: chans[k]}
+	}
+	cursor := 0
+	type placement struct {
+		key    core.DirLayer
+		region schedule.Region
+	}
+	var changed []placement
+	for _, k := range core.CompliantOrder(comps) {
+		w := widths[k]
+		if w == 0 {
+			continue
+		}
+		origin := cursor
+		if old, ok := n.dir(k.Direction).parts[k.Layer]; ok && old.Slot >= cursor && old.Slot+w <= n.frame.DataSlots {
+			origin = old.Slot
+		}
+		if origin+w > n.frame.DataSlots {
+			return false
+		}
+		region := schedule.Region{Slot: origin, Channel: 0, Slots: w, Channels: chans[k]}
+		cursor = origin + w
+		if old, ok := n.dir(k.Direction).parts[k.Layer]; !ok || old != region || k == target {
+			changed = append(changed, placement{key: k, region: region})
+		}
+	}
+	for _, pl := range changed {
+		n.applyPartition(pl.key.Direction, pl.key.Layer, pl.region)
+	}
+	return true
+}
+
+// rootWiden grows the gateway's own-layer partition to the requested width.
+func (n *Node) rootWiden(d topology.Direction, layer int, comp core.Component) bool {
+	widths, chans := n.rootIntervals()
+	key := core.DirLayer{Direction: d, Layer: layer}
+	widths[key] = comp.Slots
+	chans[key] = comp.Channels
+	if totalWidth(widths) > n.frame.DataSlots {
+		return false
+	}
+	return n.reflowRoot(widths, chans, key)
+}
+
+// rootHost extends the gateway's layer partition just enough to host a
+// grown child component, keeping that layer's other children in place.
+func (n *Node) rootHost(d topology.Direction, layer int, cur topology.NodeID, curComp core.Component) bool {
+	if curComp.Channels > n.frame.Channels {
+		return false
+	}
+	st := n.dir(d)
+	widths, chans := n.rootIntervals()
+	key := core.DirLayer{Direction: d, Layer: layer}
+	baseWidth := widths[key]
+	otherTotal := totalWidth(widths) - baseWidth
+	maxWidth := n.frame.DataSlots - otherTotal
+
+	area := curComp.Cells()
+	for id, c := range st.childComps[layer] {
+		if id != cur {
+			area += c.Cells()
+		}
+	}
+	start := (area + n.frame.Channels - 1) / n.frame.Channels
+	if start < baseWidth {
+		start = baseWidth
+	}
+	if start < curComp.Slots {
+		start = curComp.Slots
+	}
+	for width := start; width <= maxWidth; width++ {
+		newLayout, _, ok := core.AdjustLayout(width, n.frame.Channels,
+			st.layouts[layer], st.childComps[layer], cur, curComp)
+		if !ok {
+			continue
+		}
+		if st.childComps[layer] == nil {
+			st.childComps[layer] = make(map[topology.NodeID]core.Component)
+		}
+		st.childComps[layer][cur] = curComp
+		st.layouts[layer] = newLayout
+		widths[key] = width
+		chans[key] = n.frame.Channels
+		return n.reflowRoot(widths, chans, key)
+	}
+	return false
+}
+
+// onPartitionUpdate applies a PUT /part from the parent.
+func (n *Node) onPartitionUpdate(m proto.PartitionUpdate) {
+	n.applyPartition(m.Direction, m.Layer, m.Region)
+}
+
+// applyPartition installs a new partition at one layer, committing any
+// pending recomposition, and pushes the consequences downward.
+func (n *Node) applyPartition(d topology.Direction, layer int, region schedule.Region) {
+	st := n.dir(d)
+	st.parts[layer] = region
+	if pl, ok := st.pendingLayouts[layer]; ok {
+		st.layouts[layer] = pl
+		st.childComps[layer] = st.pendingComps[layer]
+		delete(st.pendingLayouts, layer)
+		delete(st.pendingComps, layer)
+	}
+	if layer == n.ownLayer {
+		n.assignOwn(d)
+		return
+	}
+	split, err := core.SplitPartition(region, st.layouts[layer], st.childComps[layer])
+	if err != nil {
+		return
+	}
+	if st.sentRegions[layer] == nil {
+		st.sentRegions[layer] = make(map[topology.NodeID]schedule.Region)
+	}
+	for _, child := range sortedRegionIDs(split) {
+		r := split[child]
+		if prev, ok := st.sentRegions[layer][child]; ok && prev == r {
+			continue // unchanged: no message
+		}
+		st.sentRegions[layer][child] = r
+		n.send(child, coap.PUT, proto.PathPartition, proto.EncodePartitionUpdate(proto.PartitionUpdate{
+			Direction: d, Layer: layer, Region: r,
+		}))
+	}
+}
+
+// Leave announces this node's detachment to its current parent (the
+// DELETE /intf of a parent switch) without touching local state; the fleet
+// rewires the structure afterwards.
+func (n *Node) Leave() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.isGateway() {
+		return
+	}
+	n.send(n.parent, coap.DELETE, proto.PathInterface, nil)
+}
+
+// setStructure installs recomputed tree coordinates after a topology
+// change.
+func (n *Node) setStructure(parent topology.NodeID, ownLayer, maxLayer int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parent = parent
+	n.ownLayer = ownLayer
+	n.maxLayer = maxLayer
+}
+
+// resetResources clears all layer-keyed resource state (used when a moved
+// subtree re-joins at a different depth). Link demands are preserved.
+func (n *Node) resetResources() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, d := range topology.Directions() {
+		st := n.dir(d)
+		st.childIfaces = make(map[topology.NodeID]proto.DirInterface)
+		st.layouts = make(map[int]core.Layout)
+		st.childComps = make(map[int]map[topology.NodeID]core.Component)
+		st.pendingLayouts = make(map[int]core.Layout)
+		st.pendingComps = make(map[int]map[topology.NodeID]core.Component)
+		st.parts = make(map[int]schedule.Region)
+		st.assignment = make(map[topology.NodeID][]schedule.Cell)
+		st.sentRegions = make(map[int]map[topology.NodeID]schedule.Region)
+		st.iface = proto.DirInterface{}
+	}
+}
+
+// startJoin primes the node to re-attach: its next interface report carries
+// the Join flag and the given own-link demands, and nodes whose children
+// are all leaves recompute immediately (deeper subtrees report bottom-up).
+func (n *Node) startJoin(upDemand, downDemand int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.joining = true
+	n.joinDemand[topology.Uplink] = upDemand
+	n.joinDemand[topology.Downlink] = downDemand
+	if len(n.nonLeaf) == 0 {
+		n.computeAndForwardInterface()
+	}
+}
+
+// Snapshot accessors (used by the fleet and tests).
+
+// Assignment returns the node's RM cell assignment for its child links in
+// one direction.
+func (n *Node) Assignment(d topology.Direction) map[topology.NodeID][]schedule.Cell {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[topology.NodeID][]schedule.Cell, len(n.dir(d).assignment))
+	for c, cells := range n.dir(d).assignment {
+		out[c] = append([]schedule.Cell(nil), cells...)
+	}
+	return out
+}
+
+// Partition returns the node's granted partition at a layer.
+func (n *Node) Partition(d topology.Direction, layer int) (schedule.Region, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.dir(d).parts[layer]
+	return r, ok
+}
+
+// MyCells returns the cells granted by the parent for this node's own link.
+func (n *Node) MyCells(d topology.Direction) []schedule.Cell {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]schedule.Cell(nil), n.dir(d).myCells...)
+}
+
+func containsNode(ids []topology.NodeID, id topology.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedRegionIDs(m map[topology.NodeID]schedule.Region) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,323 @@
+package agent
+
+import (
+	"fmt"
+
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/transport"
+)
+
+// Fleet deploys one Node per network device over a transport and provides
+// whole-network views (the global schedule, validation) that a real
+// deployment would obtain by instrumentation.
+type Fleet struct {
+	Tree  *topology.Tree
+	Frame schedule.Slotframe
+	nodes map[topology.NodeID]*Node
+}
+
+// DeployOption customises a fleet deployment.
+type DeployOption func(*deployConfig)
+
+type deployConfig struct {
+	rootGap int
+}
+
+// WithRootGap makes the gateway leave the given number of idle slots
+// between its layer partitions, so dynamic adjustments can widen a layer
+// without shifting (and re-signalling) its successors.
+func WithRootGap(slots int) DeployOption {
+	return func(c *deployConfig) { c.rootGap = slots }
+}
+
+// Deploy builds the agents for every node of the tree, loads the link
+// demands into the owning parents, and registers the agents with the
+// transport. Call Start (then run/drain the transport) to execute the
+// static phase.
+func Deploy(tree *topology.Tree, frame schedule.Slotframe, demand *traffic.Demand, net interface {
+	transport.Network
+	Register(topology.NodeID, transport.Handler)
+}, opts ...DeployOption) (*Fleet, error) {
+	var cfg deployConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := frame.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{Tree: tree, Frame: frame, nodes: make(map[topology.NodeID]*Node)}
+	for _, id := range tree.Nodes() {
+		parent, err := tree.Parent(id)
+		if err != nil {
+			return nil, err
+		}
+		ownLayer, err := tree.LinkLayer(id)
+		if err != nil {
+			return nil, err
+		}
+		maxLayer, err := tree.SubtreeMaxLayer(id)
+		if err != nil {
+			return nil, err
+		}
+		children := tree.Children(id)
+		var nonLeaf []topology.NodeID
+		for _, c := range children {
+			if !tree.IsLeaf(c) {
+				nonLeaf = append(nonLeaf, c)
+			}
+		}
+		n := &Node{
+			id:       id,
+			parent:   parent,
+			children: children,
+			nonLeaf:  nonLeaf,
+			ownLayer: ownLayer,
+			maxLayer: maxLayer,
+			frame:    frame,
+			rootGap:  cfg.rootGap,
+			net:      net,
+			dirs:     [2]*dirState{newDirState(), newDirState()},
+		}
+		// Load the demands of the links between this node and its children.
+		for _, c := range children {
+			for _, d := range topology.Directions() {
+				l := topology.Link{Child: c, Direction: d}
+				n.dir(d).demand[c] = demand.Cells(l)
+				flows := demand.Flows(l)
+				if len(flows) > 0 {
+					n.dir(d).topRate[c] = flows[0].Task.Rate
+				}
+			}
+		}
+		f.nodes[id] = n
+		net.Register(id, n)
+	}
+	return f, nil
+}
+
+// Start triggers the static partition allocation phase: nodes at the
+// deepest non-leaf level report first (§IV-B). The caller must then run the
+// transport to completion (Bus.Run or Live.WaitIdle).
+func (f *Fleet) Start() {
+	for _, id := range f.Tree.Nodes() {
+		f.nodes[id].start()
+	}
+}
+
+// Node returns the agent for a device.
+func (f *Fleet) Node(id topology.NodeID) (*Node, error) {
+	n, ok := f.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("agent: unknown node %d", id)
+	}
+	return n, nil
+}
+
+// SetLinkDemand applies a traffic change at the owning parent agent. The
+// caller must run the transport afterwards to let the adjustment protocol
+// complete.
+func (f *Fleet) SetLinkDemand(l topology.Link, cells int, topRate float64) error {
+	parent, err := f.Tree.Parent(l.Child)
+	if err != nil {
+		return err
+	}
+	if parent == topology.None {
+		return fmt.Errorf("agent: link %v has no parent", l)
+	}
+	return f.nodes[parent].SetChildDemand(l.Child, l.Direction, cells, topRate)
+}
+
+// RequestLinkDemand routes a traffic change through the child end of the
+// link, as the paper's flowchart does: the child sends a PUT /intf request
+// upward and the parent absorbs or escalates it. The caller must run the
+// transport afterwards.
+func (f *Fleet) RequestLinkDemand(l topology.Link, cells int) error {
+	n, ok := f.nodes[l.Child]
+	if !ok {
+		return fmt.Errorf("agent: unknown node %d", l.Child)
+	}
+	return n.RequestDemand(l.Direction, cells)
+}
+
+// BuildSchedule assembles the global schedule from every agent's local
+// assignment — the instrumentation view used for validation and
+// simulation.
+func (f *Fleet) BuildSchedule() (*schedule.Schedule, error) {
+	s, err := schedule.NewSchedule(f.Frame)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range f.Tree.Nodes() {
+		n := f.nodes[id]
+		for _, d := range topology.Directions() {
+			for child, cells := range n.Assignment(d) {
+				if len(cells) == 0 {
+					continue
+				}
+				if err := s.Assign(topology.Link{Child: child, Direction: d}, cells...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Validate builds the global schedule and checks the collision-freedom and
+// half-duplex invariants.
+func (f *Fleet) Validate() error {
+	s, err := f.BuildSchedule()
+	if err != nil {
+		return err
+	}
+	return s.Validate(f.Tree)
+}
+
+// Reparent performs a distributed topology change (§V, "topology
+// changes"): node — with its subtree — detaches from its current parent
+// (DELETE /intf), the fleet rewires the routing structure (RPL's job), the
+// subtree recomputes its interfaces bottom-up, and the moved node re-joins
+// under newParent with a Join-flagged POST /intf that the new branch hosts
+// through the ordinary adjustment machinery. newDemand is the link demand
+// over the post-change routes (e.g. traffic.Compute on the new tree). The
+// caller must run the transport afterwards; validate with Fleet.Validate.
+func (f *Fleet) Reparent(node, newParent topology.NodeID, newDemand *traffic.Demand) error {
+	mover, err := f.Node(node)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Node(newParent); err != nil {
+		return err
+	}
+	oldParent, err := f.Tree.Parent(node)
+	if err != nil {
+		return err
+	}
+	if oldParent == newParent {
+		return fmt.Errorf("agent: node %d already under %d", node, newParent)
+	}
+	subtree, err := f.Tree.Subtree(node)
+	if err != nil {
+		return err
+	}
+
+	// 1. Leave: announce detachment to the old parent.
+	mover.Leave()
+
+	// 2. Rewire (what RPL does) and refresh every agent's coordinates —
+	// depths shift inside the moved subtree, subtree-max layers shift on
+	// both ancestor chains.
+	if err := f.Tree.Reparent(node, newParent); err != nil {
+		return err
+	}
+	for _, id := range f.Tree.Nodes() {
+		parent, err := f.Tree.Parent(id)
+		if err != nil {
+			return err
+		}
+		ownLayer, err := f.Tree.LinkLayer(id)
+		if err != nil {
+			return err
+		}
+		maxLayer, err := f.Tree.SubtreeMaxLayer(id)
+		if err != nil {
+			return err
+		}
+		f.nodes[id].setStructure(parent, ownLayer, maxLayer)
+	}
+	np := f.nodes[newParent]
+	np.mu.Lock()
+	if !containsNode(np.children, node) {
+		np.children = insertNode(np.children, node)
+		if !f.Tree.IsLeaf(node) {
+			np.nonLeaf = insertNode(np.nonLeaf, node)
+		}
+	}
+	np.mu.Unlock()
+
+	// 3. Reset the moved subtree's resource state and load the post-change
+	// demands of its internal links into the owning parents.
+	for _, id := range subtree {
+		f.nodes[id].resetResources()
+	}
+	for _, id := range subtree {
+		agentNode := f.nodes[id]
+		agentNode.mu.Lock()
+		for _, c := range agentNode.children {
+			for _, d := range topology.Directions() {
+				l := topology.Link{Child: c, Direction: d}
+				agentNode.dir(d).demand[c] = newDemand.Cells(l)
+				flows := newDemand.Flows(l)
+				if len(flows) > 0 {
+					agentNode.dir(d).topRate[c] = flows[0].Task.Rate
+				}
+			}
+		}
+		agentNode.mu.Unlock()
+	}
+
+	// 4. Trigger the subtree's bottom-up re-report; the moved node's report
+	// carries the Join flag and its own-link demands.
+	upLink := topology.Link{Child: node, Direction: topology.Uplink}
+	downLink := topology.Link{Child: node, Direction: topology.Downlink}
+	mover.startJoin(newDemand.Cells(upLink), newDemand.Cells(downLink))
+	for _, id := range subtree {
+		if id == node {
+			continue
+		}
+		agentNode := f.nodes[id]
+		agentNode.mu.Lock()
+		if len(agentNode.children) > 0 && len(agentNode.nonLeaf) == 0 {
+			agentNode.computeAndForwardInterface()
+		}
+		agentNode.mu.Unlock()
+	}
+
+	// 5. Forwarding-path demand shifts outside the subtree go through the
+	// ordinary traffic-change path at the owning parents.
+	inSubtree := make(map[topology.NodeID]bool, len(subtree))
+	for _, id := range subtree {
+		inSubtree[id] = true
+	}
+	for _, l := range newDemand.Links() {
+		if inSubtree[l.Child] {
+			continue
+		}
+		parent, err := f.Tree.Parent(l.Child)
+		if err != nil || parent == topology.None {
+			continue
+		}
+		pa := f.nodes[parent]
+		pa.mu.Lock()
+		current := pa.dir(l.Direction).demand[l.Child]
+		pa.mu.Unlock()
+		if current == newDemand.Cells(l) {
+			continue
+		}
+		flows := newDemand.Flows(l)
+		top := 1.0
+		if len(flows) > 0 {
+			top = flows[0].Task.Rate
+		}
+		if err := pa.SetChildDemand(l.Child, l.Direction, newDemand.Cells(l), top); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rejections sums the adjustment rejections across agents.
+func (f *Fleet) Rejections() int {
+	total := 0
+	for _, n := range f.nodes {
+		n.mu.Lock()
+		total += n.Rejections
+		n.mu.Unlock()
+	}
+	return total
+}

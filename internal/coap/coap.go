@@ -1,0 +1,293 @@
+// Package coap implements the subset of the Constrained Application
+// Protocol (RFC 7252) that HARP uses as its carrier (§VI-A, Table I):
+// confirmable/non-confirmable messages, the GET/POST/PUT method codes and
+// basic response codes, Uri-Path options, tokens and payloads, with the
+// standard binary wire encoding. The agent layer routes HARP's four
+// handlers (POST/PUT on /intf and /part) over these messages.
+package coap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the CoAP message type (RFC 7252 §3).
+type Type uint8
+
+// Message types.
+const (
+	Confirmable     Type = 0
+	NonConfirmable  Type = 1
+	Acknowledgement Type = 2
+	Reset           Type = 3
+)
+
+func (t Type) String() string {
+	switch t {
+	case Confirmable:
+		return "CON"
+	case NonConfirmable:
+		return "NON"
+	case Acknowledgement:
+		return "ACK"
+	case Reset:
+		return "RST"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Code is the CoAP code registry value: class.detail packed as
+// 3 bits class, 5 bits detail (RFC 7252 §12.1).
+type Code uint8
+
+// Method and response codes used by HARP.
+const (
+	CodeEmpty   Code = 0
+	GET         Code = 0x01
+	POST        Code = 0x02
+	PUT         Code = 0x03
+	DELETE      Code = 0x04
+	Created     Code = 0x41 // 2.01
+	Deleted     Code = 0x42 // 2.02
+	Changed     Code = 0x44 // 2.04
+	Content     Code = 0x45 // 2.05
+	BadRequest  Code = 0x80 // 4.00
+	NotFound    Code = 0x84 // 4.04
+	ServerError Code = 0xA0 // 5.00
+)
+
+// Class returns the code class (0 = request, 2/4/5 = response classes).
+func (c Code) Class() uint8 { return uint8(c) >> 5 }
+
+// Detail returns the code detail.
+func (c Code) Detail() uint8 { return uint8(c) & 0x1f }
+
+func (c Code) String() string {
+	switch c {
+	case GET:
+		return "GET"
+	case POST:
+		return "POST"
+	case PUT:
+		return "PUT"
+	case DELETE:
+		return "DELETE"
+	case CodeEmpty:
+		return "EMPTY"
+	default:
+		return fmt.Sprintf("%d.%02d", c.Class(), c.Detail())
+	}
+}
+
+// IsRequest reports whether the code is a method code.
+func (c Code) IsRequest() bool { return c.Class() == 0 && c != CodeEmpty }
+
+// Option numbers used by this implementation.
+const (
+	OptionUriPath       uint16 = 11
+	OptionContentFormat uint16 = 12
+)
+
+// Option is one CoAP option instance.
+type Option struct {
+	Number uint16
+	Value  []byte
+}
+
+// Message is a CoAP message.
+type Message struct {
+	Type      Type
+	Code      Code
+	MessageID uint16
+	Token     []byte
+	Options   []Option
+	Payload   []byte
+}
+
+// Version is the protocol version encoded in every message.
+const Version = 1
+
+// Errors returned by Decode.
+var (
+	ErrTruncated  = errors.New("coap: truncated message")
+	ErrBadVersion = errors.New("coap: unsupported version")
+	ErrBadToken   = errors.New("coap: token length > 8")
+	ErrBadOption  = errors.New("coap: malformed option")
+)
+
+// NewRequest builds a request with the given method and Uri-Path segments.
+func NewRequest(t Type, method Code, messageID uint16, path ...string) Message {
+	m := Message{Type: t, Code: method, MessageID: messageID}
+	for _, seg := range path {
+		m.Options = append(m.Options, Option{Number: OptionUriPath, Value: []byte(seg)})
+	}
+	return m
+}
+
+// Path returns the Uri-Path of the message joined with '/'.
+func (m Message) Path() string {
+	var segs []string
+	for _, o := range m.Options {
+		if o.Number == OptionUriPath {
+			segs = append(segs, string(o.Value))
+		}
+	}
+	return strings.Join(segs, "/")
+}
+
+// Response builds a reply to the message carrying the same token (piggybacked
+// ACK for confirmable requests, NON otherwise).
+func (m Message) Response(code Code, payload []byte) Message {
+	t := NonConfirmable
+	if m.Type == Confirmable {
+		t = Acknowledgement
+	}
+	return Message{
+		Type:      t,
+		Code:      code,
+		MessageID: m.MessageID,
+		Token:     append([]byte(nil), m.Token...),
+		Payload:   payload,
+	}
+}
+
+// Encode serialises the message to the RFC 7252 wire format.
+func (m Message) Encode() ([]byte, error) {
+	if len(m.Token) > 8 {
+		return nil, ErrBadToken
+	}
+	buf := make([]byte, 0, 8+len(m.Token)+len(m.Payload)+4*len(m.Options))
+	buf = append(buf, byte(Version<<6)|byte(m.Type)<<4|byte(len(m.Token)))
+	buf = append(buf, byte(m.Code))
+	buf = binary.BigEndian.AppendUint16(buf, m.MessageID)
+	buf = append(buf, m.Token...)
+
+	opts := make([]Option, len(m.Options))
+	copy(opts, m.Options)
+	sort.SliceStable(opts, func(i, j int) bool { return opts[i].Number < opts[j].Number })
+	prev := uint16(0)
+	for _, o := range opts {
+		delta := o.Number - prev
+		prev = o.Number
+		var err error
+		buf, err = appendOptionHeader(buf, delta, len(o.Value))
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, o.Value...)
+	}
+	if len(m.Payload) > 0 {
+		buf = append(buf, 0xFF)
+		buf = append(buf, m.Payload...)
+	}
+	return buf, nil
+}
+
+// appendOptionHeader writes the option delta/length nibbles with the
+// extended encodings of RFC 7252 §3.1.
+func appendOptionHeader(buf []byte, delta uint16, length int) ([]byte, error) {
+	if length > 0xFFFF {
+		return nil, ErrBadOption
+	}
+	dn, dext := nibble(uint32(delta))
+	ln, lext := nibble(uint32(length))
+	buf = append(buf, dn<<4|ln)
+	buf = append(buf, dext...)
+	buf = append(buf, lext...)
+	return buf, nil
+}
+
+// nibble returns the 4-bit field and extension bytes for a delta or length.
+func nibble(v uint32) (byte, []byte) {
+	switch {
+	case v < 13:
+		return byte(v), nil
+	case v < 269:
+		return 13, []byte{byte(v - 13)}
+	default:
+		ext := make([]byte, 2)
+		binary.BigEndian.PutUint16(ext, uint16(v-269))
+		return 14, ext
+	}
+}
+
+// Decode parses a wire-format message.
+func Decode(data []byte) (Message, error) {
+	if len(data) < 4 {
+		return Message{}, ErrTruncated
+	}
+	if data[0]>>6 != Version {
+		return Message{}, ErrBadVersion
+	}
+	var m Message
+	m.Type = Type((data[0] >> 4) & 0x3)
+	tkl := int(data[0] & 0x0F)
+	if tkl > 8 {
+		return Message{}, ErrBadToken
+	}
+	m.Code = Code(data[1])
+	m.MessageID = binary.BigEndian.Uint16(data[2:4])
+	rest := data[4:]
+	if len(rest) < tkl {
+		return Message{}, ErrTruncated
+	}
+	if tkl > 0 {
+		m.Token = append([]byte(nil), rest[:tkl]...)
+	}
+	rest = rest[tkl:]
+
+	prev := uint16(0)
+	for len(rest) > 0 {
+		if rest[0] == 0xFF {
+			if len(rest) == 1 {
+				return Message{}, ErrTruncated // payload marker with no payload
+			}
+			m.Payload = append([]byte(nil), rest[1:]...)
+			return m, nil
+		}
+		dn := rest[0] >> 4
+		ln := rest[0] & 0x0F
+		rest = rest[1:]
+		delta, r, err := readExtended(dn, rest)
+		if err != nil {
+			return Message{}, err
+		}
+		rest = r
+		length, r, err := readExtended(ln, rest)
+		if err != nil {
+			return Message{}, err
+		}
+		rest = r
+		if len(rest) < int(length) {
+			return Message{}, ErrTruncated
+		}
+		prev += uint16(delta)
+		m.Options = append(m.Options, Option{Number: prev, Value: append([]byte(nil), rest[:length]...)})
+		rest = rest[length:]
+	}
+	return m, nil
+}
+
+// readExtended resolves a 4-bit delta/length nibble plus extension bytes.
+func readExtended(n byte, rest []byte) (uint32, []byte, error) {
+	switch n {
+	case 15:
+		return 0, nil, ErrBadOption // reserved for payload marker
+	case 14:
+		if len(rest) < 2 {
+			return 0, nil, ErrTruncated
+		}
+		return uint32(binary.BigEndian.Uint16(rest[:2])) + 269, rest[2:], nil
+	case 13:
+		if len(rest) < 1 {
+			return 0, nil, ErrTruncated
+		}
+		return uint32(rest[0]) + 13, rest[1:], nil
+	default:
+		return uint32(n), rest, nil
+	}
+}

@@ -1,0 +1,238 @@
+package coap
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeClassification(t *testing.T) {
+	if !POST.IsRequest() || !PUT.IsRequest() || !GET.IsRequest() {
+		t.Error("methods must be requests")
+	}
+	if Changed.IsRequest() || CodeEmpty.IsRequest() {
+		t.Error("responses/empty must not be requests")
+	}
+	if Changed.Class() != 2 || Changed.Detail() != 4 {
+		t.Errorf("Changed = %d.%02d, want 2.04", Changed.Class(), Changed.Detail())
+	}
+	if BadRequest.Class() != 4 || ServerError.Class() != 5 {
+		t.Error("error classes wrong")
+	}
+	for _, c := range []Code{GET, POST, PUT, DELETE, Changed, CodeEmpty} {
+		if c.String() == "" {
+			t.Errorf("Code(%d).String empty", c)
+		}
+	}
+	for _, ty := range []Type{Confirmable, NonConfirmable, Acknowledgement, Reset, Type(7)} {
+		if ty.String() == "" {
+			t.Errorf("Type(%d).String empty", ty)
+		}
+	}
+}
+
+func TestRequestPath(t *testing.T) {
+	m := NewRequest(Confirmable, POST, 42, "intf")
+	if m.Path() != "intf" {
+		t.Errorf("Path = %q, want intf", m.Path())
+	}
+	multi := NewRequest(NonConfirmable, PUT, 1, "harp", "part")
+	if multi.Path() != "harp/part" {
+		t.Errorf("Path = %q", multi.Path())
+	}
+	if (Message{}).Path() != "" {
+		t.Error("empty message path should be empty")
+	}
+}
+
+func TestResponseMirrorsExchange(t *testing.T) {
+	req := NewRequest(Confirmable, POST, 7, "intf")
+	req.Token = []byte{0xAB, 0xCD}
+	resp := req.Response(Changed, []byte("ok"))
+	if resp.Type != Acknowledgement {
+		t.Errorf("CON response type = %v, want ACK", resp.Type)
+	}
+	if resp.MessageID != 7 || !bytes.Equal(resp.Token, req.Token) {
+		t.Error("response must echo message ID and token")
+	}
+	non := NewRequest(NonConfirmable, PUT, 8, "part").Response(Changed, nil)
+	if non.Type != NonConfirmable {
+		t.Errorf("NON response type = %v, want NON", non.Type)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := NewRequest(Confirmable, POST, 0x1234, "intf")
+	m.Token = []byte{1, 2, 3}
+	m.Options = append(m.Options, Option{Number: OptionContentFormat, Value: []byte{42}})
+	m.Payload = []byte("hello harp")
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != m.Type || back.Code != m.Code || back.MessageID != m.MessageID {
+		t.Errorf("header mismatch: %+v vs %+v", back, m)
+	}
+	if !bytes.Equal(back.Token, m.Token) || !bytes.Equal(back.Payload, m.Payload) {
+		t.Error("token/payload mismatch")
+	}
+	if back.Path() != "intf" {
+		t.Errorf("path = %q", back.Path())
+	}
+	if len(back.Options) != 2 {
+		t.Fatalf("options = %d, want 2", len(back.Options))
+	}
+}
+
+func TestEncodeHeaderLayout(t *testing.T) {
+	m := Message{Type: Confirmable, Code: GET, MessageID: 0xBEEF}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire[0] != 0x40 { // version 1, CON, TKL 0
+		t.Errorf("first byte = %#x, want 0x40", wire[0])
+	}
+	if wire[1] != byte(GET) || wire[2] != 0xBE || wire[3] != 0xEF {
+		t.Errorf("header = % x", wire[:4])
+	}
+	if len(wire) != 4 {
+		t.Errorf("empty GET length = %d, want 4", len(wire))
+	}
+}
+
+func TestEncodeLongOptionsExtendedNibbles(t *testing.T) {
+	// Length 13..268 uses the 1-byte extension; > 268 the 2-byte one.
+	long := bytes.Repeat([]byte{'x'}, 300)
+	m := Message{Type: NonConfirmable, Code: PUT, MessageID: 9,
+		Options: []Option{{Number: OptionUriPath, Value: long}}}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Options[0].Value, long) {
+		t.Error("long option corrupted")
+	}
+	// Large option number uses the delta extension.
+	m2 := Message{Type: NonConfirmable, Code: PUT, MessageID: 9,
+		Options: []Option{{Number: 2000, Value: []byte("v")}}}
+	wire2, err := m2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Decode(wire2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.Options[0].Number != 2000 {
+		t.Errorf("option number = %d, want 2000", back2.Options[0].Number)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	m := Message{Token: bytes.Repeat([]byte{1}, 9)}
+	if _, err := m.Encode(); !errors.Is(err, ErrBadToken) {
+		t.Errorf("want ErrBadToken, got %v", err)
+	}
+	big := Message{Options: []Option{{Number: 1, Value: make([]byte, 0x10000)}}}
+	if _, err := big.Encode(); !errors.Is(err, ErrBadOption) {
+		t.Errorf("want ErrBadOption, got %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		err  error
+	}{
+		{"short", []byte{0x40, 0x01}, ErrTruncated},
+		{"version", []byte{0x80, 0x01, 0, 0}, ErrBadVersion},
+		{"token-length", []byte{0x49, 0x01, 0, 0}, ErrBadToken},
+		{"token-truncated", []byte{0x42, 0x01, 0, 0, 0xAA}, ErrTruncated},
+		{"marker-no-payload", []byte{0x40, 0x01, 0, 0, 0xFF}, ErrTruncated},
+		{"option-truncated", []byte{0x40, 0x01, 0, 0, 0x11}, ErrTruncated},
+		{"option-reserved", []byte{0x40, 0x01, 0, 0, 0xF1, 0x00}, ErrBadOption},
+		{"delta-ext-truncated", []byte{0x40, 0x01, 0, 0, 0xD1}, ErrTruncated},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Decode(c.data); !errors.Is(err, c.err) {
+				t.Errorf("Decode(% x) err = %v, want %v", c.data, err, c.err)
+			}
+		})
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Message{
+			Type:      Type(rng.Intn(4)),
+			Code:      Code(rng.Intn(200)),
+			MessageID: uint16(rng.Intn(1 << 16)),
+		}
+		if n := rng.Intn(9); n > 0 {
+			m.Token = make([]byte, n)
+			rng.Read(m.Token)
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			v := make([]byte, rng.Intn(20))
+			rng.Read(v)
+			m.Options = append(m.Options, Option{Number: uint16(1 + rng.Intn(500)), Value: v})
+		}
+		if rng.Intn(2) == 1 {
+			m.Payload = make([]byte, 1+rng.Intn(64))
+			rng.Read(m.Payload)
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		back, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		if back.Type != m.Type || back.Code != m.Code || back.MessageID != m.MessageID {
+			return false
+		}
+		if !bytes.Equal(back.Token, m.Token) || !bytes.Equal(back.Payload, m.Payload) {
+			return false
+		}
+		if len(back.Options) != len(m.Options) {
+			return false
+		}
+		// Options are re-ordered by number on encode; compare as multisets
+		// keyed by number.
+		want := map[uint16][]string{}
+		for _, o := range m.Options {
+			want[o.Number] = append(want[o.Number], string(o.Value))
+		}
+		got := map[uint16][]string{}
+		for _, o := range back.Options {
+			got[o.Number] = append(got[o.Number], string(o.Value))
+		}
+		if len(want) != len(got) {
+			return false
+		}
+		for num, vs := range want {
+			if len(got[num]) != len(vs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+)
+
+// ErrInfeasible is returned when the data sub-frame cannot hold the
+// network's resource requirements (too few slots or channels).
+var ErrInfeasible = errors.New("core: resource requirements exceed the data sub-frame")
+
+// DirLayer indexes a gateway super-partition slice: one direction at one
+// layer.
+type DirLayer struct {
+	Direction topology.Direction
+	Layer     int
+}
+
+// RootAllocation is the gateway's placement of its interface components
+// into the slotframe's data sub-frame.
+type RootAllocation struct {
+	// Partitions holds the placed region per direction and layer.
+	Partitions map[DirLayer]schedule.Region
+	// Overflow lists the (direction, layer) components that did not fit —
+	// empty in feasible networks, non-empty in the under-provisioned
+	// regimes of Fig. 11(b) where HARP degrades gracefully.
+	Overflow []DirLayer
+}
+
+// AllocateRoot places the gateway's uplink and downlink interfaces into the
+// data sub-frame following the routing-path-compliant order of §IV-C: the
+// slotframe splits into an uplink super-partition (left) and a downlink
+// super-partition (right); within the uplink portion deeper layers come
+// first (packets climb the tree), within the downlink portion shallower
+// layers come first (packets descend). Components are placed back to back
+// in time, each anchored at channel 0.
+//
+// In strict mode (bestEffort=false) any component that does not fit yields
+// ErrInfeasible. In best-effort mode the component is recorded in Overflow
+// and the remaining components are still placed, modelling HARP's behaviour
+// when channels are scarce.
+//
+// gap inserts idle slots after every placed layer partition — engineering
+// slack that lets dynamic adjustments widen a layer without shifting its
+// successors (and therefore without messaging their subtrees).
+func AllocateRoot(up, down Interface, frame schedule.Slotframe, bestEffort bool, gap int) (RootAllocation, error) {
+	if err := frame.Validate(); err != nil {
+		return RootAllocation{}, err
+	}
+	if gap < 0 {
+		return RootAllocation{}, fmt.Errorf("core: negative root gap %d", gap)
+	}
+	alloc := RootAllocation{Partitions: make(map[DirLayer]schedule.Region)}
+	cursor := 0
+
+	place := func(dir topology.Direction, layer int, comp Component) error {
+		if comp.Empty() {
+			return nil
+		}
+		key := DirLayer{Direction: dir, Layer: layer}
+		if comp.Channels > frame.Channels || cursor+comp.Slots > frame.DataSlots {
+			if bestEffort {
+				alloc.Overflow = append(alloc.Overflow, key)
+				return nil
+			}
+			return fmt.Errorf("%w: %s layer %d needs %v at slot %d (data sub-frame %dx%d)",
+				ErrInfeasible, dir, layer, comp, cursor, frame.DataSlots, frame.Channels)
+		}
+		alloc.Partitions[key] = comp.Region(cursor, 0)
+		cursor += comp.Slots + gap
+		return nil
+	}
+
+	// Uplink super-partition: deepest layer first.
+	for layer := up.LastLayer(); layer >= up.FirstLayer; layer-- {
+		comp, _ := up.Component(layer)
+		if err := place(topology.Uplink, layer, comp); err != nil {
+			return RootAllocation{}, err
+		}
+	}
+	// Downlink super-partition: shallowest layer first.
+	for layer := down.FirstLayer; layer <= down.LastLayer(); layer++ {
+		comp, _ := down.Component(layer)
+		if err := place(topology.Downlink, layer, comp); err != nil {
+			return RootAllocation{}, err
+		}
+	}
+	return alloc, nil
+}
+
+// SplitPartition derives the child partitions inside a parent partition from
+// the composition layout stored when the parent composed the corresponding
+// component (§IV-C): each child's component keeps its relative offset, now
+// translated by the parent partition's origin.
+func SplitPartition(parent schedule.Region, layout Layout, comps map[topology.NodeID]Component) (map[topology.NodeID]schedule.Region, error) {
+	out := make(map[topology.NodeID]schedule.Region, len(layout))
+	for _, child := range sortedLayoutNodes(layout) {
+		off := layout[child]
+		comp, ok := comps[child]
+		if !ok {
+			return nil, fmt.Errorf("core: layout references child %d with no component", child)
+		}
+		region := comp.Region(parent.Slot+off.Slot, parent.Channel+off.Channel)
+		if !parent.ContainsRegion(region) {
+			return nil, fmt.Errorf("core: child %d partition %v escapes parent %v", child, region, parent)
+		}
+		out[child] = region
+	}
+	return out, nil
+}
+
+// LinkDemand is one child link's cell requirement at a node, with the rate
+// of its highest-rate flow for Rate-Monotonic ordering.
+type LinkDemand struct {
+	Link    topology.Link
+	Cells   int
+	TopRate float64 // packets/slotframe of the fastest task on the link
+}
+
+// AssignCells performs the distributed schedule generation of §IV-D: the
+// node owning partition p (its own-layer partition, shape [n^s, 1]) assigns
+// concrete cells to each child link. Links are served in Rate-Monotonic
+// order — highest rate (shortest period) first, ties broken by child ID —
+// and each link receives a consecutive run of cells, preserving the
+// compliant-schedule ordering within the partition.
+func AssignCells(p schedule.Region, demands []LinkDemand) (map[topology.Link][]schedule.Cell, error) {
+	total := 0
+	for _, d := range demands {
+		if d.Cells < 0 {
+			return nil, fmt.Errorf("core: negative demand %d on %v", d.Cells, d.Link)
+		}
+		total += d.Cells
+	}
+	if total > p.CellCount() {
+		return nil, fmt.Errorf("%w: need %d cells, partition %v has %d",
+			ErrInfeasible, total, p, p.CellCount())
+	}
+	order := make([]LinkDemand, len(demands))
+	copy(order, demands)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].TopRate != order[j].TopRate {
+			return order[i].TopRate > order[j].TopRate
+		}
+		return order[i].Link.Child < order[j].Link.Child
+	})
+	cells := p.Cells() // slot-major: fills the time dimension first
+	out := make(map[topology.Link][]schedule.Cell, len(order))
+	next := 0
+	for _, d := range order {
+		if d.Cells == 0 {
+			continue
+		}
+		out[d.Link] = append([]schedule.Cell(nil), cells[next:next+d.Cells]...)
+		next += d.Cells
+	}
+	return out, nil
+}

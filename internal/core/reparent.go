@@ -1,0 +1,273 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+)
+
+// ErrReparentFailed indicates a topology change could not be absorbed by
+// partition adjustment; the plan is left partially migrated and should be
+// rebuilt from scratch (which is what a real deployment does when
+// incremental reconfiguration fails: the subtree re-bootstraps).
+var ErrReparentFailed = errors.New("core: topology change not absorbable; rebuild the plan")
+
+// TopologyAdjustment reports the cost of absorbing one parent switch.
+type TopologyAdjustment struct {
+	// ReleaseMessages counts the leave notification to the old parent plus
+	// the schedule updates its release triggers.
+	ReleaseMessages int
+	// InsertReports are the per-layer adjustments that re-homed the moved
+	// subtree's components under the new parent.
+	InsertReports []*Adjustment
+	// DemandReports are the adjustments from demand shifts on the old and
+	// new forwarding paths.
+	DemandReports []*Adjustment
+}
+
+// TotalMessages sums the HARP protocol messages of the whole migration.
+func (t *TopologyAdjustment) TotalMessages() int {
+	total := t.ReleaseMessages
+	for _, r := range t.InsertReports {
+		total += r.TotalMessages() + 1 // +1: the insertion request itself
+	}
+	for _, r := range t.DemandReports {
+		total += r.TotalMessages()
+	}
+	return total
+}
+
+// Reparent absorbs a topology change (§V: "network dynamics ... e.g.,
+// topology changes"): node — with its entire subtree — moves under
+// newParent, as happens when RPL selects a more reliable parent. newCells
+// and newRates are the link demands of the *post-change* routing (computed
+// by the caller from the task set over the new tree, e.g. via
+// traffic.Compute).
+//
+// The migration reuses HARP's partition machinery end to end:
+//
+//  1. the old parent releases the subtree's components — a pure release,
+//     so no partitions outside the old branch move (§V);
+//  2. the subtree's interfaces are regenerated for its new depth;
+//  3. each layer's component is inserted under the new parent through the
+//     ordinary adjustment path (feasibility test, Alg. 2, escalation),
+//     which re-grants partitions down the moved subtree;
+//  4. demand changes on the old and new forwarding paths are applied as
+//     ordinary traffic adjustments.
+//
+// On ErrReparentFailed the tree has been re-rooted but partitions are
+// partially migrated; rebuild with NewPlanFromLinkDemand.
+func (p *Plan) Reparent(node, newParent topology.NodeID, newCells map[topology.Link]int, newRates map[topology.Link]float64) (*TopologyAdjustment, error) {
+	if node == topology.GatewayID {
+		return nil, topology.ErrGateway
+	}
+	oldParent, err := p.Tree.Parent(node)
+	if err != nil {
+		return nil, err
+	}
+	if oldParent == newParent {
+		return nil, fmt.Errorf("core: node %d already under %d", node, newParent)
+	}
+	subtree, err := p.Tree.Subtree(node)
+	if err != nil {
+		return nil, err
+	}
+	inSubtree := make(map[topology.NodeID]bool, len(subtree))
+	for _, id := range subtree {
+		inSubtree[id] = true
+	}
+	// Structural move first — topology.Reparent validates the cycle-freedom
+	// and recomputes depths.
+	if err := p.Tree.Reparent(node, newParent); err != nil {
+		return nil, err
+	}
+	report := &TopologyAdjustment{}
+
+	// While re-attaching, the moved node's own link carries no granted
+	// cells; its demand re-appears in step 5 once the new parent ensures
+	// capacity. Leaving the old value in place would poison intermediate
+	// reschedules at the new parent (whose partition has not grown yet).
+	savedDemand := make(map[topology.Direction]int, 2)
+	savedRate := make(map[topology.Direction]float64, 2)
+	for _, dir := range topology.Directions() {
+		l := topology.Link{Child: node, Direction: dir}
+		savedDemand[dir] = p.demand[l]
+		savedRate[dir] = p.topRate[l]
+		p.demand[l] = 0
+	}
+
+	// 1. Release at the old parent: drop the moved child's components from
+	// every layer; the freed cells stay idle inside the old branch's
+	// partitions. One leave notification plus the old parent's schedule
+	// shrink.
+	for _, dir := range topology.Directions() {
+		st := p.nodes[oldParent].dir(dir)
+		// Strip the moved child from every layer the old parent tracks —
+		// not just the subtree's current layer span: earlier topology
+		// changes may have left entries at layers the subtree no longer
+		// reaches.
+		for layer := range st.childComps {
+			delete(st.childComps[layer], node)
+		}
+		for layer := range st.layouts {
+			delete(st.layouts[layer], node)
+		}
+		rel := &Adjustment{Case: CaseRelease}
+		if err := p.rescheduleOwn(oldParent, dir, rel); err != nil {
+			return nil, err
+		}
+		report.ReleaseMessages += rel.ScheduleMessages
+	}
+	report.ReleaseMessages++ // the leave notification itself
+
+	// 2. Reset the moved subtree's resource state and regenerate its
+	// interfaces at the new depth (bottom-up, like the static phase).
+	for _, dir := range topology.Directions() {
+		for _, id := range subtree {
+			st := p.nodes[id].dir(dir)
+			st.layouts = make(map[int]Layout)
+			st.childComps = make(map[int]map[topology.NodeID]Component)
+			st.parts = make(map[int]schedule.Region)
+			st.assignment = make(map[topology.Link][]schedule.Cell)
+		}
+	}
+
+	// 3. Apply the post-change demands for links internal to the subtree
+	// directly: their partitions are re-granted by the insertion below.
+	for l, c := range newCells {
+		if inSubtree[l.Child] && l.Child != node {
+			p.demand[l] = c
+			p.topRate[l] = newRates[l]
+		}
+	}
+
+	// Regenerate subtree interfaces bottom-up.
+	for _, id := range p.subtreeByDepthDesc(subtree) {
+		if p.Tree.IsLeaf(id) {
+			continue
+		}
+		for _, dir := range topology.Directions() {
+			if err := p.buildNodeInterface(id, dir); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 4. Insert the subtree's per-layer components under the new parent via
+	// the ordinary adjustment machinery; this re-grants partitions down the
+	// whole moved subtree.
+	for _, dir := range topology.Directions() {
+		iface := p.nodes[node].dir(dir).iface
+		for layer := iface.FirstLayer; layer <= iface.LastLayer(); layer++ {
+			comp, ok := iface.Component(layer)
+			if !ok || comp.Empty() {
+				continue
+			}
+			adj := &Adjustment{}
+			hosted, err := p.escalate(node, dir, layer, comp, adj)
+			if err != nil {
+				return report, err
+			}
+			if !hosted {
+				return report, fmt.Errorf("%w: %s layer %d of node %d", ErrReparentFailed, dir, layer, node)
+			}
+			adj.Case = CasePartitionUpdate
+			report.InsertReports = append(report.InsertReports, adj)
+		}
+	}
+
+	// 5. The new parent's own layer now carries the moved node's link —
+	// even at unchanged demand, capacity must be ensured there.
+	for _, dir := range topology.Directions() {
+		l := topology.Link{Child: node, Direction: dir}
+		p.demand[l] = savedDemand[dir]
+		p.topRate[l] = savedRate[dir]
+		if c, ok := newCells[l]; ok {
+			p.demand[l] = c
+			p.topRate[l] = newRates[l]
+		}
+		adj := &Adjustment{}
+		hosted, err := p.ensureOwnCapacity(newParent, dir, adj)
+		if err != nil {
+			return report, err
+		}
+		if !hosted {
+			return report, fmt.Errorf("%w: own link of node %d (%s)", ErrReparentFailed, node, dir)
+		}
+		report.InsertReports = append(report.InsertReports, adj)
+	}
+
+	// 6. Remaining demand shifts (the new forwarding path's increases, the
+	// old path's releases) go through the ordinary traffic-change path, in
+	// release-first order so freed cells are available to the increases.
+	var increases []topology.Link
+	for _, l := range sortedLinks(newCells) {
+		if inSubtree[l.Child] {
+			continue // subtree internals in step 3, the node's link in step 5
+		}
+		c := newCells[l]
+		if c == p.demand[l] {
+			continue
+		}
+		if c < p.demand[l] {
+			adj, err := p.SetLinkDemand(l, c, newRates[l])
+			if err != nil {
+				return report, err
+			}
+			report.DemandReports = append(report.DemandReports, adj)
+			continue
+		}
+		increases = append(increases, l)
+	}
+	for _, l := range increases {
+		adj, err := p.SetLinkDemand(l, newCells[l], newRates[l])
+		if err != nil {
+			return report, err
+		}
+		if adj.Case == CaseRejected {
+			return report, fmt.Errorf("%w: demand of %v", ErrReparentFailed, l)
+		}
+		report.DemandReports = append(report.DemandReports, adj)
+	}
+	return report, nil
+}
+
+// subtreeByDepthDesc orders subtree node IDs deepest-first under the
+// current tree.
+func (p *Plan) subtreeByDepthDesc(ids []topology.NodeID) []topology.NodeID {
+	out := make([]topology.NodeID, len(ids))
+	copy(out, ids)
+	depth := func(id topology.NodeID) int {
+		d, _ := p.Tree.Depth(id)
+		return d
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (depth(out[j]) > depth(out[j-1]) ||
+			(depth(out[j]) == depth(out[j-1]) && out[j] < out[j-1])); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortedLinks(m map[topology.Link]int) []topology.Link {
+	out := make([]topology.Link, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && linkLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func linkLess(a, b topology.Link) bool {
+	if a.Direction != b.Direction {
+		return a.Direction < b.Direction
+	}
+	return a.Child < b.Child
+}

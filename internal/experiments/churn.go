@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"errors"
+
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/rpl"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+// ChurnConfig parameterises the topology-dynamics study: RPL-lite forms a
+// tree over a random geometric link-quality graph; links are then degraded
+// one at a time (interference events), each reconvergence produces parent
+// switches, and HARP absorbs every switch through incremental partition
+// migration. This extends the paper's evaluation to the *topology* half of
+// its §V dynamics ("topology changes and traffic changes"); the paper
+// validates traffic changes only.
+type ChurnConfig struct {
+	// Nodes in the network.
+	Nodes int
+	// Radius of the geometric graph (unit square).
+	Radius float64
+	// Events is the number of link-degradation events.
+	Events int
+	// DegradeFactor multiplies a victim link's ETX per event.
+	DegradeFactor float64
+	Seed          int64
+}
+
+// DefaultChurn returns a 50-node configuration.
+func DefaultChurn() ChurnConfig {
+	return ChurnConfig{Nodes: 50, Radius: 0.3, Events: 20, DegradeFactor: 6, Seed: 8}
+}
+
+// ChurnResult summarises the study.
+type ChurnResult struct {
+	// Switches is the number of parent switches RPL produced.
+	Switches int
+	// Migrated counts switches HARP absorbed incrementally.
+	Migrated int
+	// Rebuilt counts switches that needed a full plan rebuild.
+	Rebuilt int
+	// MigrationMessages are the per-switch HARP message costs.
+	MigrationMessages []float64
+	// StaticMessages is the cost of one full (re)build of the static
+	// phase — the alternative to incremental migration.
+	StaticMessages int
+	Table          *stats.Table
+}
+
+// Churn runs the topology-dynamics study.
+func Churn(cfg ChurnConfig) (ChurnResult, error) {
+	rng := rngFor(cfg.Seed, 0)
+	graph, err := rpl.RandomGeometric(cfg.Nodes, cfg.Radius, rng)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	tree, err := graph.FormTree()
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	frame := PaperSlotframe(16)
+	frame.Slots, frame.DataSlots = 800, 800
+
+	buildDemand := func() (map[topology.Link]int, map[topology.Link]float64, error) {
+		tasks, err := traffic.UniformEcho(tree, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := traffic.Compute(tree, tasks)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells := make(map[topology.Link]int)
+		rates := make(map[topology.Link]float64)
+		for _, l := range d.Links() {
+			cells[l] = d.Cells(l)
+			rates[l] = 1
+		}
+		return cells, rates, nil
+	}
+	cells, rates, err := buildDemand()
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	plan, err := core.NewPlanFromLinkDemand(tree, frame, cells, rates, core.Options{RootGap: 2})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	res := ChurnResult{StaticMessages: plan.Static.Total()}
+
+	for ev := 0; ev < cfg.Events; ev++ {
+		// Degrade the tree link of a random non-gateway node.
+		nodes := tree.Nodes()
+		victim := nodes[1+rng.Intn(len(nodes)-1)]
+		parent, err := tree.Parent(victim)
+		if err != nil {
+			return ChurnResult{}, err
+		}
+		if err := graph.Degrade(victim, parent, cfg.DegradeFactor); err != nil {
+			continue // the graph link may already be gone
+		}
+		// RPL reconverges on a clone; HARP migrates switch by switch on the
+		// live tree.
+		shadow := tree.Clone()
+		switches, err := graph.Reconverge(shadow)
+		if err != nil {
+			return ChurnResult{}, err
+		}
+		for _, sw := range switches {
+			res.Switches++
+			// New demand after this switch.
+			clone := tree.Clone()
+			if err := clone.Reparent(sw.Node, sw.To); err != nil {
+				continue // superseded by an earlier migration this event
+			}
+			tasks, err := traffic.UniformEcho(clone, 1)
+			if err != nil {
+				return ChurnResult{}, err
+			}
+			d, err := traffic.Compute(clone, tasks)
+			if err != nil {
+				return ChurnResult{}, err
+			}
+			newCells := make(map[topology.Link]int)
+			newRates := make(map[topology.Link]float64)
+			for _, l := range d.Links() {
+				newCells[l] = d.Cells(l)
+				newRates[l] = 1
+			}
+			rep, err := plan.Reparent(sw.Node, sw.To, newCells, newRates)
+			if err != nil {
+				if !errors.Is(err, core.ErrReparentFailed) {
+					return ChurnResult{}, err
+				}
+				// Incremental migration infeasible (fragmentation): rebuild,
+				// as a deployment would re-bootstrap the subtree.
+				res.Rebuilt++
+				plan, err = core.NewPlanFromLinkDemand(tree, frame, newCells, newRates, core.Options{RootGap: 2})
+				if err != nil {
+					return ChurnResult{}, err
+				}
+				continue
+			}
+			res.Migrated++
+			res.MigrationMessages = append(res.MigrationMessages, float64(rep.TotalMessages()))
+			if err := plan.Validate(); err != nil {
+				return ChurnResult{}, err
+			}
+		}
+	}
+
+	sum := stats.Summarize(res.MigrationMessages)
+	table := stats.NewTable("Topology churn — HARP incremental migration vs full rebuild",
+		"quantity", "value")
+	table.AddRow("parent switches", res.Switches)
+	table.AddRow("migrated incrementally", res.Migrated)
+	table.AddRow("full rebuilds", res.Rebuilt)
+	table.AddRow("mean migration messages", sum.Mean)
+	table.AddRow("p95 migration messages", sum.P95)
+	table.AddRow("static (re)build messages", res.StaticMessages)
+	res.Table = table
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/sim"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+// Fig10Config parameterises the dynamic-adjustment validation (§VI-C): the
+// testbed network runs with one packet/slotframe everywhere; the observed
+// node's rate is raised twice — the first increase is absorbed by idle
+// cells in the local partition, the second forces a multi-hop partition
+// adjustment — and its end-to-end latency is traced over time.
+type Fig10Config struct {
+	// Node is the observed node (paper: Node 15).
+	Node topology.NodeID
+	// Rate steps: the paper uses 1 -> 1.5 -> 3 packets/slotframe.
+	Step1Rate, Step2Rate float64
+	// Step times in slotframes from the start.
+	Step1At, Step2At int
+	// TotalSlotframes is the run length.
+	TotalSlotframes int
+	PDR             float64
+	Seed            int64
+}
+
+// DefaultFig10 returns the paper's scenario.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{
+		Node:            15,
+		Step1Rate:       1.5,
+		Step2Rate:       3,
+		Step1At:         30,
+		Step2At:         60,
+		TotalSlotframes: 110,
+		PDR:             1,
+		Seed:            5,
+	}
+}
+
+// Fig10Event records how one rate step was absorbed.
+type Fig10Event struct {
+	AtSec      float64
+	Rate       float64
+	Case       string
+	Messages   int // HARP partition-protocol messages across affected links
+	SchedMsgs  int
+	DelaySec   float64 // reconfiguration completion delay applied in the sim
+	Slotframes int     // delay in whole slotframes
+}
+
+// Fig10Result carries the latency trace of the observed node's task.
+type Fig10Result struct {
+	// Points are (delivery time s, end-to-end latency s) per packet.
+	Points []stats.Point
+	Events []Fig10Event
+	Table  *stats.Table
+	// MaxLatencySec is the worst packet latency observed (the spike of the
+	// second adjustment).
+	MaxLatencySec float64
+}
+
+// Fig10 runs the dynamic traffic-change scenario.
+func Fig10(cfg Fig10Config) (Fig10Result, error) {
+	tree := topology.Testbed50()
+	frame := TestbedSlotframe()
+	if !tree.Has(cfg.Node) || cfg.Node == topology.GatewayID {
+		return Fig10Result{}, fmt.Errorf("experiments: invalid observed node %d", cfg.Node)
+	}
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	baseDemand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+
+	// Provisioning policy: the observed node's path links get one spare
+	// cell beyond their task demand — the "idle cells in the allocated
+	// partition" that let the first rate step resolve locally on the
+	// paper's testbed — and the gateway leaves two idle slots between its
+	// layer partitions so a widened layer does not displace its
+	// neighbours.
+	path, err := tree.PathToGateway(cfg.Node)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	slackLinks := make(map[topology.Link]bool)
+	for _, hop := range path[:len(path)-1] {
+		for _, d := range topology.Directions() {
+			slackLinks[topology.Link{Child: hop, Direction: d}] = true
+		}
+	}
+	inflated := make(map[topology.Link]int)
+	rates := make(map[topology.Link]float64)
+	for _, l := range baseDemand.Links() {
+		inflated[l] = baseDemand.Cells(l)
+		if slackLinks[l] {
+			inflated[l]++
+		}
+		rates[l] = 1
+	}
+	plan, err := core.NewPlanFromLinkDemand(tree, frame, inflated, rates, core.Options{RootGap: 2})
+	if err != nil {
+		return Fig10Result{}, err
+	}
+
+	simulator, err := sim.New(sim.Config{Tree: tree, Frame: frame, Tasks: tasks, PDR: cfg.PDR, Seed: cfg.Seed})
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	sched, err := plan.BuildSchedule()
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	simulator.SetSchedule(sched)
+
+	var events []Fig10Event
+	// applyStep raises the observed node's task rate at the given slot; the
+	// HARP adjustment runs on the plan and the reconfigured schedule is
+	// installed after the measured signalling delay.
+	applyStep := func(atSlotframe int, rate float64) {
+		slot := atSlotframe * frame.Slots
+		simulator.At(slot, func(s *sim.Simulator) {
+			_ = s.SetTaskRate(traffic.TaskID(cfg.Node), rate)
+			// Update the demand of every link on the task's path.
+			if err := tasks.SetRate(traffic.TaskID(cfg.Node), rate); err != nil {
+				return
+			}
+			newDemand, err := traffic.Compute(tree, tasks)
+			if err != nil {
+				return
+			}
+			totalMsgs, schedMsgs, maxClimb := 0, 0, 0
+			worst := core.CaseRelease
+			for _, l := range newDemand.Links() {
+				// The same policy on growth: the new requirement plus one
+				// spare cell (letting the backlog built during
+				// reconfiguration drain); never shrink — releases would
+				// not return partition space anyway (§V).
+				needed := newDemand.Cells(l)
+				if needed <= plan.Demand(l) {
+					continue // provisioned capacity already covers it
+				}
+				target := needed + 1
+				flows := newDemand.Flows(l)
+				top := 1.0
+				if len(flows) > 0 {
+					top = flows[0].Task.Rate
+				}
+				adj, err := plan.SetLinkDemand(l, target, top)
+				if err != nil || adj.Case == core.CaseRejected {
+					continue
+				}
+				totalMsgs += adj.TotalMessages()
+				schedMsgs += adj.ScheduleMessages
+				if adj.LayersClimbed > maxClimb {
+					maxClimb = adj.LayersClimbed
+				}
+				if adj.Case > worst {
+					worst = adj.Case
+				}
+			}
+			// Each protocol message waits on average half a slotframe for
+			// its management cell (§VI-A timing model). The request climbs
+			// serially; partition grants and schedule notices fan out in
+			// parallel down the tree, so the critical path is roughly the
+			// climb plus the downward cascade plus one schedule update.
+			delaySlots := int(math.Ceil(0.5 * float64(frame.Slots) * float64(2*maxClimb+2)))
+			if delaySlots < 1 {
+				delaySlots = 1
+			}
+			events = append(events, Fig10Event{
+				AtSec:      float64(slot) * frame.SlotDuration.Seconds(),
+				Rate:       rate,
+				Case:       worst.String(),
+				Messages:   totalMsgs,
+				SchedMsgs:  schedMsgs,
+				DelaySec:   float64(delaySlots) * frame.SlotDuration.Seconds(),
+				Slotframes: (delaySlots + frame.Slots - 1) / frame.Slots,
+			})
+			s.At(slot+delaySlots, func(s2 *sim.Simulator) {
+				if newSched, err := plan.BuildSchedule(); err == nil {
+					s2.SetSchedule(newSched)
+				}
+			})
+		})
+	}
+	applyStep(cfg.Step1At, cfg.Step1Rate)
+	applyStep(cfg.Step2At, cfg.Step2Rate)
+
+	if err := simulator.RunSlotframes(cfg.TotalSlotframes); err != nil {
+		return Fig10Result{}, err
+	}
+
+	slotSec := frame.SlotDuration.Seconds()
+	var res Fig10Result
+	for _, r := range simulator.Records() {
+		if r.Task != traffic.TaskID(cfg.Node) || !r.Delivered {
+			continue
+		}
+		lat := float64(r.Latency()) * slotSec
+		res.Points = append(res.Points, stats.Point{
+			X: float64(r.DeliveredAt) * slotSec,
+			Y: lat,
+		})
+		if lat > res.MaxLatencySec {
+			res.MaxLatencySec = lat
+		}
+	}
+	res.Events = events
+	table := stats.NewTable(
+		fmt.Sprintf("Fig. 10 — end-to-end latency of node %d under rate steps", cfg.Node),
+		"time(s)", "latency(s)")
+	for _, p := range res.Points {
+		table.AddRow(p.X, p.Y)
+	}
+	res.Table = table
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/harpnet/harp/internal/schedulers"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+// Fig11Config parameterises the collision-avoidance study (§VII-A).
+type Fig11Config struct {
+	// Topologies is the number of random 50-node, 5-layer topologies per
+	// data point (paper: 100).
+	Topologies int
+	// Nodes and Layers shape the random topologies.
+	Nodes  int
+	Layers int
+	// FanOut caps per-node children in the generated topologies.
+	FanOut int
+	// Rates is the data-rate sweep of Fig. 11(a) (packets/slotframe).
+	Rates []float64
+	// Channels is the channel sweep of Fig. 11(b).
+	Channels []int
+	// FixedRate is the data rate of the channel sweep (paper: 3).
+	FixedRate float64
+	// FixedChannels is the channel count of the rate sweep (paper: 16).
+	FixedChannels int
+	Seed          int64
+}
+
+// DefaultFig11a returns the paper's rate-sweep configuration.
+func DefaultFig11a() Fig11Config {
+	return Fig11Config{
+		Topologies:    100,
+		Nodes:         50,
+		Layers:        5,
+		FanOut:        2,
+		Rates:         []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		FixedChannels: 16,
+		Seed:          1,
+	}
+}
+
+// DefaultFig11b returns the paper's channel-sweep configuration.
+func DefaultFig11b() Fig11Config {
+	return Fig11Config{
+		Topologies: 100,
+		Nodes:      50,
+		Layers:     5,
+		FanOut:     3,
+		Channels:   []int{2, 4, 6, 8, 10, 12, 14, 16},
+		FixedRate:  3,
+		Seed:       2,
+	}
+}
+
+// Fig11Result holds one sub-figure's series: collision probability per
+// scheduler across the swept parameter.
+type Fig11Result struct {
+	Series []stats.Series
+	Table  *stats.Table
+	// TotalCells records the average total cell demand at each sweep point
+	// (the paper reports 150–700 across the rate sweep).
+	TotalCells []float64
+}
+
+// collisionPoint measures the mean collision probability of every scheduler
+// over cfg.Topologies random topologies at one (rate, channels) point.
+func collisionPoint(cfg Fig11Config, rate float64, channels int, stream int64) (map[string]float64, float64, error) {
+	frame := PaperSlotframe(channels)
+	sum := make(map[string]float64)
+	var cellSum float64
+	for i := 0; i < cfg.Topologies; i++ {
+		rng := rngFor(cfg.Seed, stream*10_000+int64(i))
+		tree, err := topology.Generate(topology.GenSpec{Nodes: cfg.Nodes, Layers: cfg.Layers, MaxChildren: cfg.FanOut}, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		demand, err := traffic.PerLink(tree, rate)
+		if err != nil {
+			return nil, 0, err
+		}
+		cellSum += float64(demand.TotalCells())
+		for _, sched := range schedulers.All() {
+			s, err := sched.Build(tree, frame, demand, rng)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s: %w", sched.Name(), err)
+			}
+			st, err := schedulers.AnalyzeCollisions(tree, s)
+			if err != nil {
+				return nil, 0, err
+			}
+			sum[sched.Name()] += st.Probability()
+		}
+	}
+	probs := make(map[string]float64, len(sum))
+	for name, total := range sum {
+		probs[name] = total / float64(cfg.Topologies)
+	}
+	return probs, cellSum / float64(cfg.Topologies), nil
+}
+
+// schedulerOrder is the presentation order of Fig. 11.
+var schedulerOrder = []string{"random", "msf", "ldsf", "harp"}
+
+// Fig11a runs the data-rate sweep (Fig. 11(a)).
+func Fig11a(cfg Fig11Config) (Fig11Result, error) {
+	series := make([]stats.Series, len(schedulerOrder))
+	for i, name := range schedulerOrder {
+		series[i].Name = name
+	}
+	var res Fig11Result
+	for pi, rate := range cfg.Rates {
+		probs, cells, err := collisionPoint(cfg, rate, cfg.FixedChannels, int64(pi))
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		for i, name := range schedulerOrder {
+			series[i].Add(rate, probs[name])
+		}
+		res.TotalCells = append(res.TotalCells, cells)
+	}
+	res.Series = series
+	res.Table = stats.SeriesTable(
+		"Fig. 11(a) — collision probability vs data rate (16 channels)",
+		"rate(pkt/sf)", series...)
+	return res, nil
+}
+
+// Fig11b runs the channel sweep (Fig. 11(b)).
+func Fig11b(cfg Fig11Config) (Fig11Result, error) {
+	series := make([]stats.Series, len(schedulerOrder))
+	for i, name := range schedulerOrder {
+		series[i].Name = name
+	}
+	var res Fig11Result
+	for pi, ch := range cfg.Channels {
+		probs, cells, err := collisionPoint(cfg, cfg.FixedRate, ch, 100+int64(pi))
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		for i, name := range schedulerOrder {
+			series[i].Add(float64(ch), probs[name])
+		}
+		res.TotalCells = append(res.TotalCells, cells)
+	}
+	res.Series = series
+	res.Table = stats.SeriesTable(
+		"Fig. 11(b) — collision probability vs number of channels (rate 3)",
+		"channels", series...)
+	return res, nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"github.com/harpnet/harp/internal/apas"
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+// Fig12Config parameterises the adjustment-overhead study (§VII-B):
+// 81-node, 10-layer networks; each node's rate is raised and the packets
+// needed to complete the schedule (APaS) or partition (HARP) adjustment
+// are counted.
+type Fig12Config struct {
+	// Topologies is the number of random 81-node topologies averaged per
+	// layer (the paper uses "a series").
+	Topologies int
+	Nodes      int
+	Layers     int
+	// BaseRate is the initial per-node task rate.
+	BaseRate float64
+	Seed     int64
+}
+
+// DefaultFig12 returns the paper's configuration.
+func DefaultFig12() Fig12Config {
+	return Fig12Config{Topologies: 10, Nodes: 81, Layers: 10, BaseRate: 1, Seed: 3}
+}
+
+// Fig12Result carries the per-layer mean adjustment overhead.
+type Fig12Result struct {
+	Series []stats.Series // "apas" and "harp"
+	Table  *stats.Table
+}
+
+// Fig12 measures dynamic adjustment overhead per requester layer for the
+// centralized APaS baseline and HARP. For every topology and every
+// non-gateway node, the node's uplink demand is raised by one cell and the
+// protocol packets to re-converge are counted: 3l-1 for APaS (request to
+// the root plus schedule updates back over multi-hop routes), versus the
+// measured HARP messages — the child's request, any escalation, and the
+// grant back — under the same provisioning policy as the testbed
+// experiments (one spare cell per link, released after allocation, so
+// partitions hold idle cells).
+func Fig12(cfg Fig12Config) (Fig12Result, error) {
+	// The slotframe must fit the convergecast demand of an 81-node,
+	// 10-layer network; the adjustment cost being measured is unaffected
+	// by the frame size as long as increases remain feasible.
+	frame := PaperSlotframe(16)
+	frame.Slots = 1200
+	frame.DataSlots = 1200
+
+	apasSums := make([]float64, cfg.Layers+1)
+	harpSums := make([]float64, cfg.Layers+1)
+	counts := make([]float64, cfg.Layers+1)
+
+	for ti := 0; ti < cfg.Topologies; ti++ {
+		rng := rngFor(cfg.Seed, int64(ti))
+		tree, err := topology.Generate(topology.GenSpec{Nodes: cfg.Nodes, Layers: cfg.Layers}, rng)
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		tasks, err := traffic.UniformEcho(tree, cfg.BaseRate)
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		demand, err := traffic.Compute(tree, tasks)
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		apasMgr, err := apas.New(tree, frame, demand)
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		// HARP state: provision one spare cell per link, then release it,
+		// leaving idle cells inside the partitions.
+		inflated := make(map[topology.Link]int)
+		rates := make(map[topology.Link]float64)
+		for _, l := range demand.Links() {
+			inflated[l] = demand.Cells(l) + 1
+			rates[l] = cfg.BaseRate
+		}
+		plan, err := core.NewPlanFromLinkDemand(tree, frame, inflated, rates, core.Options{})
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		for _, l := range demand.Links() {
+			if _, err := plan.SetLinkDemand(l, demand.Cells(l), cfg.BaseRate); err != nil {
+				return Fig12Result{}, err
+			}
+		}
+		for _, id := range tree.Nodes() {
+			if id == topology.GatewayID {
+				continue
+			}
+			depth, err := tree.Depth(id)
+			if err != nil {
+				return Fig12Result{}, err
+			}
+			l := topology.Link{Child: id, Direction: topology.Uplink}
+
+			// APaS: the formula-backed centralized manager.
+			rep, err := apasMgr.SetLinkDemand(l, apasMgr.Demand(l)+1, cfg.BaseRate+1)
+			if err != nil {
+				return Fig12Result{}, err
+			}
+			if !rep.Rejected {
+				apasSums[depth] += float64(rep.Messages)
+			}
+			// Revert so each measurement starts from the static state.
+			if _, err := apasMgr.SetLinkDemand(l, apasMgr.Demand(l)-1, cfg.BaseRate); err != nil {
+				return Fig12Result{}, err
+			}
+
+			// HARP: the child's request to its parent (1), escalation and
+			// partition grants if any, plus the grant back to the child.
+			adj, err := plan.SetLinkDemand(l, plan.Demand(l)+1, cfg.BaseRate+1)
+			if err != nil {
+				return Fig12Result{}, err
+			}
+			if adj.Case == core.CaseRejected {
+				continue
+			}
+			harpSums[depth] += float64(2 + adj.TotalMessages())
+			counts[depth]++
+			// Revert; the release is local and partitions keep their size.
+			if _, err := plan.SetLinkDemand(l, plan.Demand(l)-1, cfg.BaseRate); err != nil {
+				return Fig12Result{}, err
+			}
+		}
+	}
+
+	apasSeries := stats.Series{Name: "apas"}
+	harpSeries := stats.Series{Name: "harp"}
+	for layer := 1; layer <= cfg.Layers; layer++ {
+		if counts[layer] == 0 {
+			continue
+		}
+		apasSeries.Add(float64(layer), apasSums[layer]/counts[layer])
+		harpSeries.Add(float64(layer), harpSums[layer]/counts[layer])
+	}
+	table := stats.SeriesTable(
+		"Fig. 12 — dynamic adjustment overhead (packets) per requester layer",
+		"layer", apasSeries, harpSeries)
+	return Fig12Result{Series: []stats.Series{apasSeries, harpSeries}, Table: table}, nil
+}

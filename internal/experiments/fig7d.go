@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+// Fig7dResult carries the static partition allocation of the 50-node
+// testbed (§VI-A/B): the partition listing and an ASCII rendering of the
+// partitioned slotframe (Fig. 7(d)).
+type Fig7dResult struct {
+	Plan  *core.Plan
+	Table *stats.Table
+	// Map is the ASCII slotframe: one row per channel, one column per
+	// slot. Uplink partitions render as the layer digit, downlink as the
+	// letter ('a' = layer 1), management slots as '.', idle cells as ' '.
+	Map string
+	// Static is the message cost of the allocation phase.
+	Static core.StaticStats
+}
+
+// Fig7d computes the testbed's static partition allocation and renders it.
+func Fig7d() (Fig7dResult, error) {
+	tree := topology.Testbed50()
+	frame := TestbedSlotframe()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		return Fig7dResult{}, err
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		return Fig7dResult{}, err
+	}
+	plan, err := core.NewPlan(tree, frame, demand, core.Options{})
+	if err != nil {
+		return Fig7dResult{}, err
+	}
+
+	table := stats.NewTable(
+		"Fig. 7(d) — gateway-level partitions of the 50-node testbed slotframe",
+		"direction", "layer", "slots", "channels", "start-slot", "cells")
+	for _, info := range plan.Partitions() {
+		if info.Node != topology.GatewayID {
+			continue
+		}
+		table.AddRow(info.Direction.String(), info.Layer,
+			info.Region.Slots, info.Region.Channels, info.Region.Slot, info.Region.CellCount())
+	}
+
+	// ASCII map.
+	grid := make([][]byte, frame.Channels)
+	for ch := range grid {
+		grid[ch] = make([]byte, frame.Slots)
+		for s := range grid[ch] {
+			if s >= frame.DataSlots {
+				grid[ch][s] = '.'
+			} else {
+				grid[ch][s] = ' '
+			}
+		}
+	}
+	for _, info := range plan.Partitions() {
+		if info.Node != topology.GatewayID {
+			continue
+		}
+		var mark byte
+		if info.Direction == topology.Uplink {
+			mark = byte('0' + info.Layer%10)
+		} else {
+			mark = byte('a' + (info.Layer-1)%26)
+		}
+		r := info.Region
+		for s := r.Slot; s < r.Slot+r.Slots; s++ {
+			for ch := r.Channel; ch < r.Channel+r.Channels; ch++ {
+				grid[ch][s] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "slotframe %d slots x %d channels (data sub-frame %d slots; uplink layers as digits, downlink as letters, '.' = management)\n",
+		frame.Slots, frame.Channels, frame.DataSlots)
+	for ch := frame.Channels - 1; ch >= 0; ch-- {
+		fmt.Fprintf(&b, "ch%2d |%s|\n", ch, string(grid[ch]))
+	}
+	return Fig7dResult{Plan: plan, Table: table, Map: b.String(), Static: plan.Static}, nil
+}
+
+// TableIHandlers renders Table I (the CoAP handlers of the HARP protocol),
+// which in this repository is realised by internal/proto + internal/agent.
+func TableIHandlers() *stats.Table {
+	t := stats.NewTable("Table I — CoAP handlers for HARP messages",
+		"URI", "method", "param", "description")
+	t.AddRow("intf", "POST", "Resource interface", "Receive child's interface")
+	t.AddRow("intf", "PUT", "Updated interface", "Receive child's updated interface")
+	t.AddRow("part", "POST", "Partitions at all layers", "Receive allocated partitions")
+	t.AddRow("part", "PUT", "New partition at one layer", "Receive updated partition")
+	t.AddRow("sched", "POST", "Cells for one link", "Receive cell assignment (§IV-D)")
+	return t
+}

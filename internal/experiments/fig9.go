@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/sim"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+// Fig9Config parameterises the static-latency validation (§VI-B): the
+// 50-node testbed topology, one end-to-end echo task per node with a 2 s
+// period (one packet per 1.99 s slotframe), 30 minutes of operation. The
+// experiment runs twice — once on an ideal channel (the headline: latency
+// bounded by one slotframe) and once with the environmental loss the paper
+// observed (PDR < 1, bounded MAC retries), which lengthens the tail for
+// multi-hop nodes.
+type Fig9Config struct {
+	// Minutes of simulated operation (paper: 30).
+	Minutes int
+	// LossyPDR is the per-transmission success probability of the lossy
+	// variant.
+	LossyPDR float64
+	// MaxRetries bounds MAC retransmissions in the lossy variant.
+	MaxRetries int
+	Seed       int64
+}
+
+// DefaultFig9 returns the paper's configuration.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{Minutes: 30, LossyPDR: 0.98, MaxRetries: 1, Seed: 4}
+}
+
+// Fig9Node is one bar of the figure.
+type Fig9Node struct {
+	Node  topology.NodeID
+	Layer int
+	// MeanSec / P95Sec are the ideal-channel latencies.
+	MeanSec float64
+	P95Sec  float64
+	// LossyMeanSec is the mean latency under environmental loss.
+	LossyMeanSec float64
+	// LossyDelivered counts delivered packets in the lossy run.
+	LossyDelivered int
+	// LossyDropped counts packets lost after exhausting retries.
+	LossyDropped int
+}
+
+// Fig9Result carries the per-node latency summary sorted by ascending
+// layer (the paper's x-axis order).
+type Fig9Result struct {
+	Nodes []Fig9Node
+	Table *stats.Table
+	// SlotframeSec is the slotframe duration; the paper's headline is that
+	// mean latencies stay (almost) bounded by it.
+	SlotframeSec float64
+}
+
+// fig9Run simulates one channel variant and returns per-task latency
+// samples (in slots) and per-task drop counts.
+func fig9Run(cfg Fig9Config, pdr float64, retries int) (map[traffic.TaskID][]float64, map[traffic.TaskID]int, error) {
+	tree := topology.Testbed50()
+	frame := TestbedSlotframe()
+	tasks, err := traffic.UniformEcho(tree, 1) // one packet per slotframe = 2 s period
+	if err != nil {
+		return nil, nil, err
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Provisioning policy: one spare cell per link beyond the task demand,
+	// so retransmissions after channel loss have capacity to run in —
+	// without it the arrival-to-service ratio is exactly one and any loss
+	// accumulates unbounded backlog.
+	cells := make(map[topology.Link]int)
+	rates := make(map[topology.Link]float64)
+	for _, l := range demand.Links() {
+		cells[l] = demand.Cells(l) + 1
+		rates[l] = 1
+	}
+	plan, err := core.NewPlanFromLinkDemand(tree, frame, cells, rates, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := plan.BuildSchedule()
+	if err != nil {
+		return nil, nil, err
+	}
+	simulator, err := sim.New(sim.Config{
+		Tree: tree, Frame: frame, Tasks: tasks,
+		PDR: pdr, MaxRetries: retries, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	simulator.SetSchedule(sched)
+	slotframes := int(time.Duration(cfg.Minutes) * time.Minute / frame.Duration())
+	if err := simulator.RunSlotframes(slotframes); err != nil {
+		return nil, nil, err
+	}
+	drops := make(map[traffic.TaskID]int)
+	for _, r := range simulator.Records() {
+		if r.Dropped {
+			drops[r.Task]++
+		}
+	}
+	return simulator.LatenciesByTask(), drops, nil
+}
+
+// Fig9 runs the static-network latency experiment on the testbed topology.
+func Fig9(cfg Fig9Config) (Fig9Result, error) {
+	ideal, _, err := fig9Run(cfg, 1, 0)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	lossy, drops, err := fig9Run(cfg, cfg.LossyPDR, cfg.MaxRetries)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+
+	tree := topology.Testbed50()
+	frame := TestbedSlotframe()
+	slotSec := frame.SlotDuration.Seconds()
+	toSecs := func(ls []float64) []float64 {
+		out := make([]float64, len(ls))
+		for i, l := range ls {
+			out[i] = l * slotSec
+		}
+		return out
+	}
+	var rows []Fig9Node
+	for _, id := range tree.Nodes() {
+		if id == topology.GatewayID {
+			continue
+		}
+		tid := traffic.TaskID(id)
+		idealSum := stats.Summarize(toSecs(ideal[tid]))
+		lossySum := stats.Summarize(toSecs(lossy[tid]))
+		layer, err := tree.Depth(id)
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		rows = append(rows, Fig9Node{
+			Node: id, Layer: layer,
+			MeanSec: idealSum.Mean, P95Sec: idealSum.P95,
+			LossyMeanSec:   lossySum.Mean,
+			LossyDelivered: lossySum.Count,
+			LossyDropped:   drops[tid],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Layer != rows[j].Layer {
+			return rows[i].Layer < rows[j].Layer
+		}
+		return rows[i].Node < rows[j].Node
+	})
+	table := stats.NewTable(
+		"Fig. 9 — mean end-to-end latency per node, static network (sorted by layer)",
+		"node", "layer", "mean(s)", "p95(s)", "lossy-mean(s)", "lossy-delivered", "lossy-dropped")
+	for _, r := range rows {
+		table.AddRow(int(r.Node), r.Layer, r.MeanSec, r.P95Sec, r.LossyMeanSec, r.LossyDelivered, r.LossyDropped)
+	}
+	return Fig9Result{
+		Nodes:        rows,
+		Table:        table,
+		SlotframeSec: frame.Duration().Seconds(),
+	}, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/harpnet/harp/internal/agent"
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/stats"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/transport"
+)
+
+// TableIIEvent is one traffic-change event of the testbed validation
+// (§VI-C, Table II): the demand of a link is raised to NewDemand cells.
+type TableIIEvent struct {
+	Link      topology.Link
+	NewDemand int
+}
+
+// TableIIConfig parameterises the adjustment-overhead measurement. Events
+// run sequentially on a live fleet, as in the paper.
+type TableIIConfig struct {
+	Events []TableIIEvent
+	Seed   int64
+}
+
+// DefaultTableII mirrors the paper's six events: increases of growing
+// magnitude at requesters of growing depth, so adjustment costs span the
+// local case through multi-layer escalations. (The paper's exact node IDs
+// belong to its unpublished figure topology; these events target the
+// corresponding depths of the reconstructed 50-node tree.)
+func DefaultTableII() TableIIConfig {
+	return TableIIConfig{
+		Events: []TableIIEvent{
+			{Link: topology.Link{Child: 22, Direction: topology.Uplink}, NewDemand: 8},   // depth 2, +1: absorbed by slack
+			{Link: topology.Link{Child: 26, Direction: topology.Uplink}, NewDemand: 6},   // depth 3, +3
+			{Link: topology.Link{Child: 7, Direction: topology.Uplink}, NewDemand: 8},    // depth 3, +3
+			{Link: topology.Link{Child: 30, Direction: topology.Downlink}, NewDemand: 6}, // depth 4, +4
+			{Link: topology.Link{Child: 46, Direction: topology.Uplink}, NewDemand: 4},   // depth 5, +3
+			{Link: topology.Link{Child: 33, Direction: topology.Uplink}, NewDemand: 4},   // depth 4, +3
+		},
+		Seed: 6,
+	}
+}
+
+// TableIIRow reports one event's measured overhead, the columns of
+// Table II.
+type TableIIRow struct {
+	Event string
+	// Nodes that sent or received HARP messages during the adjustment.
+	Nodes int
+	// Layers is the number of layers the request climbed (PUT /intf hops).
+	Layers int
+	// Messages is the total protocol message count of the adjustment
+	// (requests, partition updates and schedule notifications), the "Msg."
+	// column of Table II.
+	Messages int
+	// ScheduleMessages counts the cell-assignment notifications.
+	ScheduleMessages int
+	// TimeSec is the virtual time to complete, under the management-cell
+	// latency model.
+	TimeSec float64
+	// Slotframes is the completion time in whole slotframes.
+	Slotframes int
+}
+
+// TableIIResult is the measured table.
+type TableIIResult struct {
+	Rows  []TableIIRow
+	Table *stats.Table
+}
+
+// TableII runs the six adjustment events on a distributed agent fleet over
+// the virtual-time bus and measures the exchanged messages and elapsed
+// slotframes.
+func TableII(cfg TableIIConfig) (TableIIResult, error) {
+	tree := topology.Testbed50()
+	frame := TestbedSlotframe()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	baseDemand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	// Provisioning policy (as in Fig. 10): the event links get one spare
+	// cell (released before measurement), so small increases resolve
+	// locally and larger ones climb the tree; the gateway keeps two idle
+	// slots between layer partitions.
+	slackLinks := make(map[topology.Link]bool, len(cfg.Events))
+	for _, ev := range cfg.Events {
+		slackLinks[ev.Link] = true
+	}
+	inflatedCells := make(map[topology.Link]int)
+	rates := make(map[topology.Link]float64)
+	for _, l := range baseDemand.Links() {
+		inflatedCells[l] = baseDemand.Cells(l)
+		if slackLinks[l] {
+			inflatedCells[l]++
+		}
+		rates[l] = 1
+	}
+	// Verify the inflated allocation is feasible before deploying agents.
+	if _, err := core.NewPlanFromLinkDemand(tree, frame, inflatedCells, rates, core.Options{RootGap: 2}); err != nil {
+		return TableIIResult{}, err
+	}
+
+	bus, err := transport.NewBus(frame.Slots, cfg.Seed)
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	fleet, err := agent.Deploy(tree, frame, traffic.FromCells(inflatedCells), bus, agent.WithRootGap(2))
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	fleet.Start()
+	if _, err := bus.Run(); err != nil {
+		return TableIIResult{}, err
+	}
+	// Release the slack cells: partitions keep their size (§V — releases
+	// do not shrink partitions), so the event links' partitions now hold
+	// idle cells, as on the testbed.
+	for l := range slackLinks {
+		if err := fleet.SetLinkDemand(l, baseDemand.Cells(l), 1); err != nil {
+			return TableIIResult{}, err
+		}
+	}
+	if _, err := bus.Run(); err != nil {
+		return TableIIResult{}, err
+	}
+	if err := fleet.Validate(); err != nil {
+		return TableIIResult{}, fmt.Errorf("experiments: fleet invalid before events: %w", err)
+	}
+
+	var rows []TableIIRow
+	for _, ev := range cfg.Events {
+		bus.ResetCounters()
+		start := bus.Now()
+		if err := fleet.RequestLinkDemand(ev.Link, ev.NewDemand); err != nil {
+			return TableIIResult{}, err
+		}
+		end, err := bus.Run()
+		if err != nil {
+			return TableIIResult{}, err
+		}
+		if err := fleet.Validate(); err != nil {
+			return TableIIResult{}, fmt.Errorf("experiments: fleet invalid after %v: %w", ev.Link, err)
+		}
+		elapsed := end - start
+		requests := bus.MessageCount["PUT intf"]
+		rows = append(rows, TableIIRow{
+			Event:            fmt.Sprintf("r(%v) -> %d", ev.Link, ev.NewDemand),
+			Nodes:            len(bus.Participants),
+			Layers:           requests,
+			Messages:         bus.Delivered,
+			ScheduleMessages: bus.MessageCount["POST sched"],
+			TimeSec:          elapsed * frame.SlotDuration.Seconds(),
+			Slotframes:       int(math.Ceil(elapsed / float64(frame.Slots))),
+		})
+	}
+	table := stats.NewTable(
+		"Table II — partition adjustment overhead per event",
+		"event", "nodes", "layers", "msg", "sched", "time(s)", "SF")
+	for _, r := range rows {
+		table.AddRow(r.Event, r.Nodes, r.Layers, r.Messages, r.ScheduleMessages, r.TimeSec, r.Slotframes)
+	}
+	return TableIIResult{Rows: rows, Table: table}, nil
+}

@@ -1,0 +1,41 @@
+package packing
+
+// PackStripBottomLeft is the classic bottom-left strip packing heuristic,
+// kept as the ablation baseline against the skyline packer (DESIGN.md §
+// ablations). Rectangles are placed, in non-increasing height order, at the
+// lowest (then leftmost) feasible position.
+//
+// It is implemented over the exact grid, which bounds the strip height by
+// the area sum (a trivially sufficient height), and therefore runs in
+// O(n · W · H) — acceptable for benchmarking, not for on-device use, which
+// is exactly the paper's argument for the skyline heuristic.
+func PackStripBottomLeft(rects []Rect, stripWidth int) (Layout, error) {
+	if err := checkInput(rects, stripWidth); err != nil {
+		return Layout{}, err
+	}
+	layout := Layout{W: stripWidth, Items: make([]Placement, 0, len(rects))}
+	if len(rects) == 0 {
+		return layout, nil
+	}
+	// Sufficient height: stacking everything in one column.
+	maxH := 0
+	for _, r := range rects {
+		maxH += r.H
+	}
+	grid, err := NewGrid(stripWidth, maxH)
+	if err != nil {
+		return Layout{}, err
+	}
+	for _, r := range sortForPacking(rects) {
+		x, y, ok := grid.PlaceBottomLeft(r.W, r.H)
+		if !ok {
+			// Cannot happen: the grid is tall enough for a single column.
+			return Layout{}, ErrNoFit
+		}
+		layout.Items = append(layout.Items, Placement{Rect: r, X: x, Y: y})
+		if top := y + r.H; top > layout.H {
+			layout.H = top
+		}
+	}
+	return layout, nil
+}

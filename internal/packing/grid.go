@@ -1,0 +1,146 @@
+package packing
+
+import "fmt"
+
+// Grid is an exact occupancy bitmap over a small width x height region. HARP
+// partitions live inside a slotframe of at most a few hundred slots and 16
+// channels, so an exact cell-level representation is cheap and lets the
+// partition-adjustment heuristic (Alg. 2) pack new components into the idle
+// area *around* partitions that stay in place — a variant of rectangle
+// packing with obstacles that the skyline heuristic cannot express.
+//
+// The zero value is unusable; construct with NewGrid.
+type Grid struct {
+	w, h int
+	occ  []bool // row-major: occ[y*w+x]
+}
+
+// NewGrid returns an empty grid of the given dimensions.
+func NewGrid(width, height int) (*Grid, error) {
+	if width <= 0 || height <= 0 {
+		return nil, ErrBadInput
+	}
+	return &Grid{w: width, h: height, occ: make([]bool, width*height)}, nil
+}
+
+// Width returns the grid width.
+func (g *Grid) Width() int { return g.w }
+
+// Height returns the grid height.
+func (g *Grid) Height() int { return g.h }
+
+// Clone returns a deep copy, used for speculative packing during feasibility
+// probing.
+func (g *Grid) Clone() *Grid {
+	occ := make([]bool, len(g.occ))
+	copy(occ, g.occ)
+	return &Grid{w: g.w, h: g.h, occ: occ}
+}
+
+// Occupied reports whether cell (x, y) is occupied. Out-of-range coordinates
+// count as occupied so boundary checks fall out naturally.
+func (g *Grid) Occupied(x, y int) bool {
+	if x < 0 || y < 0 || x >= g.w || y >= g.h {
+		return true
+	}
+	return g.occ[y*g.w+x]
+}
+
+// FreeCells returns the number of unoccupied cells.
+func (g *Grid) FreeCells() int {
+	n := 0
+	for _, o := range g.occ {
+		if !o {
+			n++
+		}
+	}
+	return n
+}
+
+// canPlace reports whether a w x h rectangle fits with bottom-left at (x, y).
+func (g *Grid) canPlace(x, y, w, h int) bool {
+	if x < 0 || y < 0 || x+w > g.w || y+h > g.h {
+		return false
+	}
+	for yy := y; yy < y+h; yy++ {
+		row := g.occ[yy*g.w:]
+		for xx := x; xx < x+w; xx++ {
+			if row[xx] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (g *Grid) fill(x, y, w, h int, v bool) {
+	for yy := y; yy < y+h; yy++ {
+		row := g.occ[yy*g.w:]
+		for xx := x; xx < x+w; xx++ {
+			row[xx] = v
+		}
+	}
+}
+
+// AddObstacle marks a rectangle as occupied (an existing partition that must
+// not move). It fails if the rectangle leaves the grid or overlaps an
+// existing obstacle, which would indicate corrupted partition state upstream.
+func (g *Grid) AddObstacle(x, y, w, h int) error {
+	if w <= 0 || h <= 0 {
+		return ErrBadInput
+	}
+	if !g.canPlace(x, y, w, h) {
+		return fmt.Errorf("packing: obstacle (%d,%d %dx%d) out of bounds or overlapping", x, y, w, h)
+	}
+	g.fill(x, y, w, h, true)
+	return nil
+}
+
+// RemoveObstacle clears a rectangle previously added with AddObstacle (used
+// when Alg. 2 evicts a neighbouring partition to retry the packing).
+func (g *Grid) RemoveObstacle(x, y, w, h int) {
+	g.fill(x, y, w, h, false)
+}
+
+// PlaceBottomLeft finds the bottom-left-most free position for a w x h
+// rectangle — scanning rows upward and columns leftward — occupies it and
+// returns the position. ok is false when no position exists.
+func (g *Grid) PlaceBottomLeft(w, h int) (x, y int, ok bool) {
+	if w <= 0 || h <= 0 {
+		return 0, 0, false
+	}
+	for yy := 0; yy+h <= g.h; yy++ {
+		for xx := 0; xx+w <= g.w; xx++ {
+			if g.canPlace(xx, yy, w, h) {
+				g.fill(xx, yy, w, h, true)
+				return xx, yy, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// PackFreeSpace attempts to place all rects into the grid's free space,
+// largest-area first (a robust ordering for bounded bins). On success the
+// grid is updated and placements are returned; on failure the grid is left
+// unmodified and ErrNoFit is returned.
+func (g *Grid) PackFreeSpace(rects []Rect) ([]Placement, error) {
+	for _, r := range rects {
+		if r.W <= 0 || r.H <= 0 {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, r)
+		}
+	}
+	trial := g.Clone()
+	order := sortForPacking(rects)
+	// Largest area first within the canonical order.
+	placements := make([]Placement, 0, len(order))
+	for _, r := range order {
+		x, y, ok := trial.PlaceBottomLeft(r.W, r.H)
+		if !ok {
+			return nil, fmt.Errorf("%w: %v has no free position", ErrNoFit, r)
+		}
+		placements = append(placements, Placement{Rect: r, X: x, Y: y})
+	}
+	copy(g.occ, trial.occ)
+	return placements, nil
+}

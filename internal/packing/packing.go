@@ -1,0 +1,142 @@
+// Package packing implements the two-dimensional packing primitives HARP is
+// built on: the best-fit skyline heuristic for the strip packing problem
+// (SPP) used by resource-component composition (Alg. 1 of the paper), a
+// rectangle-packing feasibility test (Problem 2), a grid-based free-space
+// packer used by the partition-adjustment heuristic (Alg. 2), and a classic
+// bottom-left packer kept as an ablation baseline.
+//
+// Conventions: the strip grows upward, so a placement (X, Y) is the
+// bottom-left corner of a rectangle, X ∈ [0, stripWidth) and Y ≥ 0. Callers
+// map HARP's (slot, channel) dimensions onto (width, height) as needed; this
+// package is dimension-agnostic.
+package packing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Rect is an axis-aligned rectangle to be packed. ID is an opaque caller
+// identifier preserved in the resulting placement so callers can map results
+// back to their own objects (e.g. a subtree's resource component).
+type Rect struct {
+	ID int
+	W  int // width (> 0)
+	H  int // height (> 0)
+}
+
+// Area returns W*H.
+func (r Rect) Area() int { return r.W * r.H }
+
+func (r Rect) String() string { return fmt.Sprintf("rect(id=%d %dx%d)", r.ID, r.W, r.H) }
+
+// Placement is a packed rectangle: the input Rect plus its bottom-left
+// position inside the strip or bin.
+type Placement struct {
+	Rect
+	X int
+	Y int
+}
+
+// Overlaps reports whether two placements share any interior area.
+func (p Placement) Overlaps(q Placement) bool {
+	return p.X < q.X+q.W && q.X < p.X+p.W && p.Y < q.Y+q.H && q.Y < p.Y+p.H
+}
+
+// Contains reports whether (x, y) lies inside the placement.
+func (p Placement) Contains(x, y int) bool {
+	return x >= p.X && x < p.X+p.W && y >= p.Y && y < p.Y+p.H
+}
+
+// Layout is the result of a packing run: the bounding dimensions actually
+// used and the placement of every input rectangle.
+type Layout struct {
+	W     int // strip width the packing was performed against
+	H     int // height actually used (max over placements of Y+H)
+	Items []Placement
+}
+
+// Find returns the placement with the given rect ID.
+func (l Layout) Find(id int) (Placement, bool) {
+	for _, p := range l.Items {
+		if p.Rect.ID == id {
+			return p, true
+		}
+	}
+	return Placement{}, false
+}
+
+// Validate checks structural invariants of the layout: every placement is
+// inside [0, W) x [0, H) and no two placements overlap. It is used by tests
+// and by debug assertions in higher layers.
+func (l Layout) Validate() error {
+	for i, p := range l.Items {
+		if p.W <= 0 || p.H <= 0 {
+			return fmt.Errorf("packing: item %d has non-positive size %dx%d", i, p.W, p.H)
+		}
+		if p.X < 0 || p.Y < 0 || p.X+p.W > l.W || p.Y+p.H > l.H {
+			return fmt.Errorf("packing: item %d (%d,%d %dx%d) outside %dx%d bounds",
+				i, p.X, p.Y, p.W, p.H, l.W, l.H)
+		}
+		for j := i + 1; j < len(l.Items); j++ {
+			if p.Overlaps(l.Items[j]) {
+				return fmt.Errorf("packing: items %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Errors returned by the packers.
+var (
+	// ErrTooWide indicates some rectangle is wider than the strip.
+	ErrTooWide = errors.New("packing: rectangle wider than strip")
+	// ErrNoFit indicates a bounded bin could not accommodate the input.
+	ErrNoFit = errors.New("packing: rectangles do not fit in the bin")
+	// ErrBadInput indicates a non-positive dimension in the input.
+	ErrBadInput = errors.New("packing: rectangle or bin with non-positive dimension")
+)
+
+func checkInput(rects []Rect, stripWidth int) error {
+	if stripWidth <= 0 {
+		return ErrBadInput
+	}
+	for _, r := range rects {
+		if r.W <= 0 || r.H <= 0 {
+			return fmt.Errorf("%w: %v", ErrBadInput, r)
+		}
+		if r.W > stripWidth {
+			return fmt.Errorf("%w: %v exceeds strip width %d", ErrTooWide, r, stripWidth)
+		}
+	}
+	return nil
+}
+
+// totalArea sums the area of all rectangles; used as a cheap lower bound.
+func totalArea(rects []Rect) int {
+	total := 0
+	for _, r := range rects {
+		total += r.Area()
+	}
+	return total
+}
+
+// sortForPacking orders rectangles in the canonical best-fit skyline order:
+// non-increasing height, ties broken by non-increasing width then ID, which
+// keeps runs deterministic for identical inputs.
+func sortForPacking(rects []Rect) []Rect {
+	sorted := make([]Rect, len(rects))
+	copy(sorted, rects)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.H != b.H {
+			return a.H > b.H
+		}
+		if a.W != b.W {
+			return a.W > b.W
+		}
+		return a.ID < b.ID
+	})
+	return sorted
+}

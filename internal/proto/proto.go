@@ -1,0 +1,349 @@
+// Package proto defines the HARP protocol messages and their binary
+// payload encodings. The messages map one-to-one onto the CoAP handlers of
+// Table I in the paper:
+//
+//	POST /intf  — InterfaceReport: a child reports its resource interface
+//	PUT  /intf  — AdjustRequest: a child requests a grown component
+//	POST /part  — PartitionSet: a parent grants partitions at all layers
+//	PUT  /part  — PartitionUpdate: a parent updates one layer's partition
+//
+// plus the cell-assignment notification of §IV-D (sent by a parent after
+// Rate-Monotonic scheduling inside its own-layer partition):
+//
+//	POST /sched — ScheduleNotice: the cells granted to one child link
+//
+// Payloads use a compact big-endian binary encoding suitable for the
+// constrained devices the paper targets; all multi-byte fields are uint16.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+)
+
+// URI paths of the HARP resources (Table I).
+const (
+	PathInterface = "intf"
+	PathPartition = "part"
+	PathSchedule  = "sched"
+)
+
+// ErrDecode wraps all payload decoding failures.
+var ErrDecode = errors.New("proto: malformed payload")
+
+// DirInterface is one direction's slice of a resource interface.
+type DirInterface struct {
+	FirstLayer int
+	Comps      []core.Component
+	// OwnDemand is the cell requirement of the sender's own link to its
+	// parent in this direction. The static phase ignores it (parents learn
+	// link demands at bootstrap); a node (re)joining dynamically — e.g.
+	// after an RPL parent switch — carries it so the new parent can grow
+	// its own-layer partition.
+	OwnDemand int
+}
+
+// InterfaceReport is the POST /intf payload: the sender's resource
+// interface for both directions.
+type InterfaceReport struct {
+	Owner topology.NodeID
+	Up    DirInterface
+	Down  DirInterface
+	// Join marks a dynamic (re)join after a topology change, as opposed to
+	// a static bootstrap report.
+	Join bool
+}
+
+// AdjustRequest is the PUT /intf payload: the sender's component at one
+// layer grew and no longer fits its partition.
+type AdjustRequest struct {
+	Origin    topology.NodeID
+	Direction topology.Direction
+	Layer     int
+	Comp      core.Component
+}
+
+// PartitionEntry places one layer's partition in the slotframe.
+type PartitionEntry struct {
+	Direction topology.Direction
+	Layer     int
+	Region    schedule.Region
+}
+
+// PartitionSet is the POST /part payload: the full set of partitions
+// granted to a subtree root.
+type PartitionSet struct {
+	Entries []PartitionEntry
+}
+
+// PartitionUpdate is the PUT /part payload: a single adjusted partition.
+type PartitionUpdate PartitionEntry
+
+// ScheduleNotice is the POST /sched payload: the cells a parent assigned to
+// the link shared with the receiving child.
+type ScheduleNotice struct {
+	Direction topology.Direction
+	Cells     []schedule.Cell
+}
+
+// writer accumulates big-endian uint16 fields.
+type writer struct{ buf []byte }
+
+func (w *writer) u16(v int) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(v))
+}
+
+// reader consumes big-endian uint16 fields.
+type reader struct{ buf []byte }
+
+func (r *reader) u16() (int, error) {
+	if len(r.buf) < 2 {
+		return 0, ErrTruncatedPayload()
+	}
+	v := int(binary.BigEndian.Uint16(r.buf[:2]))
+	r.buf = r.buf[2:]
+	return v, nil
+}
+
+func (r *reader) done() error {
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(r.buf))
+	}
+	return nil
+}
+
+// ErrTruncatedPayload returns a wrapped truncation error.
+func ErrTruncatedPayload() error { return fmt.Errorf("%w: truncated", ErrDecode) }
+
+func writeDirInterface(w *writer, d DirInterface) {
+	w.u16(d.FirstLayer)
+	w.u16(d.OwnDemand)
+	w.u16(len(d.Comps))
+	for _, c := range d.Comps {
+		w.u16(c.Slots)
+		w.u16(c.Channels)
+	}
+}
+
+func readDirInterface(r *reader) (DirInterface, error) {
+	var d DirInterface
+	var err error
+	if d.FirstLayer, err = r.u16(); err != nil {
+		return d, err
+	}
+	if d.OwnDemand, err = r.u16(); err != nil {
+		return d, err
+	}
+	n, err := r.u16()
+	if err != nil {
+		return d, err
+	}
+	if n > 1<<12 {
+		return d, fmt.Errorf("%w: %d components", ErrDecode, n)
+	}
+	d.Comps = make([]core.Component, n)
+	for i := range d.Comps {
+		if d.Comps[i].Slots, err = r.u16(); err != nil {
+			return d, err
+		}
+		if d.Comps[i].Channels, err = r.u16(); err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}
+
+// EncodeInterfaceReport serialises an InterfaceReport.
+func EncodeInterfaceReport(m InterfaceReport) []byte {
+	var w writer
+	w.u16(int(m.Owner))
+	join := 0
+	if m.Join {
+		join = 1
+	}
+	w.u16(join)
+	writeDirInterface(&w, m.Up)
+	writeDirInterface(&w, m.Down)
+	return w.buf
+}
+
+// DecodeInterfaceReport parses an InterfaceReport.
+func DecodeInterfaceReport(b []byte) (InterfaceReport, error) {
+	r := reader{buf: b}
+	var m InterfaceReport
+	owner, err := r.u16()
+	if err != nil {
+		return m, err
+	}
+	m.Owner = topology.NodeID(owner)
+	join, err := r.u16()
+	if err != nil {
+		return m, err
+	}
+	if join > 1 {
+		return m, fmt.Errorf("%w: join flag %d", ErrDecode, join)
+	}
+	m.Join = join == 1
+	if m.Up, err = readDirInterface(&r); err != nil {
+		return m, err
+	}
+	if m.Down, err = readDirInterface(&r); err != nil {
+		return m, err
+	}
+	return m, r.done()
+}
+
+// EncodeAdjustRequest serialises an AdjustRequest.
+func EncodeAdjustRequest(m AdjustRequest) []byte {
+	var w writer
+	w.u16(int(m.Origin))
+	w.u16(int(m.Direction))
+	w.u16(m.Layer)
+	w.u16(m.Comp.Slots)
+	w.u16(m.Comp.Channels)
+	return w.buf
+}
+
+// DecodeAdjustRequest parses an AdjustRequest.
+func DecodeAdjustRequest(b []byte) (AdjustRequest, error) {
+	r := reader{buf: b}
+	var m AdjustRequest
+	fields := []*int{new(int), new(int), new(int), new(int), new(int)}
+	for _, f := range fields {
+		v, err := r.u16()
+		if err != nil {
+			return m, err
+		}
+		*f = v
+	}
+	if *fields[1] > 1 {
+		return m, fmt.Errorf("%w: direction %d", ErrDecode, *fields[1])
+	}
+	m.Origin = topology.NodeID(*fields[0])
+	m.Direction = topology.Direction(*fields[1])
+	m.Layer = *fields[2]
+	m.Comp = core.Component{Slots: *fields[3], Channels: *fields[4]}
+	return m, r.done()
+}
+
+func writeEntry(w *writer, e PartitionEntry) {
+	w.u16(int(e.Direction))
+	w.u16(e.Layer)
+	w.u16(e.Region.Slot)
+	w.u16(e.Region.Channel)
+	w.u16(e.Region.Slots)
+	w.u16(e.Region.Channels)
+}
+
+func readEntry(r *reader) (PartitionEntry, error) {
+	var e PartitionEntry
+	vals := make([]int, 6)
+	for i := range vals {
+		v, err := r.u16()
+		if err != nil {
+			return e, err
+		}
+		vals[i] = v
+	}
+	if vals[0] > 1 {
+		return e, fmt.Errorf("%w: direction %d", ErrDecode, vals[0])
+	}
+	e.Direction = topology.Direction(vals[0])
+	e.Layer = vals[1]
+	e.Region = schedule.Region{Slot: vals[2], Channel: vals[3], Slots: vals[4], Channels: vals[5]}
+	return e, nil
+}
+
+// EncodePartitionSet serialises a PartitionSet.
+func EncodePartitionSet(m PartitionSet) []byte {
+	var w writer
+	w.u16(len(m.Entries))
+	for _, e := range m.Entries {
+		writeEntry(&w, e)
+	}
+	return w.buf
+}
+
+// DecodePartitionSet parses a PartitionSet.
+func DecodePartitionSet(b []byte) (PartitionSet, error) {
+	r := reader{buf: b}
+	n, err := r.u16()
+	if err != nil {
+		return PartitionSet{}, err
+	}
+	if n > 1<<12 {
+		return PartitionSet{}, fmt.Errorf("%w: %d entries", ErrDecode, n)
+	}
+	m := PartitionSet{Entries: make([]PartitionEntry, n)}
+	for i := range m.Entries {
+		if m.Entries[i], err = readEntry(&r); err != nil {
+			return PartitionSet{}, err
+		}
+	}
+	return m, r.done()
+}
+
+// EncodePartitionUpdate serialises a PartitionUpdate.
+func EncodePartitionUpdate(m PartitionUpdate) []byte {
+	var w writer
+	writeEntry(&w, PartitionEntry(m))
+	return w.buf
+}
+
+// DecodePartitionUpdate parses a PartitionUpdate.
+func DecodePartitionUpdate(b []byte) (PartitionUpdate, error) {
+	r := reader{buf: b}
+	e, err := readEntry(&r)
+	if err != nil {
+		return PartitionUpdate{}, err
+	}
+	return PartitionUpdate(e), r.done()
+}
+
+// EncodeScheduleNotice serialises a ScheduleNotice.
+func EncodeScheduleNotice(m ScheduleNotice) []byte {
+	var w writer
+	w.u16(int(m.Direction))
+	w.u16(len(m.Cells))
+	for _, c := range m.Cells {
+		w.u16(c.Slot)
+		w.u16(c.Channel)
+	}
+	return w.buf
+}
+
+// DecodeScheduleNotice parses a ScheduleNotice.
+func DecodeScheduleNotice(b []byte) (ScheduleNotice, error) {
+	r := reader{buf: b}
+	var m ScheduleNotice
+	dir, err := r.u16()
+	if err != nil {
+		return m, err
+	}
+	if dir > 1 {
+		return m, fmt.Errorf("%w: direction %d", ErrDecode, dir)
+	}
+	m.Direction = topology.Direction(dir)
+	n, err := r.u16()
+	if err != nil {
+		return m, err
+	}
+	if n > 1<<12 {
+		return m, fmt.Errorf("%w: %d cells", ErrDecode, n)
+	}
+	m.Cells = make([]schedule.Cell, n)
+	for i := range m.Cells {
+		if m.Cells[i].Slot, err = r.u16(); err != nil {
+			return m, err
+		}
+		if m.Cells[i].Channel, err = r.u16(); err != nil {
+			return m, err
+		}
+	}
+	return m, r.done()
+}

@@ -1,0 +1,165 @@
+package proto
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+)
+
+func TestInterfaceReportRoundTrip(t *testing.T) {
+	m := InterfaceReport{
+		Owner: 7,
+		Up:    DirInterface{FirstLayer: 2, Comps: []core.Component{{Slots: 5, Channels: 1}, {Slots: 3, Channels: 2}}},
+		Down:  DirInterface{FirstLayer: 2, Comps: []core.Component{{Slots: 4, Channels: 1}}},
+	}
+	back, err := DecodeInterfaceReport(EncodeInterfaceReport(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Owner != m.Owner || back.Up.FirstLayer != 2 || len(back.Up.Comps) != 2 || len(back.Down.Comps) != 1 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if back.Up.Comps[1] != (core.Component{Slots: 3, Channels: 2}) {
+		t.Errorf("component mismatch: %v", back.Up.Comps[1])
+	}
+}
+
+func TestInterfaceReportEmptyDirections(t *testing.T) {
+	m := InterfaceReport{Owner: 1}
+	back, err := DecodeInterfaceReport(EncodeInterfaceReport(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Up.Comps) != 0 || len(back.Down.Comps) != 0 {
+		t.Errorf("empty interfaces mismatched: %+v", back)
+	}
+}
+
+func TestAdjustRequestRoundTrip(t *testing.T) {
+	m := AdjustRequest{Origin: 30, Direction: topology.Downlink, Layer: 4, Comp: core.Component{Slots: 3, Channels: 1}}
+	back, err := DecodeAdjustRequest(EncodeAdjustRequest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Errorf("round trip: %+v != %+v", back, m)
+	}
+}
+
+func TestPartitionSetRoundTrip(t *testing.T) {
+	m := PartitionSet{Entries: []PartitionEntry{
+		{Direction: topology.Uplink, Layer: 2, Region: schedule.Region{Slot: 10, Channel: 0, Slots: 6, Channels: 1}},
+		{Direction: topology.Downlink, Layer: 3, Region: schedule.Region{Slot: 80, Channel: 4, Slots: 2, Channels: 2}},
+	}}
+	back, err := DecodePartitionSet(EncodePartitionSet(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 || back.Entries[1] != m.Entries[1] {
+		t.Errorf("round trip: %+v", back)
+	}
+	empty, err := DecodePartitionSet(EncodePartitionSet(PartitionSet{}))
+	if err != nil || len(empty.Entries) != 0 {
+		t.Errorf("empty set: %+v, %v", empty, err)
+	}
+}
+
+func TestPartitionUpdateRoundTrip(t *testing.T) {
+	m := PartitionUpdate{Direction: topology.Uplink, Layer: 5, Region: schedule.Region{Slot: 3, Channel: 1, Slots: 4, Channels: 2}}
+	back, err := DecodePartitionUpdate(EncodePartitionUpdate(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Errorf("round trip: %+v != %+v", back, m)
+	}
+}
+
+func TestScheduleNoticeRoundTrip(t *testing.T) {
+	m := ScheduleNotice{Direction: topology.Downlink, Cells: []schedule.Cell{{Slot: 9, Channel: 3}, {Slot: 10, Channel: 3}}}
+	back, err := DecodeScheduleNotice(EncodeScheduleNotice(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Direction != m.Direction || len(back.Cells) != 2 || back.Cells[1] != m.Cells[1] {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	short := []byte{0x00}
+	if _, err := DecodeInterfaceReport(short); !errors.Is(err, ErrDecode) {
+		t.Errorf("interface: want ErrDecode, got %v", err)
+	}
+	if _, err := DecodeAdjustRequest(short); !errors.Is(err, ErrDecode) {
+		t.Errorf("adjust: want ErrDecode, got %v", err)
+	}
+	if _, err := DecodePartitionSet(short); !errors.Is(err, ErrDecode) {
+		t.Errorf("set: want ErrDecode, got %v", err)
+	}
+	if _, err := DecodePartitionUpdate(short); !errors.Is(err, ErrDecode) {
+		t.Errorf("update: want ErrDecode, got %v", err)
+	}
+	if _, err := DecodeScheduleNotice(short); !errors.Is(err, ErrDecode) {
+		t.Errorf("sched: want ErrDecode, got %v", err)
+	}
+	// Trailing bytes rejected.
+	good := EncodeAdjustRequest(AdjustRequest{Origin: 1})
+	if _, err := DecodeAdjustRequest(append(good, 0x00)); !errors.Is(err, ErrDecode) {
+		t.Errorf("trailing: want ErrDecode, got %v", err)
+	}
+	// Invalid direction rejected.
+	bad := EncodeAdjustRequest(AdjustRequest{Origin: 1, Direction: topology.Direction(3)})
+	if _, err := DecodeAdjustRequest(bad); !errors.Is(err, ErrDecode) {
+		t.Errorf("direction: want ErrDecode, got %v", err)
+	}
+	badSched := EncodeScheduleNotice(ScheduleNotice{Direction: topology.Direction(5)})
+	if _, err := DecodeScheduleNotice(badSched); !errors.Is(err, ErrDecode) {
+		t.Errorf("sched direction: want ErrDecode, got %v", err)
+	}
+	// Absurd counts rejected (corrupted length prefix).
+	if _, err := DecodePartitionSet([]byte{0xFF, 0xFF}); !errors.Is(err, ErrDecode) {
+		t.Errorf("huge count: want ErrDecode, got %v", err)
+	}
+}
+
+func TestRoundTripPropertyAllMessages(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		comp := func() core.Component {
+			return core.Component{Slots: rng.Intn(200), Channels: rng.Intn(16)}
+		}
+		rpt := InterfaceReport{
+			Owner: topology.NodeID(rng.Intn(500)),
+			Up:    DirInterface{FirstLayer: rng.Intn(10), Comps: []core.Component{comp(), comp()}},
+			Down:  DirInterface{FirstLayer: rng.Intn(10), Comps: []core.Component{comp()}},
+		}
+		backR, err := DecodeInterfaceReport(EncodeInterfaceReport(rpt))
+		if err != nil || backR.Owner != rpt.Owner || len(backR.Up.Comps) != 2 {
+			return false
+		}
+		for i := range rpt.Up.Comps {
+			if backR.Up.Comps[i] != rpt.Up.Comps[i] {
+				return false
+			}
+		}
+		upd := PartitionUpdate{
+			Direction: topology.Direction(rng.Intn(2)),
+			Layer:     rng.Intn(12),
+			Region: schedule.Region{
+				Slot: rng.Intn(200), Channel: rng.Intn(16),
+				Slots: rng.Intn(200), Channels: rng.Intn(16),
+			},
+		}
+		backU, err := DecodePartitionUpdate(EncodePartitionUpdate(upd))
+		return err == nil && backU == upd
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package schedulers
+
+import (
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+)
+
+// CollisionStats summarises the conflicts of one schedule, the metric of
+// Fig. 11. The network is treated as a single collision domain — the dense
+// indoor deployment of the paper's testbed, where every transmission is
+// audible to every receiver — so two links sharing a (slot, channel) cell
+// always collide, and two links sharing a node in the same slot violate the
+// half-duplex constraint.
+type CollisionStats struct {
+	// TotalTransmissions is the number of scheduled (link, cell) pairs.
+	TotalTransmissions int
+	// CellCollisions counts transmissions whose cell is also used by
+	// another link.
+	CellCollisions int
+	// HalfDuplexCollisions counts transmissions that share a slot and a
+	// node with another link without sharing the exact cell.
+	HalfDuplexCollisions int
+}
+
+// Colliding returns the number of transmissions involved in any conflict.
+func (s CollisionStats) Colliding() int {
+	return s.CellCollisions + s.HalfDuplexCollisions
+}
+
+// Probability returns the collision probability: the fraction of scheduled
+// transmissions that collide.
+func (s CollisionStats) Probability() float64 {
+	if s.TotalTransmissions == 0 {
+		return 0
+	}
+	return float64(s.Colliding()) / float64(s.TotalTransmissions)
+}
+
+// AnalyzeCollisions computes the collision statistics of a schedule over a
+// topology.
+func AnalyzeCollisions(tree *topology.Tree, s *schedule.Schedule) (CollisionStats, error) {
+	var stats CollisionStats
+	type slotNode struct {
+		slot int
+		node topology.NodeID
+	}
+	// Precompute endpoints per link.
+	nodesOf := make(map[topology.Link][2]topology.NodeID)
+	for _, l := range s.Links() {
+		parent, err := tree.Parent(l.Child)
+		if err != nil {
+			return CollisionStats{}, err
+		}
+		nodesOf[l] = [2]topology.NodeID{l.Child, parent}
+	}
+	// Cell occupancy and per-slot node occupancy.
+	cellUsers := make(map[schedule.Cell]int)
+	nodeSlotUsers := make(map[slotNode]int)
+	tx := s.Transmissions()
+	for _, t := range tx {
+		cellUsers[t.Cell]++
+		for _, n := range nodesOf[t.Link] {
+			nodeSlotUsers[slotNode{slot: t.Cell.Slot, node: n}]++
+		}
+	}
+	stats.TotalTransmissions = len(tx)
+	for _, t := range tx {
+		if cellUsers[t.Cell] > 1 {
+			stats.CellCollisions++
+			continue
+		}
+		for _, n := range nodesOf[t.Link] {
+			if nodeSlotUsers[slotNode{slot: t.Cell.Slot, node: n}] > 1 {
+				stats.HalfDuplexCollisions++
+				break
+			}
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,346 @@
+package schedulers
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+func paperFrame(channels int) schedule.Slotframe {
+	return schedule.Slotframe{Slots: 199, Channels: channels, DataSlots: 159, SlotDuration: 10 * time.Millisecond}
+}
+
+func demandFor(t *testing.T, tree *topology.Tree, rate float64) *traffic.Demand {
+	t.Helper()
+	tasks, err := traffic.UniformEcho(tree, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAllSchedulersCoverDemand(t *testing.T) {
+	tree := topology.Testbed50()
+	demand := demandFor(t, tree, 1)
+	for _, sched := range append(All(), ALICE{}) {
+		t.Run(sched.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			s, err := sched.Build(tree, paperFrame(16), demand, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range demand.Links() {
+				if got, want := len(s.Cells(l)), demand.Cells(l); got != want {
+					t.Errorf("%s: link %v has %d cells, want %d", sched.Name(), l, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	want := map[string]bool{"random": true, "msf": true, "ldsf": true, "harp": true}
+	for _, s := range All() {
+		if !want[s.Name()] {
+			t.Errorf("unexpected scheduler %q", s.Name())
+		}
+		delete(want, s.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing schedulers: %v", want)
+	}
+	if (ALICE{}).Name() != "alice" {
+		t.Error("alice name wrong")
+	}
+}
+
+func TestHARPCollisionFreeWhenFeasible(t *testing.T) {
+	tree := topology.Testbed50()
+	demand := demandFor(t, tree, 1)
+	rng := rand.New(rand.NewSource(2))
+	frame := schedule.Slotframe{Slots: 400, Channels: 16, DataSlots: 360, SlotDuration: 10 * time.Millisecond}
+	s, err := (HARP{}).Build(tree, frame, demand, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := AnalyzeCollisions(tree, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Colliding() != 0 {
+		t.Errorf("HARP collided: %+v", stats)
+	}
+	if stats.TotalTransmissions != demand.TotalCells() {
+		t.Errorf("transmissions = %d, want %d", stats.TotalTransmissions, demand.TotalCells())
+	}
+}
+
+func TestBaselinesCollideUnderLoad(t *testing.T) {
+	// At rate 3 on 50 nodes the baselines must show a nonzero collision
+	// probability and HARP must dominate all of them (Fig. 11 ordering).
+	tree := topology.Testbed50()
+	demand := demandFor(t, tree, 3)
+	frame := schedule.Slotframe{Slots: 1300, Channels: 16, DataSlots: 1200, SlotDuration: 10 * time.Millisecond}
+	probs := make(map[string]float64)
+	for _, sched := range All() {
+		rng := rand.New(rand.NewSource(3))
+		s, err := sched.Build(tree, frame, demand, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		stats, err := AnalyzeCollisions(tree, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs[sched.Name()] = stats.Probability()
+	}
+	if probs["harp"] != 0 {
+		t.Errorf("HARP probability = %.3f, want 0", probs["harp"])
+	}
+	for _, name := range []string{"random", "msf", "ldsf"} {
+		if probs[name] <= 0 {
+			t.Errorf("%s probability = %.3f, want > 0", name, probs[name])
+		}
+	}
+}
+
+func TestHARPDegradesGracefullyWithFewChannels(t *testing.T) {
+	// With 2 channels HARP overflows some links but must still beat the
+	// random scheduler by a wide margin (Fig. 11(b)).
+	tree := topology.Testbed50()
+	demand := demandFor(t, tree, 3)
+	frame := paperFrame(2)
+	rng := rand.New(rand.NewSource(4))
+	hs, err := (HARP{}).Build(tree, frame, demand, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hStats, err := AnalyzeCollisions(tree, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(4))
+	rs, err := (Random{}).Build(tree, frame, demand, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStats, err := AnalyzeCollisions(tree, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hStats.Probability() >= rStats.Probability() {
+		t.Errorf("HARP %.3f should beat random %.3f at 2 channels",
+			hStats.Probability(), rStats.Probability())
+	}
+}
+
+func TestMSFAutonomousCellDeterministic(t *testing.T) {
+	tree := topology.Fig1()
+	demand := demandFor(t, tree, 1)
+	frame := paperFrame(16)
+	s1, err := (MSF{}).Build(tree, frame, demand, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := (MSF{}).Build(tree, frame, demand, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first (autonomous) cell of every link is hash-derived and so
+	// independent of the rng; 6P-negotiated extras are not.
+	for _, l := range demand.Links() {
+		a, b := s1.Cells(l), s2.Cells(l)
+		if len(a) != len(b) {
+			t.Fatalf("MSF cell counts differ for %v", l)
+		}
+		if a[0] != b[0] {
+			t.Errorf("MSF autonomous cell differs for %v: %v vs %v", l, a[0], b[0])
+		}
+	}
+}
+
+func TestMSFCollisionGrowsWithRate(t *testing.T) {
+	// With 6P cells modelled as locally-free random picks, MSF's collision
+	// probability grows with the data rate (the Fig. 11(a) shape).
+	tree := topology.Testbed50()
+	frame := paperFrame(16)
+	var prev float64
+	for i, rate := range []float64{1, 4, 8} {
+		demand, err := traffic.PerLink(tree, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := (MSF{}).Build(tree, frame, demand, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := AnalyzeCollisions(tree, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && stats.Probability() <= prev {
+			t.Errorf("rate %.0f: MSF probability %.3f not above previous %.3f", rate, stats.Probability(), prev)
+		}
+		prev = stats.Probability()
+	}
+}
+
+func TestLDSFRespectsLayerBlocks(t *testing.T) {
+	tree := topology.Fig1() // 3 layers -> 6 blocks
+	demand := demandFor(t, tree, 1)
+	frame := paperFrame(16)
+	s, err := (LDSF{}).Build(tree, frame, demand, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := tree.MaxLayer()
+	blockLen := frame.Slots / (2 * layers)
+	for _, l := range demand.Links() {
+		depth, _ := tree.Depth(l.Child)
+		var idx int
+		if l.Direction == topology.Uplink {
+			idx = layers - depth
+		} else {
+			idx = layers + depth - 1
+		}
+		for _, c := range s.Cells(l) {
+			if c.Slot < idx*blockLen || c.Slot >= (idx+1)*blockLen {
+				t.Errorf("LDSF cell %v of %v outside block %d", c, l, idx)
+			}
+		}
+	}
+	// Uplink cells of deeper layers precede shallower ones (latency
+	// ordering).
+	deep := s.Cells(topology.Link{Child: 8, Direction: topology.Uplink})    // layer 3
+	shallow := s.Cells(topology.Link{Child: 1, Direction: topology.Uplink}) // layer 1
+	if deep[0].Slot >= shallow[0].Slot {
+		t.Errorf("LDSF ordering: layer-3 cell %v not before layer-1 cell %v", deep[0], shallow[0])
+	}
+}
+
+func TestRandomCellsDistinct(t *testing.T) {
+	frame := paperFrame(2)
+	rng := rand.New(rand.NewSource(6))
+	cells := randomCells(frame, 50, rng)
+	seen := make(map[schedule.Cell]bool)
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate cell %v", c)
+		}
+		seen[c] = true
+		if !frame.Contains(c) {
+			t.Fatalf("cell %v outside frame", c)
+		}
+	}
+	// Saturating request cannot loop forever.
+	tiny := schedule.Slotframe{Slots: 2, Channels: 1, DataSlots: 2, SlotDuration: time.Millisecond}
+	got := randomCells(tiny, 10, rng)
+	if len(got) != 2 {
+		t.Errorf("saturated draw = %d cells, want 2", len(got))
+	}
+}
+
+func TestAnalyzeCollisionsHalfDuplex(t *testing.T) {
+	tree := topology.New()
+	if err := tree.AddNode(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddNode(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.NewSchedule(paperFrame(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same slot, different channels, sharing node 1.
+	if err := s.Assign(topology.Link{Child: 1, Direction: topology.Uplink}, schedule.Cell{Slot: 3, Channel: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(topology.Link{Child: 2, Direction: topology.Uplink}, schedule.Cell{Slot: 3, Channel: 5}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := AnalyzeCollisions(tree, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HalfDuplexCollisions != 2 || stats.CellCollisions != 0 {
+		t.Errorf("stats = %+v, want 2 half-duplex", stats)
+	}
+	if stats.Probability() != 1 {
+		t.Errorf("probability = %.2f, want 1", stats.Probability())
+	}
+	// Unknown link endpoint errors.
+	bad, _ := schedule.NewSchedule(paperFrame(16))
+	if err := bad.Assign(topology.Link{Child: 42, Direction: topology.Uplink}, schedule.Cell{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeCollisions(tree, bad); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+}
+
+func TestAnalyzeCollisionsSharedCell(t *testing.T) {
+	tree := topology.New()
+	if err := tree.AddNode(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AddNode(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := schedule.NewSchedule(paperFrame(16))
+	shared := schedule.Cell{Slot: 7, Channel: 3}
+	if err := s.Assign(topology.Link{Child: 1, Direction: topology.Uplink}, shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(topology.Link{Child: 2, Direction: topology.Uplink}, shared); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := AnalyzeCollisions(tree, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CellCollisions != 2 {
+		t.Errorf("cell collisions = %d, want 2", stats.CellCollisions)
+	}
+	empty, _ := schedule.NewSchedule(paperFrame(16))
+	es, err := AnalyzeCollisions(tree, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Probability() != 0 {
+		t.Error("empty schedule should have zero probability")
+	}
+}
+
+func TestCollisionProbabilityIncreasesWithRate(t *testing.T) {
+	// Fig. 11(a) shape: the random scheduler's collision probability grows
+	// with the data rate.
+	tree := topology.Testbed50()
+	frame := paperFrame(16)
+	var prev float64
+	for i, rate := range []float64{1, 4, 8} {
+		demand := demandFor(t, tree, rate)
+		rng := rand.New(rand.NewSource(7))
+		s, err := (Random{}).Build(tree, frame, demand, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := AnalyzeCollisions(tree, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := stats.Probability()
+		if i > 0 && p <= prev {
+			t.Errorf("rate %.0f: probability %.3f not above previous %.3f", rate, p, prev)
+		}
+		prev = p
+	}
+}

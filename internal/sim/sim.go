@@ -1,0 +1,510 @@
+// Package sim is a slot-accurate discrete-event simulator of a
+// multi-channel TDMA industrial wireless network. It drives packets of
+// periodic end-to-end tasks hop by hop along the routing tree according to
+// a cell schedule, resolving half-duplex contention, co-cell collisions and
+// Bernoulli packet loss per transmission, and records per-packet end-to-end
+// latency — the measurement substrate for Fig. 9, Fig. 10 and the
+// Fig. 11 collision studies.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	Tree  *topology.Tree
+	Frame schedule.Slotframe
+	Tasks *traffic.Set
+	// PDR is the per-transmission success probability on an uncontended
+	// cell (1 = ideal radio). The paper's testbed observed environmental
+	// loss; Fig. 9 uses PDR < 1 to reproduce its latency tail.
+	PDR float64
+	// MaxQueue caps each link queue; packets arriving at a full queue are
+	// dropped. Zero means DefaultMaxQueue.
+	MaxQueue int
+	// MaxRetries caps transmission attempts per hop, as TSCH MACs do; a
+	// packet exceeding it is dropped. Zero means unlimited retries.
+	MaxRetries int
+	// Seed drives all randomness (loss draws, generation jitter).
+	Seed int64
+}
+
+// DefaultMaxQueue is the per-link queue capacity when Config.MaxQueue is 0.
+const DefaultMaxQueue = 64
+
+// PacketRecord traces one task instance through the network.
+type PacketRecord struct {
+	Task      traffic.TaskID
+	CreatedAt int // slot index of generation at the source
+	Delivered bool
+	// DeliveredAt is the slot the packet reached its final destination
+	// (meaningful only when Delivered).
+	DeliveredAt int
+	// Hops is the number of successful link transmissions.
+	Hops int
+	// Dropped reports queue-overflow loss.
+	Dropped bool
+}
+
+// Latency returns the end-to-end latency in slots.
+func (r PacketRecord) Latency() int { return r.DeliveredAt - r.CreatedAt }
+
+// packet is an in-flight task instance.
+type packet struct {
+	task      traffic.TaskID
+	createdAt int
+	hops      int
+	attempts  int // failed transmission attempts at the current hop
+	// route is the remaining node sequence (next hop first, final
+	// destination last); empty means delivered.
+	route []topology.NodeID
+	// dir is the current traversal direction.
+	dir topology.Direction
+	// echo indicates a downlink leg follows the uplink leg.
+	echo bool
+	rec  int // index into records
+}
+
+// Simulator holds the mutable simulation state. Not safe for concurrent
+// use.
+type Simulator struct {
+	cfg   Config
+	tree  *topology.Tree
+	frame schedule.Slotframe
+	rng   *rand.Rand
+
+	now int // absolute slot index
+
+	// cellsBySlot indexes the active schedule: slot-in-frame -> cells.
+	cellsBySlot map[int][]scheduledCell
+	queues      map[topology.Link][]*packet
+	maxQueue    int
+
+	// taskState tracks packet generation per task.
+	taskState map[traffic.TaskID]*taskGen
+
+	records []PacketRecord
+
+	// events are callbacks keyed by absolute slot, run before the slot is
+	// simulated (e.g. rate changes, schedule swaps).
+	events map[int][]func(*Simulator)
+
+	// Drops counts queue-overflow losses.
+	Drops int
+	// Collisions counts transmissions lost to co-cell collisions (two
+	// senders in the same slot and channel).
+	Collisions int
+	// HalfDuplexBlocks counts transmissions deferred because the sender was
+	// already committed to another cell in the slot (a single half-duplex
+	// radio transmits at most once per slot).
+	HalfDuplexBlocks int
+	// ReceiverMisses counts transmissions lost because the receiver was
+	// transmitting itself or listening on a different channel in the slot.
+	ReceiverMisses int
+	// LossFailures counts transmissions lost to the Bernoulli channel.
+	LossFailures int
+	// Expired counts packets dropped after exhausting MaxRetries at a hop.
+	Expired int
+}
+
+type scheduledCell struct {
+	cell schedule.Cell
+	link topology.Link
+}
+
+type taskGen struct {
+	task        traffic.Task
+	nextRelease float64
+}
+
+// New builds a simulator. The schedule is installed separately with
+// SetSchedule so callers can swap schedules mid-run (dynamic adjustment).
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Tree == nil || cfg.Tasks == nil {
+		return nil, errors.New("sim: nil tree or tasks")
+	}
+	if err := cfg.Frame.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PDR <= 0 || cfg.PDR > 1 {
+		return nil, fmt.Errorf("sim: PDR %.3f outside (0,1]", cfg.PDR)
+	}
+	if err := cfg.Tasks.Validate(cfg.Tree); err != nil {
+		return nil, err
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	if maxQueue < 0 {
+		return nil, fmt.Errorf("sim: negative MaxQueue %d", cfg.MaxQueue)
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("sim: negative MaxRetries %d", cfg.MaxRetries)
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		tree:        cfg.Tree,
+		frame:       cfg.Frame,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		cellsBySlot: make(map[int][]scheduledCell),
+		queues:      make(map[topology.Link][]*packet),
+		maxQueue:    maxQueue,
+		taskState:   make(map[traffic.TaskID]*taskGen),
+		events:      make(map[int][]func(*Simulator)),
+	}
+	for _, t := range cfg.Tasks.Tasks() {
+		s.taskState[t.ID] = &taskGen{task: t, nextRelease: 0}
+	}
+	return s, nil
+}
+
+// Now returns the current absolute slot index.
+func (s *Simulator) Now() int { return s.now }
+
+// Frame returns the slotframe configuration.
+func (s *Simulator) Frame() schedule.Slotframe { return s.frame }
+
+// SetSchedule installs (or replaces) the active cell schedule. Queued
+// packets are retained; they continue over the new cells.
+func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
+	s.cellsBySlot = make(map[int][]scheduledCell)
+	for _, tx := range sched.Transmissions() {
+		s.cellsBySlot[tx.Cell.Slot] = append(s.cellsBySlot[tx.Cell.Slot], scheduledCell{cell: tx.Cell, link: tx.Link})
+	}
+	for slot := range s.cellsBySlot {
+		cells := s.cellsBySlot[slot]
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].cell.Channel != cells[j].cell.Channel {
+				return cells[i].cell.Channel < cells[j].cell.Channel
+			}
+			if cells[i].link.Direction != cells[j].link.Direction {
+				return cells[i].link.Direction < cells[j].link.Direction
+			}
+			return cells[i].link.Child < cells[j].link.Child
+		})
+	}
+}
+
+// SetTaskRate changes a task's packet generation rate immediately. The
+// caller is responsible for adjusting the schedule (that is HARP's job, not
+// the radio's).
+func (s *Simulator) SetTaskRate(id traffic.TaskID, rate float64) error {
+	st, ok := s.taskState[id]
+	if !ok {
+		return fmt.Errorf("sim: unknown task %d", id)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("sim: non-positive rate %.3f", rate)
+	}
+	st.task.Rate = rate
+	return nil
+}
+
+// At registers a callback to run at the start of the given absolute slot.
+func (s *Simulator) At(slot int, fn func(*Simulator)) {
+	s.events[slot] = append(s.events[slot], fn)
+}
+
+// Run advances the simulation by n slots.
+func (s *Simulator) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSlotframes advances by n whole slotframes.
+func (s *Simulator) RunSlotframes(n int) error {
+	return s.Run(n * s.frame.Slots)
+}
+
+func (s *Simulator) step() error {
+	for _, fn := range s.events[s.now] {
+		fn(s)
+	}
+	delete(s.events, s.now)
+	s.generate()
+	if err := s.transmit(); err != nil {
+		return err
+	}
+	s.now++
+	return nil
+}
+
+// generate releases new task packets whose release instant has passed.
+func (s *Simulator) generate() {
+	ids := make([]traffic.TaskID, 0, len(s.taskState))
+	for id := range s.taskState {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.taskState[id]
+		period := st.task.PeriodSlots(s.frame.Slots)
+		for float64(s.now) >= st.nextRelease {
+			s.release(st.task)
+			st.nextRelease += period
+		}
+	}
+}
+
+// release creates a packet at the task's source and queues it on the first
+// uplink.
+func (s *Simulator) release(t traffic.Task) {
+	rec := PacketRecord{Task: t.ID, CreatedAt: s.now}
+	s.records = append(s.records, rec)
+	idx := len(s.records) - 1
+
+	if t.Source == topology.GatewayID {
+		// Degenerate task: only the downlink leg exists.
+		s.startDownlink(&packet{task: t.ID, createdAt: s.now, rec: idx}, t.Actuator)
+		return
+	}
+	path, err := s.tree.PathToGateway(t.Source)
+	if err != nil {
+		return
+	}
+	p := &packet{
+		task:      t.ID,
+		createdAt: s.now,
+		route:     path[1:], // next hops: parent ... gateway
+		dir:       topology.Uplink,
+		echo:      true,
+		rec:       idx,
+	}
+	s.enqueue(topology.Link{Child: t.Source, Direction: topology.Uplink}, p)
+}
+
+// startDownlink begins the gateway->actuator leg.
+func (s *Simulator) startDownlink(p *packet, actuator topology.NodeID) {
+	if actuator == topology.GatewayID {
+		s.deliver(p)
+		return
+	}
+	path, err := s.tree.PathToGateway(actuator)
+	if err != nil {
+		return
+	}
+	// Reverse to gateway->...->actuator, dropping the gateway itself.
+	route := make([]topology.NodeID, 0, len(path)-1)
+	for i := len(path) - 2; i >= 0; i-- {
+		route = append(route, path[i])
+	}
+	p.route = route
+	p.dir = topology.Downlink
+	p.echo = false
+	s.enqueue(topology.Link{Child: route[0], Direction: topology.Downlink}, p)
+}
+
+func (s *Simulator) enqueue(l topology.Link, p *packet) {
+	q := s.queues[l]
+	if len(q) >= s.maxQueue {
+		s.Drops++
+		s.records[p.rec].Dropped = true
+		return
+	}
+	s.queues[l] = append(q, p)
+}
+
+func (s *Simulator) deliver(p *packet) {
+	rec := &s.records[p.rec]
+	rec.Delivered = true
+	rec.DeliveredAt = s.now
+	rec.Hops = p.hops
+}
+
+// linkNodes returns the two endpoints of a link.
+func (s *Simulator) linkNodes(l topology.Link) (topology.NodeID, topology.NodeID, error) {
+	parent, err := s.tree.Parent(l.Child)
+	if err != nil {
+		return 0, 0, err
+	}
+	return l.Child, parent, nil
+}
+
+// endpointsOf returns (sender, receiver) of a link.
+func (s *Simulator) endpointsOf(l topology.Link) (topology.NodeID, topology.NodeID, error) {
+	child, parent, err := s.linkNodes(l)
+	if err != nil {
+		return 0, 0, err
+	}
+	if l.Direction == topology.Downlink {
+		return parent, child, nil
+	}
+	return child, parent, nil
+}
+
+// transmit simulates all cells of the current slot. Each half-duplex node
+// commits to at most one cell per slot: the first scheduled cell (in
+// channel order) in which it either has a packet to send or is the
+// designated receiver. Committed senders then transmit; a transmission
+// succeeds iff its cell is uncontended, its receiver is tuned to it, and
+// the Bernoulli channel lets it through. Nothing here assumes a
+// collision-free schedule — baselines with conflicting schedules observe
+// collisions and receiver misses, exactly the pathology Fig. 11 measures.
+func (s *Simulator) transmit() error {
+	slotInFrame := s.now % s.frame.Slots
+	cells := s.cellsBySlot[slotInFrame]
+	if len(cells) == 0 {
+		return nil
+	}
+	type commitment struct {
+		sc scheduledCell
+		tx bool
+	}
+	// Pass 1: node commitments, in deterministic cell order.
+	commit := make(map[topology.NodeID]commitment)
+	for _, sc := range cells {
+		sender, receiver, err := s.endpointsOf(sc.link)
+		if err != nil {
+			return err
+		}
+		if len(s.queues[sc.link]) > 0 {
+			if _, busy := commit[sender]; busy {
+				s.HalfDuplexBlocks++
+			} else {
+				commit[sender] = commitment{sc: sc, tx: true}
+			}
+		}
+		// A receiver listens on its scheduled RX cell whether or not a
+		// packet is coming, unless it already committed earlier this slot.
+		if _, busy := commit[receiver]; !busy {
+			commit[receiver] = commitment{sc: sc, tx: false}
+		}
+	}
+	// Pass 2: committed transmissions and co-cell contention.
+	var attempts []scheduledCell
+	users := make(map[schedule.Cell]int)
+	for _, sc := range cells {
+		sender, _, err := s.endpointsOf(sc.link)
+		if err != nil {
+			return err
+		}
+		if c, ok := commit[sender]; ok && c.tx && c.sc == sc {
+			attempts = append(attempts, sc)
+			users[sc.cell]++
+		}
+	}
+	// Pass 3: outcomes.
+	for _, sc := range attempts {
+		if users[sc.cell] > 1 {
+			s.Collisions++
+			s.failAttempt(sc.link)
+			continue // stays queued (unless retries exhausted)
+		}
+		_, receiver, err := s.endpointsOf(sc.link)
+		if err != nil {
+			return err
+		}
+		rc, listening := commit[receiver]
+		if !listening || rc.tx || rc.sc.cell != sc.cell {
+			s.ReceiverMisses++
+			s.failAttempt(sc.link)
+			continue
+		}
+		if s.cfg.PDR < 1 && s.rng.Float64() > s.cfg.PDR {
+			s.LossFailures++
+			s.failAttempt(sc.link)
+			continue
+		}
+		q := s.queues[sc.link]
+		if len(q) == 0 {
+			continue
+		}
+		s.advance(sc.link, q[0])
+	}
+	return nil
+}
+
+// failAttempt charges a failed transmission against the link's head packet
+// and drops it once the MAC retry budget is exhausted.
+func (s *Simulator) failAttempt(l topology.Link) {
+	if s.cfg.MaxRetries <= 0 {
+		return
+	}
+	q := s.queues[l]
+	if len(q) == 0 {
+		return
+	}
+	p := q[0]
+	p.attempts++
+	if p.attempts > s.cfg.MaxRetries {
+		s.queues[l] = q[1:]
+		s.Expired++
+		s.records[p.rec].Dropped = true
+	}
+}
+
+// advance moves a successfully transmitted packet one hop.
+func (s *Simulator) advance(l topology.Link, p *packet) {
+	// Pop from the queue head.
+	q := s.queues[l]
+	if len(q) == 0 || q[0] != p {
+		return // defensive: queue mutated
+	}
+	s.queues[l] = q[1:]
+	p.hops++
+	p.attempts = 0
+	arrived := p.route[0]
+	p.route = p.route[1:]
+
+	if len(p.route) == 0 {
+		if p.dir == topology.Uplink && p.echo {
+			task, _ := s.cfg.Tasks.Get(p.task)
+			s.startDownlink(p, task.Actuator)
+			return
+		}
+		s.deliver(p)
+		return
+	}
+	// Queue on the next hop's link.
+	var next topology.Link
+	if p.dir == topology.Uplink {
+		next = topology.Link{Child: arrived, Direction: topology.Uplink}
+	} else {
+		next = topology.Link{Child: p.route[0], Direction: topology.Downlink}
+	}
+	s.enqueue(next, p)
+}
+
+// Records returns a copy of all packet records so far.
+func (s *Simulator) Records() []PacketRecord {
+	out := make([]PacketRecord, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// LatenciesByTask groups delivered-packet latencies (in slots) per task.
+func (s *Simulator) LatenciesByTask() map[traffic.TaskID][]float64 {
+	out := make(map[traffic.TaskID][]float64)
+	for _, r := range s.records {
+		if r.Delivered {
+			out[r.Task] = append(out[r.Task], float64(r.Latency()))
+		}
+	}
+	return out
+}
+
+// QueueDepth returns the current queue length of a link — the congestion
+// signal HARP nodes use to notice demand increases.
+func (s *Simulator) QueueDepth(l topology.Link) int { return len(s.queues[l]) }
+
+// PendingPackets counts packets currently queued anywhere.
+func (s *Simulator) PendingPackets() int {
+	total := 0
+	for _, q := range s.queues {
+		total += len(q)
+	}
+	return total
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %.2f, want 3", s.P50)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("StdDev = %.4f, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.P99 != 7 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, -1) != 10 {
+		t.Error("p<=0 should give min")
+	}
+	if Percentile(sorted, 1) != 40 || Percentile(sorted, 2) != 40 {
+		t.Error("p>=1 should give max")
+	}
+	if got := Percentile(sorted, 0.5); got != 25 {
+		t.Errorf("P50 = %.1f, want 25 (interpolated)", got)
+	}
+}
+
+func TestSummaryPropertyBounds(t *testing.T) {
+	prop := func(raw []float64) bool {
+		sample := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				sample = append(sample, v)
+			}
+		}
+		if len(sample) == 0 {
+			return true
+		}
+		s := Summarize(sample)
+		sorted := append([]float64(nil), sample...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.P50 >= s.Min && s.P50 <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "harp"
+	s.Add(1, 0.0)
+	s.Add(2, 0.5)
+	if len(s.Points) != 2 {
+		t.Fatal("Add failed")
+	}
+	ys := s.Ys()
+	if ys[0] != 0 || ys[1] != 0.5 {
+		t.Errorf("Ys = %v", ys)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "node", "latency")
+	tab.AddRow(1, 1.234567)
+	tab.AddRow("2", "x")
+	out := tab.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "node") {
+		t.Errorf("missing title/header: %q", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float not formatted: %q", out)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	// Header-only table still renders.
+	empty := NewTable("", "a")
+	if empty.String() == "" {
+		t.Error("empty table renders nothing")
+	}
+	f32 := NewTable("", "v")
+	f32.AddRow(float32(2.5))
+	if !strings.Contains(f32.String(), "2.500") {
+		t.Error("float32 not formatted")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	a := Series{Name: "random"}
+	a.Add(1, 0.1)
+	a.Add(2, 0.2)
+	b := Series{Name: "harp"}
+	b.Add(1, 0)
+	tab := SeriesTable("Fig", "rate", a, b)
+	out := tab.String()
+	if !strings.Contains(out, "random") || !strings.Contains(out, "harp") {
+		t.Errorf("missing series headers: %q", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("short series should pad with -")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("rows = %d, want 2", tab.Len())
+	}
+	if SeriesTable("t", "x").Len() != 0 {
+		t.Error("no-series table should be empty")
+	}
+}

@@ -1,0 +1,303 @@
+// Package transport carries encoded CoAP messages between HARP node
+// agents. Two transports are provided:
+//
+//   - Bus: a deterministic virtual-time transport. Message latency models
+//     the management sub-frame of §VI-A — a node's protocol message waits
+//     for the node's next management cell, i.e. a uniform fraction of a
+//     slotframe per hop — and time is tracked in slots, which is how the
+//     Table II "Time" and "SF" columns are measured.
+//
+//   - Live: a goroutine-per-node transport over channels, demonstrating
+//     the same agents running genuinely concurrently.
+//
+// Both transports move raw bytes: messages are CoAP-encoded on send and
+// decoded at the receiver, so the full codec path is exercised.
+package transport
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/harpnet/harp/internal/coap"
+	"github.com/harpnet/harp/internal/topology"
+)
+
+// Handler consumes a delivered message. Implementations may call Send from
+// within Handle.
+type Handler interface {
+	Handle(from topology.NodeID, msg coap.Message)
+}
+
+// Network is the sending side exposed to agents.
+type Network interface {
+	// Send transmits a message; delivery is asynchronous.
+	Send(from, to topology.NodeID, msg coap.Message) error
+}
+
+// Errors returned by transports.
+var (
+	ErrUnknownNode = errors.New("transport: unknown node")
+	ErrClosed      = errors.New("transport: closed")
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	from, to  topology.NodeID
+	wire      []byte
+	deliverAt float64 // slots (Bus only)
+	seq       int     // tie-breaker for deterministic ordering
+}
+
+// busQueue is a min-heap on (deliverAt, seq).
+type busQueue []*envelope
+
+func (q busQueue) Len() int { return len(q) }
+func (q busQueue) Less(i, j int) bool {
+	if q[i].deliverAt != q[j].deliverAt {
+		return q[i].deliverAt < q[j].deliverAt
+	}
+	return q[i].seq < q[j].seq
+}
+func (q busQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *busQueue) Push(x any)   { *q = append(*q, x.(*envelope)) }
+func (q *busQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Bus is the deterministic virtual-time transport. Delivery between any
+// ordered pair of nodes is FIFO, as on the real substrate: a node's
+// messages to one neighbour leave through its sequential management cells
+// and cannot overtake each other. (Without this, a stale partition grant
+// could overtake a newer one and corrupt the receiver's state.)
+type Bus struct {
+	handlers map[topology.NodeID]Handler
+	queue    busQueue
+	now      float64
+	seq      int
+	rng      *rand.Rand
+
+	// lastDelivery enforces per-pair FIFO: the next message on a pair is
+	// delivered strictly after the previous one.
+	lastDelivery map[[2]topology.NodeID]float64
+
+	// slotsPerHop is the slotframe length; per-hop latency is sampled
+	// uniformly in (0, slotsPerHop] — the wait for the sender's next
+	// management cell.
+	slotsPerHop int
+
+	// MessageCount tallies delivered messages by "METHOD path" (e.g.
+	// "PUT intf"), the unit Table II and Fig. 12 count.
+	MessageCount map[string]int
+	// Delivered is the total number of delivered messages.
+	Delivered int
+	// Participants records every node that sent or received a message
+	// since the last ResetCounters — the "Nodes" column of Table II.
+	Participants map[topology.NodeID]bool
+}
+
+// NewBus builds a virtual-time bus. slotframeSlots sets the per-hop latency
+// scale; seed drives latency sampling.
+func NewBus(slotframeSlots int, seed int64) (*Bus, error) {
+	if slotframeSlots <= 0 {
+		return nil, fmt.Errorf("transport: non-positive slotframe length %d", slotframeSlots)
+	}
+	return &Bus{
+		handlers:     make(map[topology.NodeID]Handler),
+		rng:          rand.New(rand.NewSource(seed)),
+		slotsPerHop:  slotframeSlots,
+		MessageCount: make(map[string]int),
+		Participants: make(map[topology.NodeID]bool),
+		lastDelivery: make(map[[2]topology.NodeID]float64),
+	}, nil
+}
+
+// Register attaches a node's handler.
+func (b *Bus) Register(id topology.NodeID, h Handler) {
+	b.handlers[id] = h
+}
+
+// Now returns the current virtual time in slots.
+func (b *Bus) Now() float64 { return b.now }
+
+// Send implements Network: the message is CoAP-encoded and queued with a
+// management-cell latency.
+func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
+	if _, ok := b.handlers[to]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	wire, err := msg.Encode()
+	if err != nil {
+		return err
+	}
+	latency := b.rng.Float64() * float64(b.slotsPerHop)
+	deliverAt := b.now + latency
+	pair := [2]topology.NodeID{from, to}
+	if last, ok := b.lastDelivery[pair]; ok && deliverAt <= last {
+		deliverAt = last + 1e-6 // FIFO per pair
+	}
+	b.lastDelivery[pair] = deliverAt
+	b.seq++
+	heap.Push(&b.queue, &envelope{
+		from:      from,
+		to:        to,
+		wire:      wire,
+		deliverAt: deliverAt,
+		seq:       b.seq,
+	})
+	return nil
+}
+
+// Run delivers messages in timestamp order until the queue drains,
+// returning the virtual time (slots) when the last message was delivered.
+// Handlers may send further messages; those are delivered too.
+func (b *Bus) Run() (float64, error) {
+	for b.queue.Len() > 0 {
+		e := heap.Pop(&b.queue).(*envelope)
+		b.now = e.deliverAt
+		msg, err := coap.Decode(e.wire)
+		if err != nil {
+			return b.now, fmt.Errorf("transport: decoding message %d->%d: %w", e.from, e.to, err)
+		}
+		b.count(msg)
+		b.Participants[e.from] = true
+		b.Participants[e.to] = true
+		if h := b.handlers[e.to]; h != nil {
+			h.Handle(e.from, msg)
+		}
+	}
+	return b.now, nil
+}
+
+func (b *Bus) count(msg coap.Message) {
+	b.Delivered++
+	b.MessageCount[fmt.Sprintf("%s %s", msg.Code, msg.Path())]++
+}
+
+// ResetCounters clears the message tallies (between experiment events).
+func (b *Bus) ResetCounters() {
+	b.MessageCount = make(map[string]int)
+	b.Delivered = 0
+	b.Participants = make(map[topology.NodeID]bool)
+}
+
+// CountKeys returns the tally keys sorted, for deterministic reporting.
+func (b *Bus) CountKeys() []string {
+	keys := make([]string, 0, len(b.MessageCount))
+	for k := range b.MessageCount {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Live is a goroutine-per-node channel transport. Each registered node gets
+// a dedicated delivery goroutine; Send never blocks the caller as long as
+// the node's inbox has room.
+type Live struct {
+	mu       sync.Mutex
+	inboxes  map[topology.NodeID]chan envelope
+	handlers map[topology.NodeID]Handler
+	wg       sync.WaitGroup
+	closed   bool
+
+	inFlight atomic.Int64
+	// Delivered counts messages handled.
+	Delivered atomic.Int64
+}
+
+// NewLive builds a live transport. inboxDepth bounds each node's queue.
+func NewLive() *Live {
+	return &Live{
+		inboxes:  make(map[topology.NodeID]chan envelope),
+		handlers: make(map[topology.NodeID]Handler),
+	}
+}
+
+// Register attaches a node and starts its delivery goroutine.
+func (l *Live) Register(id topology.NodeID, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	inbox := make(chan envelope, 256)
+	l.inboxes[id] = inbox
+	l.handlers[id] = h
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for e := range inbox {
+			msg, err := coap.Decode(e.wire)
+			if err == nil {
+				h.Handle(e.from, msg)
+				l.Delivered.Add(1)
+			}
+			l.inFlight.Add(-1)
+		}
+	}()
+}
+
+// Send implements Network.
+func (l *Live) Send(from, to topology.NodeID, msg coap.Message) error {
+	l.mu.Lock()
+	inbox, ok := l.inboxes[to]
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	wire, err := msg.Encode()
+	if err != nil {
+		return err
+	}
+	l.inFlight.Add(1)
+	inbox <- envelope{from: from, to: to, wire: wire}
+	return nil
+}
+
+// WaitIdle blocks until no messages are in flight or the timeout passes.
+// Returns true when the network went idle.
+func (l *Live) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if l.inFlight.Load() == 0 {
+			// Double-check after a settling pause: a handler may be about
+			// to send.
+			time.Sleep(time.Millisecond)
+			if l.inFlight.Load() == 0 {
+				return true
+			}
+			continue
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return l.inFlight.Load() == 0
+}
+
+// Close stops all delivery goroutines.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	for _, inbox := range l.inboxes {
+		close(inbox)
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}

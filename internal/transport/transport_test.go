@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/harpnet/harp/internal/coap"
+	"github.com/harpnet/harp/internal/topology"
+)
+
+// recorder is a Handler capturing deliveries.
+type recorder struct {
+	mu   sync.Mutex
+	msgs []coap.Message
+	from []topology.NodeID
+	// echoTo, when set, forwards each delivery once to the given node.
+	echoTo topology.NodeID
+	net    Network
+	self   topology.NodeID
+}
+
+func (r *recorder) Handle(from topology.NodeID, msg coap.Message) {
+	r.mu.Lock()
+	r.msgs = append(r.msgs, msg)
+	r.from = append(r.from, from)
+	echo := r.echoTo
+	r.mu.Unlock()
+	if echo != 0 && msg.Path() != "echoed" {
+		reply := coap.NewRequest(coap.NonConfirmable, coap.POST, 99, "echoed")
+		_ = r.net.Send(r.self, echo, reply)
+	}
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs)
+}
+
+func TestBusDeliversInOrderAndCounts(t *testing.T) {
+	bus, err := NewBus(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := &recorder{}, &recorder{}
+	bus.Register(1, a)
+	bus.Register(2, b)
+	m := coap.NewRequest(coap.NonConfirmable, coap.POST, 1, "intf")
+	m.Payload = []byte("x")
+	if err := bus.Send(1, 2, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Send(2, 1, coap.NewRequest(coap.NonConfirmable, coap.PUT, 2, "part")); err != nil {
+		t.Fatal(err)
+	}
+	end, err := bus.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 || end > 200 {
+		t.Errorf("virtual end time = %f, want (0, 2 slotframes]", end)
+	}
+	if a.count() != 1 || b.count() != 1 {
+		t.Fatalf("deliveries: a=%d b=%d", a.count(), b.count())
+	}
+	if b.msgs[0].Path() != "intf" || string(b.msgs[0].Payload) != "x" {
+		t.Errorf("message corrupted in flight: %+v", b.msgs[0])
+	}
+	if bus.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2", bus.Delivered)
+	}
+	if bus.MessageCount["POST intf"] != 1 || bus.MessageCount["PUT part"] != 1 {
+		t.Errorf("counts = %v", bus.MessageCount)
+	}
+	keys := bus.CountKeys()
+	if len(keys) != 2 || keys[0] != "POST intf" {
+		t.Errorf("CountKeys = %v", keys)
+	}
+	bus.ResetCounters()
+	if bus.Delivered != 0 || len(bus.MessageCount) != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func TestBusUnknownDestination(t *testing.T) {
+	bus, err := NewBus(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Send(1, 9, coap.Message{}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestBusReentrantSend(t *testing.T) {
+	// A handler that sends during Handle: the chain must drain within one
+	// Run call.
+	bus, err := NewBus(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &recorder{}
+	b := &recorder{net: bus, self: 2, echoTo: 1}
+	bus.Register(1, a)
+	bus.Register(2, b)
+	if err := bus.Send(1, 2, coap.NewRequest(coap.NonConfirmable, coap.POST, 1, "ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.count() != 1 {
+		t.Fatalf("echo not delivered: %d", a.count())
+	}
+	if a.msgs[0].Path() != "echoed" {
+		t.Errorf("echo path = %q", a.msgs[0].Path())
+	}
+	if bus.Now() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestBusTimeMonotonic(t *testing.T) {
+	bus, err := NewBus(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	h := &recorder{}
+	bus.Register(1, h)
+	for i := 0; i < 20; i++ {
+		if err := bus.Send(2, 1, coap.NewRequest(coap.NonConfirmable, coap.POST, uint16(i), "t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bus.Register(2, &recorder{})
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_ = times
+	if h.count() != 20 {
+		t.Fatalf("deliveries = %d", h.count())
+	}
+}
+
+func TestLiveDeliveryAndIdle(t *testing.T) {
+	live := NewLive()
+	defer live.Close()
+	a, b := &recorder{}, &recorder{}
+	live.Register(1, a)
+	live.Register(2, b)
+	for i := 0; i < 10; i++ {
+		if err := live.Send(1, 2, coap.NewRequest(coap.NonConfirmable, coap.POST, uint16(i), "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !live.WaitIdle(2 * time.Second) {
+		t.Fatal("network never idle")
+	}
+	if b.count() != 10 {
+		t.Errorf("deliveries = %d, want 10", b.count())
+	}
+	if live.Delivered.Load() != 10 {
+		t.Errorf("Delivered = %d", live.Delivered.Load())
+	}
+	if err := live.Send(1, 9, coap.Message{}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestLiveClose(t *testing.T) {
+	live := NewLive()
+	live.Register(1, &recorder{})
+	live.Close()
+	if err := live.Send(2, 1, coap.Message{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+	live.Close()                  // idempotent
+	live.Register(3, &recorder{}) // no-op after close, must not panic
+}
+
+func TestLiveConcurrentSenders(t *testing.T) {
+	live := NewLive()
+	defer live.Close()
+	sink := &recorder{}
+	live.Register(1, sink)
+	for i := 2; i <= 5; i++ {
+		live.Register(topology.NodeID(i), &recorder{})
+	}
+	var wg sync.WaitGroup
+	for s := 2; s <= 5; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_ = live.Send(topology.NodeID(s), 1, coap.NewRequest(coap.NonConfirmable, coap.POST, uint16(i), "x"))
+			}
+		}(s)
+	}
+	wg.Wait()
+	if !live.WaitIdle(2 * time.Second) {
+		t.Fatal("network never idle")
+	}
+	if sink.count() != 100 {
+		t.Errorf("deliveries = %d, want 100", sink.count())
+	}
+}
+
+func TestBusFIFOPerPair(t *testing.T) {
+	// Messages between one ordered pair never overtake each other, whatever
+	// the sampled latencies — a stale partition grant must not arrive after
+	// a newer one.
+	bus, err := NewBus(100, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recorder{}
+	bus.Register(1, sink)
+	bus.Register(2, &recorder{})
+	for i := 0; i < 50; i++ {
+		if err := bus.Send(2, 1, coap.NewRequest(coap.NonConfirmable, coap.POST, uint16(i), "seq")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 50 {
+		t.Fatalf("deliveries = %d", sink.count())
+	}
+	for i, m := range sink.msgs {
+		if int(m.MessageID) != i {
+			t.Fatalf("message %d delivered out of order (id %d)", i, m.MessageID)
+		}
+	}
+}

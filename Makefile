@@ -1,0 +1,42 @@
+# Development entry points. `make check` is the full CI gate.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt vet fuzz check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The agent fleet is the concurrency hot spot; the race detector plus the
+# harpdebug invariant hooks catch what plain tests miss.
+race:
+	$(GO) test -race ./...
+	$(GO) test -tags harpdebug ./internal/core/ ./internal/agent/ ./internal/invariant/
+
+lint:
+	$(GO) run ./cmd/harplint ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Short smoke of every fuzz target; extend -fuzztime for real campaigns.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecode    -fuzztime=$(FUZZTIME) ./internal/coap/
+	$(GO) test -run=^$$ -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/coap/
+	$(GO) test -run=^$$ -fuzz=FuzzPackStrip -fuzztime=$(FUZZTIME) ./internal/packing/
+	$(GO) test -run=^$$ -fuzz=FuzzGridPack  -fuzztime=$(FUZZTIME) ./internal/packing/
+
+check: fmt vet lint build test race
+
+clean:
+	$(GO) clean ./...

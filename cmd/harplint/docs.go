@@ -1,0 +1,117 @@
+package main
+
+import (
+	"go/ast"
+)
+
+// The docs pass requires a doc comment on every exported package-level
+// identifier (and on the package itself) outside commands. The repo's API
+// surface doubles as the paper-concept glossary — an undocumented exported
+// name is a concept with no anchor back to HARP's sections.
+//
+// Struct fields and interface methods are deliberately not checked: the
+// type's doc comment is the right place for those.
+const passDocs = "docs"
+
+// runDocs applies the docs pass to one unit.
+func runDocs(u *Unit, report func(Finding)) {
+	if u.IsMain() {
+		return
+	}
+	hasPkgDoc := false
+	for _, f := range u.Files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+			break
+		}
+	}
+	if !hasPkgDoc && len(u.Files) > 0 {
+		report(Finding{
+			Pos:     u.Fset.Position(u.Files[0].Package),
+			Pass:    passDocs,
+			Message: "package " + u.Pkg.Name() + " has no package doc comment",
+		})
+	}
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(u, d, report)
+			case *ast.GenDecl:
+				checkGenDeclDoc(u, d, report)
+			}
+		}
+	}
+}
+
+// checkFuncDoc flags exported functions and exported methods on exported
+// types that lack doc comments.
+func checkFuncDoc(u *Unit, fn *ast.FuncDecl, report func(Finding)) {
+	if !fn.Name.IsExported() || fn.Doc != nil {
+		return
+	}
+	kind := "function"
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		// Methods on unexported types are not part of the public API unless
+		// the type is reachable — keep it simple and skip them.
+		if !ast.IsExported(receiverTypeName(fn.Recv.List[0].Type)) {
+			return
+		}
+		kind = "method"
+	}
+	report(Finding{
+		Pos:     u.Fset.Position(fn.Pos()),
+		Pass:    passDocs,
+		Message: "exported " + kind + " " + fn.Name.Name + " has no doc comment",
+	})
+}
+
+// receiverTypeName extracts the base type name from a receiver expression
+// like T, *T, or T[P].
+func receiverTypeName(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// checkGenDeclDoc flags exported types, vars and consts without a doc
+// comment on either the grouped declaration or the individual spec.
+func checkGenDeclDoc(u *Unit, d *ast.GenDecl, report func(Finding)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(Finding{
+					Pos:     u.Fset.Position(s.Pos()),
+					Pass:    passDocs,
+					Message: "exported type " + s.Name.Name + " has no doc comment",
+				})
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(Finding{
+						Pos:     u.Fset.Position(name.Pos()),
+						Pass:    passDocs,
+						Message: "exported identifier " + name.Name + " has no doc comment",
+					})
+					break
+				}
+			}
+		}
+	}
+}

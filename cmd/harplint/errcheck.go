@@ -1,0 +1,150 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The errcheck pass forbids silently discarded error returns in the
+// protocol-critical packages (core planner, agent fleet, transport): a
+// dropped error there means a plan/fleet divergence that surfaces only as
+// a mysterious schedule mismatch much later. Both implicit discards
+// (calling a function for its side effect) and explicit `_ =` discards are
+// flagged — an intentional discard must carry a //harplint:allow errcheck
+// directive stating why it is safe.
+const passErrcheck = "errcheck"
+
+// errcheckScope lists the import-path suffixes the pass applies to.
+var errcheckScope = []string{"internal/core", "internal/agent", "internal/transport"}
+
+// runErrcheck applies the errcheck pass to one unit.
+func runErrcheck(u *Unit, report func(Finding)) {
+	inScope := false
+	for _, s := range errcheckScope {
+		if strings.HasSuffix(u.ImportPath, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, file := range u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(u, call, "result of", report)
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(u, n.Call, "error from goroutine call", report)
+			case *ast.DeferStmt:
+				checkDiscardedCall(u, n.Call, "error from deferred call", report)
+			case *ast.AssignStmt:
+				checkBlankAssign(u, n, report)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call expression yields at least one
+// value of type error, and at which result positions.
+func returnsError(u *Unit, call *ast.CallExpr) []int {
+	tv, ok := u.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil // built-in or invalid
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var idx []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func checkDiscardedCall(u *Unit, call *ast.CallExpr, what string, report func(Finding)) {
+	if len(returnsError(u, call)) == 0 {
+		return
+	}
+	report(Finding{
+		Pos:  u.Fset.Position(call.Pos()),
+		Pass: passErrcheck,
+		Message: what + " " + callName(call) + " discards an error; handle it or annotate " +
+			"with //harplint:allow errcheck",
+	})
+}
+
+// checkBlankAssign flags assignments where every error-typed result of a
+// call lands in the blank identifier.
+func checkBlankAssign(u *Unit, as *ast.AssignStmt, report func(Finding)) {
+	if len(as.Rhs) != 1 {
+		// x, _ = f(), g() style multi-assigns pair one value per position;
+		// handle each RHS call that is single-valued error.
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			if len(returnsError(u, call)) == 1 && isBlank(as.Lhs[i]) {
+				reportBlank(u, call, report)
+			}
+		}
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	errIdx := returnsError(u, call)
+	if len(errIdx) == 0 {
+		return
+	}
+	allBlank := true
+	for _, i := range errIdx {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			allBlank = false
+			break
+		}
+	}
+	if allBlank {
+		reportBlank(u, call, report)
+	}
+}
+
+func reportBlank(u *Unit, call *ast.CallExpr, report func(Finding)) {
+	report(Finding{
+		Pos:  u.Fset.Position(call.Pos()),
+		Pass: passErrcheck,
+		Message: "error from " + callName(call) + " assigned to _; handle it or annotate " +
+			"with //harplint:allow errcheck",
+	})
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callName renders a readable name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture materialises files as a throwaway module and runs the full
+// loader over it, so fixtures exercise the same parse/type-check path as
+// real invocations.
+func loadFixture(t *testing.T, files map[string]string) []*Unit {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fixture\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	units, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return units
+}
+
+// lintFixture runs one pass over a fixture and returns the finding
+// messages.
+func lintFixture(t *testing.T, passName string, files map[string]string) []string {
+	t.Helper()
+	var selected []pass
+	for _, p := range allPasses {
+		if p.name == passName {
+			selected = append(selected, p)
+		}
+	}
+	if len(selected) == 0 {
+		t.Fatalf("unknown pass %q", passName)
+	}
+	findings := Lint(loadFixture(t, files), selected)
+	msgs := make([]string, len(findings))
+	for i, f := range findings {
+		msgs[i] = f.String()
+	}
+	return msgs
+}
+
+func wantFindings(t *testing.T, msgs []string, substrings ...string) {
+	t.Helper()
+	if len(msgs) != len(substrings) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(msgs), len(substrings), strings.Join(msgs, "\n"))
+	}
+	for i, want := range substrings {
+		if !strings.Contains(msgs[i], want) {
+			t.Errorf("finding %d = %q, want substring %q", i, msgs[i], want)
+		}
+	}
+}
+
+func TestDeterminismFlagsWallClockAndGlobalRand(t *testing.T) {
+	msgs := lintFixture(t, "determinism", map[string]string{
+		"fx/fx.go": `// Package fx is a fixture.
+package fx
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp is a seeded violation.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Roll is a seeded violation.
+func Roll() int { return rand.Intn(6) }
+
+// Seeded threads an explicit source and is fine.
+func Seeded(r *rand.Rand) int { return r.Intn(6) }
+`,
+	})
+	wantFindings(t, msgs, "time.Now", "global math/rand.Intn")
+}
+
+func TestDeterminismFlagsMapOrderLeaks(t *testing.T) {
+	msgs := lintFixture(t, "determinism", map[string]string{
+		"fx/fx.go": `// Package fx is a fixture.
+package fx
+
+import "sort"
+
+// Conn is a fixture message sink.
+type Conn struct{}
+
+// Send is a fixture send.
+func (Conn) Send(k int) error { return nil }
+
+// Keys leaks traversal order: the result is never sorted.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is fine: the result is sorted before returning.
+func SortedKeys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Emit sends in traversal order.
+func Emit(m map[int]int, c Conn) {
+	for k := range m {
+		_ = c.Send(k)
+	}
+}
+
+// Rekey writes through the range key and is fine.
+func Rekey(m map[int][]int) map[int][]int {
+	out := make(map[int][]int)
+	for k, v := range m {
+		out[k] = append(out[k], v...)
+	}
+	return out
+}
+`,
+	})
+	wantFindings(t, msgs, "append to out inside map iteration", "message emission inside map iteration")
+}
+
+func TestErrcheckFlagsDiscardsOnlyInScope(t *testing.T) {
+	shared := `// Package fx is a fixture.
+package fx
+
+// Fail is a fixture returning an error.
+func Fail() error { return nil }
+
+// Drop discards implicitly.
+func Drop() { Fail() }
+
+// Blank discards explicitly.
+func Blank() { _ = Fail() }
+
+// Handled is fine.
+func Handled() error { return Fail() }
+
+// Allowed carries a directive.
+func Allowed() {
+	//harplint:allow errcheck
+	_ = Fail()
+}
+`
+	// In scope: the protocol-critical package paths.
+	msgs := lintFixture(t, "errcheck", map[string]string{"internal/core/fx.go": shared})
+	wantFindings(t, msgs, "result of Fail discards an error", "error from Fail assigned to _")
+
+	// Out of scope: same code elsewhere passes.
+	msgs = lintFixture(t, "errcheck", map[string]string{"fx/fx.go": shared})
+	wantFindings(t, msgs)
+}
+
+func TestLocksFlagsCopiesAndUnlockedAccess(t *testing.T) {
+	msgs := lintFixture(t, "locks", map[string]string{
+		"fx/fx.go": `// Package fx is a fixture.
+package fx
+
+import "sync"
+
+// Counter is a mutex-guarded fixture.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the lock.
+func ByValue(c Counter) int { return c.n }
+
+// Bad touches a guarded field without locking.
+func (c *Counter) Bad() { c.n++ }
+
+// Good locks first.
+func (c *Counter) Good() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+//harplint:locked — fixture: callers hold c.mu.
+func (c *Counter) Annotated() int { return c.n }
+`,
+	})
+	wantFindings(t, msgs,
+		"parameter of ByValue copies a type containing a sync lock",
+		"guarded field n without holding mu",
+	)
+}
+
+func TestLocksFlagsDereferenceCopy(t *testing.T) {
+	msgs := lintFixture(t, "locks", map[string]string{
+		"fx/fx.go": `// Package fx is a fixture.
+package fx
+
+import "sync"
+
+// Guarded is a fixture with an embedded lock.
+type Guarded struct {
+	mu sync.Mutex
+}
+
+// Snapshot copies the lock through a dereference.
+func Snapshot(g *Guarded) Guarded { x := *g; return x }
+`,
+	})
+	if len(msgs) == 0 || !strings.Contains(msgs[0], "dereference copies a value containing a sync lock") {
+		t.Fatalf("want dereference-copy finding, got: %v", msgs)
+	}
+}
+
+func TestDocsFlagsUndocumentedExports(t *testing.T) {
+	msgs := lintFixture(t, "docs", map[string]string{
+		"fx/fx.go": `package fx
+
+func Exported() {}
+
+// Documented is fine.
+func Documented() {}
+
+type Thing int
+
+// Limit is fine.
+const Limit = 4
+
+var Count int
+
+func unexported() {}
+`,
+	})
+	wantFindings(t, msgs,
+		"package fx has no package doc comment",
+		"exported function Exported has no doc comment",
+		"exported type Thing has no doc comment",
+		"exported identifier Count has no doc comment",
+	)
+}
+
+func TestDirectiveSuppression(t *testing.T) {
+	msgs := lintFixture(t, "determinism", map[string]string{
+		"fx/fx.go": `// Package fx is a fixture.
+package fx
+
+import "time"
+
+// SameLine is suppressed by a trailing directive.
+func SameLine() int64 { return time.Now().Unix() } //harplint:allow determinism
+
+// PrevLine is suppressed by the preceding line.
+func PrevLine() int64 {
+	//harplint:allow determinism
+	return time.Now().Unix()
+}
+`,
+		"fw/fw.go": `// Package fw is a fixture with a file-wide allow.
+//harplint:file-allow determinism
+package fw
+
+import "time"
+
+// Anywhere is suppressed file-wide.
+func Anywhere() int64 { return time.Now().Unix() }
+`,
+	})
+	wantFindings(t, msgs)
+}
+
+func TestHarplintCleanOnOwnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module against $GOROOT/src")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := Load(cwd, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Lint(units, allPasses)
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,392 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Unit is one type-checked package: the parsed (non-test) files plus the
+// go/types objects the passes query. Loading is go/packages-free by design
+// — the module graph is small, and a stdlib-only loader keeps harplint
+// dependency-free and fast to bootstrap in CI.
+type Unit struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// IsMain reports whether the unit is a command (package main).
+func (u *Unit) IsMain() bool { return u.Pkg.Name() == "main" }
+
+// parsedPkg is a package after parsing but before type-checking.
+type parsedPkg struct {
+	importPath string
+	dir        string
+	files      []*ast.File
+	imports    []string // module-local imports only
+}
+
+// moduleRoot walks up from dir until it finds go.mod, returning the root
+// directory and the module path.
+func moduleRoot(dir string) (string, string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("harplint: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("harplint: no go.mod above %s", abs)
+		}
+	}
+}
+
+// expandPatterns resolves command-line package patterns ("./...", "./dir",
+// "dir/...") into package directories under the module root.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := walkPackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(strings.TrimSuffix(pat, "/..."), "./")))
+			walked, err := walkPackageDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				add(d)
+			}
+		default:
+			add(filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// walkPackageDirs lists every directory under base that contains at least
+// one non-test .go file, skipping hidden, underscore, vendor and testdata
+// trees.
+func walkPackageDirs(base string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "vendor" || name == "testdata") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// buildTagSatisfied evaluates a file's //go:build constraint (if any)
+// against the default build configuration: the host GOOS/GOARCH, the gc
+// toolchain, and no custom tags — so harpdebug-style debug files are
+// analysed in their default (disabled) variant.
+func buildTagSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc":
+					return true
+				case "unix":
+					return runtime.GOOS == "linux" || runtime.GOOS == "darwin"
+				}
+				if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+					if minor, err := strconv.Atoi(rest); err == nil {
+						return minor <= goMinorVersion()
+					}
+				}
+				return false
+			})
+		}
+	}
+	return true
+}
+
+// goMinorVersion extracts the running toolchain's minor version (e.g. 24
+// for go1.24.0).
+func goMinorVersion() int {
+	v := strings.TrimPrefix(runtime.Version(), "go1.")
+	if i := strings.IndexByte(v, '.'); i >= 0 {
+		v = v[:i]
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 99 // devel builds satisfy everything
+	}
+	return n
+}
+
+// parseDir parses the default-build non-test files of one package
+// directory into a parsedPkg, or nil if the directory holds no such files.
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*parsedPkg, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsedPkg{importPath: importPath, dir: dir}
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !buildTagSatisfied(f) {
+			continue
+		}
+		p.files = append(p.files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[path] = true
+			}
+		}
+	}
+	if len(p.files) == 0 {
+		return nil, nil
+	}
+	for imp := range importSet {
+		if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+			p.imports = append(p.imports, imp)
+		}
+	}
+	sort.Strings(p.imports)
+	return p, nil
+}
+
+// moduleImporter resolves module-local import paths from the already
+// type-checked units and everything else (the standard library) through the
+// source importer, which builds type information from $GOROOT/src.
+type moduleImporter struct {
+	modulePath string
+	local      map[string]*types.Package
+	std        types.ImporterFrom
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.modulePath || strings.HasPrefix(path, m.modulePath+"/") {
+		if pkg, ok := m.local[path]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("harplint: module package %s not loaded yet (import cycle?)", path)
+	}
+	return m.std.ImportFrom(path, "", 0)
+}
+
+// Load parses and type-checks the packages matched by patterns, returning
+// one Unit per matched package in dependency order. Module-local
+// dependencies of matched packages are type-checked too (they must be, for
+// go/types to resolve cross-package references) but yield no Unit.
+func Load(startDir string, patterns []string) ([]*Unit, error) {
+	root, modPath, err := moduleRoot(startDir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	byPath := make(map[string]*parsedPkg)
+	matched := make(map[string]bool)
+	for _, dir := range dirs {
+		p, err := parseDir(fset, root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue
+		}
+		byPath[p.importPath] = p
+		matched[p.importPath] = true
+	}
+
+	// Pull in unmatched module-local dependencies transitively.
+	queue := make([]string, 0, len(byPath))
+	for path := range byPath {
+		queue = append(queue, path)
+	}
+	sort.Strings(queue)
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		for _, dep := range byPath[path].imports {
+			if _, ok := byPath[dep]; ok {
+				continue
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(dep, modPath), "/")
+			p, err := parseDir(fset, root, modPath, filepath.Join(root, filepath.FromSlash(rel)))
+			if err != nil {
+				return nil, err
+			}
+			if p == nil {
+				return nil, fmt.Errorf("harplint: cannot locate module package %s", dep)
+			}
+			byPath[dep] = p
+			queue = append(queue, dep)
+		}
+	}
+
+	sorted, err := topoSort(byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		modulePath: modPath,
+		local:      make(map[string]*types.Package),
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	var units []*Unit
+	for _, path := range sorted {
+		p := byPath[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("harplint: type-checking %s: %w", path, err)
+		}
+		imp.local[path] = pkg
+		if matched[path] {
+			units = append(units, &Unit{
+				ImportPath: path,
+				Dir:        p.dir,
+				Fset:       fset,
+				Files:      p.files,
+				Pkg:        pkg,
+				Info:       info,
+			})
+		}
+	}
+	return units, nil
+}
+
+// topoSort orders packages so every module-local import precedes its
+// importer, failing on cycles.
+func topoSort(byPath map[string]*parsedPkg) ([]string, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	const (
+		white = iota
+		grey
+		black
+	)
+	state := make(map[string]int, len(paths))
+	var out []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("harplint: import cycle through %s", p)
+		}
+		state[p] = grey
+		for _, dep := range byPath[p].imports {
+			if _, present := byPath[dep]; present {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = black
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

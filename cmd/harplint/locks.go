@@ -1,0 +1,264 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The locks pass enforces two disciplines around sync primitives:
+//
+//  1. mutexcopy — no function receives (or dereference-copies) a value
+//     whose type transitively contains a sync lock; a copied mutex guards
+//     nothing.
+//  2. lock-discipline — a method on a struct with a `mu` mutex field that
+//     touches the struct's other fields must either take the lock in its
+//     body or be annotated //harplint:locked, documenting that callers
+//     hold mu. This makes the owner-goroutine contract of agent.Node and
+//     transport.Bus machine-checked instead of tribal knowledge.
+//
+// Fields of sync/atomic types are exempt from (2): they are safe to touch
+// without the mutex by construction.
+const passLocks = "locks"
+
+// syncLockTypes are the sync types whose copy is always a bug.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// runLocks applies the locks pass to one unit.
+func runLocks(u *Unit, report func(Finding)) {
+	for _, file := range u.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(u, fn, report)
+			checkLockDiscipline(u, fn, report)
+		}
+	}
+}
+
+// containsLock reports whether t transitively contains one of the sync
+// lock types by value. depth caps recursion through self-referential
+// generics; pointer indirection stops the walk (a *Mutex is shareable).
+func containsLock(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+		return containsLock(t.Underlying(), depth+1)
+	case *types.Alias:
+		return containsLock(types.Unalias(t), depth+1)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), depth+1)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value receivers and parameters of
+// lock-containing types, plus `x := *p` copies of such values.
+func checkLockCopies(u *Unit, fn *ast.FuncDecl, report func(Finding)) {
+	flagField := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := u.Info.Types[f.Type].Type
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t, 0) {
+				report(Finding{
+					Pos:  u.Fset.Position(f.Type.Pos()),
+					Pass: passLocks,
+					Message: kind + " of " + fn.Name.Name + " copies a type containing a sync lock; " +
+						"pass a pointer",
+				})
+			}
+		}
+	}
+	flagField(fn.Recv, "receiver")
+	flagField(fn.Type.Params, "parameter")
+	if fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			star, ok := rhs.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			t := u.Info.Types[star].Type
+			if t != nil && containsLock(t, 0) {
+				report(Finding{
+					Pos:  u.Fset.Position(star.Pos()),
+					Pass: passLocks,
+					Message: "dereference copies a value containing a sync lock; " +
+						"keep the pointer",
+				})
+			}
+		}
+		return true
+	})
+}
+
+// checkLockDiscipline flags methods of mutex-guarded structs that touch
+// guarded fields without locking or a //harplint:locked annotation.
+func checkLockDiscipline(u *Unit, fn *ast.FuncDecl, report func(Finding)) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || fn.Body == nil {
+		return
+	}
+	recvField := fn.Recv.List[0]
+	if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+		return
+	}
+	recvObj := u.Info.Defs[recvField.Names[0]]
+	if recvObj == nil {
+		return
+	}
+	st, muName := guardedStruct(recvObj.Type())
+	if st == nil {
+		return
+	}
+	if hasLockedDirective(u, fn) {
+		return
+	}
+	guarded := guardedFields(st, muName)
+	touched, firstUse := findGuardedAccess(u, fn.Body, recvObj, guarded)
+	if touched == "" {
+		return
+	}
+	if locksInBody(u, fn.Body, recvObj, muName) {
+		return
+	}
+	report(Finding{
+		Pos:  firstUse,
+		Pass: passLocks,
+		Message: "method " + fn.Name.Name + " reads/writes guarded field " + touched +
+			" without holding " + muName + "; lock it or annotate the method //harplint:locked",
+	})
+}
+
+// guardedStruct unwraps a receiver type to a struct containing a sync
+// mutex field named mu (or the sole mutex field, whatever its name),
+// returning the struct and the mutex field name.
+func guardedStruct(t types.Type) (*types.Struct, string) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if named, ok := f.Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				return st, f.Name()
+			}
+		}
+	}
+	return nil, ""
+}
+
+// guardedFields lists the struct's fields the mutex protects: everything
+// except the mutex itself and sync/atomic values.
+func guardedFields(st *types.Struct, muName string) map[string]bool {
+	out := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == muName || isAtomicType(f.Type()) {
+			continue
+		}
+		out[f.Name()] = true
+	}
+	return out
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// findGuardedAccess returns the first guarded field of recv the body
+// touches directly (recv.field), if any.
+func findGuardedAccess(u *Unit, body *ast.BlockStmt, recv types.Object, guarded map[string]bool) (string, token.Position) {
+	var name string
+	var pos token.Position
+	ast.Inspect(body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || u.Info.Uses[id] != recv {
+			return true
+		}
+		if guarded[sel.Sel.Name] {
+			// Only direct field selections count; method calls on the
+			// receiver are the callee's concern.
+			if s, ok := u.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				name = sel.Sel.Name
+				pos = u.Fset.Position(sel.Pos())
+			}
+		}
+		return true
+	})
+	return name, pos
+}
+
+// locksInBody reports whether the body calls recv.<mu>.Lock/RLock.
+func locksInBody(u *Unit, body *ast.BlockStmt, recv types.Object, muName string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != muName {
+			return true
+		}
+		id, ok := inner.X.(*ast.Ident)
+		if ok && u.Info.Uses[id] == recv {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,115 @@
+// Command harplint is the HARP repo's project-specific static analyzer.
+// It type-checks the module with nothing but the standard library (go/ast,
+// go/parser, go/types and a custom module loader — no go/packages) and
+// runs four passes tuned to this codebase's correctness contract:
+//
+//	determinism — no wall-clock reads, no global math/rand, no map
+//	              iteration order leaking into scheduling decisions;
+//	errcheck    — no discarded error returns in internal/core,
+//	              internal/agent, internal/transport;
+//	locks       — no copied sync locks, and mutex-guarded struct fields
+//	              only touched under the lock or behind an explicit
+//	              //harplint:locked caller-holds-lock annotation;
+//	docs        — every exported identifier documented.
+//
+// Findings are suppressed in place with `//harplint:allow <pass>` on the
+// offending (or preceding) line, or `//harplint:file-allow <pass>` for a
+// whole file. Exit status is 1 if any finding survives, 0 otherwise.
+//
+// Usage:
+//
+//	harplint [-pass determinism,errcheck,locks,docs] [packages]
+//
+// Packages default to ./... relative to the enclosing module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// pass couples a pass name with its implementation.
+type pass struct {
+	name string
+	run  func(*Unit, func(Finding))
+}
+
+// allPasses is the registry, in report order.
+var allPasses = []pass{
+	{passDeterminism, runDeterminism},
+	{passErrcheck, runErrcheck},
+	{passLocks, runLocks},
+	{passDocs, runDocs},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("harplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	passList := fs.String("pass", "", "comma-separated subset of passes to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	selected := allPasses
+	if *passList != "" {
+		byName := make(map[string]pass, len(allPasses))
+		for _, p := range allPasses {
+			byName[p.name] = p
+		}
+		selected = nil
+		for _, name := range strings.Split(*passList, ",") {
+			p, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "harplint: unknown pass %q\n", name)
+				return 2
+			}
+			selected = append(selected, p)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "harplint:", err)
+		return 2
+	}
+	units, err := Load(cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	findings := Lint(units, selected)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "harplint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// Lint runs the selected passes over the units and returns the surviving
+// (non-suppressed) findings in stable order.
+func Lint(units []*Unit, passes []pass) []Finding {
+	var findings []Finding
+	for _, u := range units {
+		idx := collectDirectives(u)
+		for _, p := range passes {
+			p.run(u, func(f Finding) {
+				if !idx.allows(f.Pass, f.Pos) {
+					findings = append(findings, f)
+				}
+			})
+		}
+	}
+	sortFindings(findings)
+	return findings
+}

@@ -46,6 +46,13 @@ type dirState struct {
 	pendingLayouts map[int]core.Layout
 	pendingComps   map[int]map[topology.NodeID]core.Component
 
+	// deferred queues adjust requests that arrived at a layer while an
+	// escalation for that layer was still in flight; they replay once the
+	// parent's grant commits the pending recomposition. Without this queue,
+	// concurrent escalations through a shared ancestor overwrite each
+	// other's pending state and one request is silently lost.
+	deferred map[int][]deferredAdjust
+
 	// parts are the partitions granted by the parent (or self-allocated at
 	// the gateway), keyed by layer.
 	parts map[int]schedule.Region
@@ -72,7 +79,14 @@ func newDirState() *dirState {
 		parts:          make(map[int]schedule.Region),
 		assignment:     make(map[topology.NodeID][]schedule.Cell),
 		sentRegions:    make(map[int]map[topology.NodeID]schedule.Region),
+		deferred:       make(map[int][]deferredAdjust),
 	}
+}
+
+// deferredAdjust is one queued hostChildComponent call.
+type deferredAdjust struct {
+	from topology.NodeID
+	comp core.Component
 }
 
 // Node is one HARP protocol agent.
@@ -103,24 +117,32 @@ type Node struct {
 	Rejections int
 }
 
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) dir(d topology.Direction) *dirState { return n.dirs[d] }
 
 // ID returns the node's identifier.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) ID() topology.NodeID { return n.id }
 
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) nextMsgID() uint16 {
 	n.msgID++
 	return n.msgID
 }
 
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) isGateway() bool { return n.parent == topology.None }
 
 // send builds and transmits a CoAP request carrying a HARP payload.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) send(to topology.NodeID, method coap.Code, path string, payload []byte) {
 	msg := coap.NewRequest(coap.NonConfirmable, method, n.nextMsgID(), path)
 	msg.Payload = payload
 	// Transport errors indicate a mis-deployed fleet; agents cannot repair
 	// that, so the failure surfaces via the transport's own accounting.
+	//harplint:allow errcheck
 	_ = n.net.Send(n.id, to, msg)
 }
 
@@ -174,6 +196,8 @@ func (n *Node) start() {
 // onInterfaceReport stores a child's interface; when all non-leaf children
 // have reported, this node composes its own interface and forwards it (or
 // allocates, at the gateway).
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) onInterfaceReport(m proto.InterfaceReport) {
 	n.dir(topology.Uplink).childIfaces[m.Owner] = m.Up
 	n.dir(topology.Downlink).childIfaces[m.Owner] = m.Down
@@ -185,6 +209,8 @@ func (n *Node) onInterfaceReport(m proto.InterfaceReport) {
 
 // computeAndForwardInterface runs interface generation (§IV-B) for both
 // directions, then reports upward or allocates at the gateway.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) computeAndForwardInterface() {
 	for _, d := range topology.Directions() {
 		n.computeInterface(d)
@@ -207,6 +233,7 @@ func (n *Node) computeAndForwardInterface() {
 	n.send(n.parent, coap.POST, proto.PathInterface, proto.EncodeInterfaceReport(report))
 }
 
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) computeInterface(d topology.Direction) {
 	st := n.dir(d)
 	comps := make([]core.Component, 0, n.maxLayer-n.ownLayer+1)
@@ -242,6 +269,8 @@ func (n *Node) computeInterface(d topology.Direction) {
 }
 
 // allocateRoot is the gateway's partition allocation (§IV-C).
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) allocateRoot() {
 	up := core.Interface{Owner: n.id, FirstLayer: n.dir(topology.Uplink).iface.FirstLayer, Comps: n.dir(topology.Uplink).iface.Comps}
 	down := core.Interface{Owner: n.id, FirstLayer: n.dir(topology.Downlink).iface.FirstLayer, Comps: n.dir(topology.Downlink).iface.Comps}
@@ -259,6 +288,8 @@ func (n *Node) allocateRoot() {
 // settle consumes this node's partitions: RM assignment at the own layer,
 // splitting and dissemination at deeper layers (one POST /part per
 // non-leaf child).
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) settle() {
 	type grant struct {
 		entries []proto.PartitionEntry
@@ -301,6 +332,16 @@ func (n *Node) settle() {
 		}
 		n.send(c, coap.POST, proto.PathPartition, proto.EncodePartitionSet(proto.PartitionSet{Entries: entries}))
 	}
+	if debugChecks {
+		n.debugCheckAssignments("settle")
+		for _, d := range topology.Directions() {
+			for layer := range n.dir(d).parts {
+				if layer != n.ownLayer {
+					n.debugCheckGrants("settle", d, layer)
+				}
+			}
+		}
+	}
 }
 
 // onPartitionSet installs the partitions granted by the parent and
@@ -314,6 +355,8 @@ func (n *Node) onPartitionSet(m proto.PartitionSet) {
 
 // assignOwn runs RM assignment inside the own-layer partition and notifies
 // children whose cells changed.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) assignOwn(d topology.Direction) {
 	st := n.dir(d)
 	region, ok := st.parts[n.ownLayer]
@@ -349,6 +392,76 @@ func (n *Node) assignOwn(d topology.Direction) {
 		}
 	}
 	st.assignment = next
+	n.debugCheckAssignments("assignOwn")
+}
+
+// debugCheckAssignments validates that every non-empty own-layer cell
+// assignment sits inside the own-layer partition, in both directions. This
+// must hold at every quiescent point of the protocol, even mid-adjustment.
+// Compiled out unless built with -tags harpdebug; callers hold n.mu.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
+func (n *Node) debugCheckAssignments(op string) {
+	if !debugChecks {
+		return
+	}
+	for _, d := range topology.Directions() {
+		st := n.dir(d)
+		own, hasOwn := st.parts[n.ownLayer]
+		for child, cells := range st.assignment {
+			if len(cells) == 0 {
+				continue
+			}
+			if !hasOwn {
+				panic(fmt.Sprintf("harpdebug: node %d after %s: %s cells for child %d without an own-layer partition",
+					n.id, op, d, child))
+			}
+			for _, c := range cells {
+				if !own.Contains(c) {
+					panic(fmt.Sprintf("harpdebug: node %d after %s: %s cell %v for child %d outside partition %v",
+						n.id, op, d, c, child, own))
+				}
+			}
+		}
+	}
+}
+
+// debugCheckGrants validates the grants a node just (re)computed for one
+// layer in one direction: each child's region inside the node's partition
+// at that layer, and the regions pairwise disjoint. Only the layer just
+// modified is checked — grants at other layers are a send-dedup cache and
+// may legitimately be stale until that layer's own partition update
+// arrives. Compiled out unless built with -tags harpdebug; callers hold
+// n.mu.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
+func (n *Node) debugCheckGrants(op string, d topology.Direction, layer int) {
+	if !debugChecks {
+		return
+	}
+	st := n.dir(d)
+	byChild := st.sentRegions[layer]
+	region, ok := st.parts[layer]
+	ids := make([]topology.NodeID, 0, len(byChild))
+	for child, r := range byChild {
+		if r.Empty() {
+			continue
+		}
+		if !ok || !region.ContainsRegion(r) {
+			panic(fmt.Sprintf("harpdebug: node %d after %s: granted %v to child %d outside its layer-%d %s partition",
+				n.id, op, r, child, layer, d))
+		}
+		ids = append(ids, child)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			if byChild[ids[i]].Overlaps(byChild[ids[j]]) {
+				panic(fmt.Sprintf("harpdebug: node %d after %s: grants to children %d and %d overlap at layer %d %s",
+					n.id, op, ids[i], ids[j], layer, d))
+			}
+		}
+	}
 }
 
 func cellsEqual(a, b []schedule.Cell) bool {
@@ -389,6 +502,8 @@ func (n *Node) SetChildDemand(child topology.NodeID, d topology.Direction, cells
 }
 
 // applyChildDemand is SetChildDemand's body; callers hold n.mu.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) applyChildDemand(child topology.NodeID, d topology.Direction, cells int, topRate float64) {
 	st := n.dir(d)
 	old := st.demand[child]
@@ -412,6 +527,8 @@ func (n *Node) applyChildDemand(child topology.NodeID, d topology.Direction, cel
 
 // escalate requests a grown component at the given layer from the parent,
 // or — at the gateway — widens its own layer partition in place.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) escalate(d topology.Direction, layer int, comp core.Component) {
 	if n.isGateway() {
 		if !n.rootWiden(d, layer, comp) {
@@ -450,6 +567,8 @@ func (n *Node) RequestDemand(d topology.Direction, cells int) error {
 // onAdjustRequest handles a child's PUT /intf: feasibility test (Problem 2)
 // plus the cost-aware adjustment (Alg. 2), escalating when the local
 // partition cannot host the increase.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) onAdjustRequest(from topology.NodeID, m proto.AdjustRequest) {
 	layer := m.Layer
 	if layer == n.ownLayer && containsNode(n.children, from) {
@@ -465,8 +584,17 @@ func (n *Node) onAdjustRequest(from topology.NodeID, m proto.AdjustRequest) {
 // at one layer: Alg. 2 inside the current partition when possible,
 // otherwise minimal extension and escalation (or in-place extension at the
 // gateway).
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, layer int, comp core.Component) {
 	st := n.dir(d)
+	if _, busy := st.pendingLayouts[layer]; busy {
+		// An escalation for this layer is in flight: its pending layout was
+		// computed without this request, and recomputing now would clobber
+		// it. Queue the request; applyPartition replays it after the grant.
+		st.deferred[layer] = append(st.deferred[layer], deferredAdjust{from: from, comp: comp})
+		return
+	}
 	if region, ok := st.parts[layer]; ok {
 		newLayout, moved, fits := core.AdjustLayout(region.Slots, region.Channels,
 			st.layouts[layer], st.childComps[layer], from, comp)
@@ -488,6 +616,7 @@ func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, la
 					Direction: d, Layer: layer, Region: r,
 				}))
 			}
+			n.debugCheckGrants("hostChildComponent", d, layer)
 			return
 		}
 	}
@@ -524,6 +653,8 @@ func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, la
 // the release case of §V. Its components disappear from every layer; the
 // freed cells stay idle inside this branch's partitions, and the own-layer
 // schedule shrinks.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) onChildLeave(from topology.NodeID) {
 	if !containsNode(n.children, from) {
 		return
@@ -552,6 +683,8 @@ func (n *Node) onChildLeave(from topology.NodeID) {
 // attached under this node after a topology change. Every layer of the
 // reported interface is hosted through the ordinary adjustment machinery,
 // then the new link's demand is absorbed like a traffic change.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) onChildJoin(m proto.InterfaceReport) {
 	if !containsNode(n.children, m.Owner) {
 		n.children = insertNode(n.children, m.Owner)
@@ -631,6 +764,8 @@ func totalWidth(widths map[core.DirLayer]int) int {
 // reflowRoot lays the layer partitions out as ordered intervals with
 // minimal movement and applies the changed ones (applyPartition skips
 // descendants whose regions are unchanged).
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) reflowRoot(widths, chans map[core.DirLayer]int, target core.DirLayer) bool {
 	comps := make(map[core.DirLayer]core.Component, len(widths))
 	for k, w := range widths {
@@ -667,6 +802,8 @@ func (n *Node) reflowRoot(widths, chans map[core.DirLayer]int, target core.DirLa
 }
 
 // rootWiden grows the gateway's own-layer partition to the requested width.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) rootWiden(d topology.Direction, layer int, comp core.Component) bool {
 	widths, chans := n.rootIntervals()
 	key := core.DirLayer{Direction: d, Layer: layer}
@@ -680,6 +817,8 @@ func (n *Node) rootWiden(d topology.Direction, layer int, comp core.Component) b
 
 // rootHost extends the gateway's layer partition just enough to host a
 // grown child component, keeping that layer's other children in place.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) rootHost(d topology.Direction, layer int, cur topology.NodeID, curComp core.Component) bool {
 	if curComp.Channels > n.frame.Channels {
 		return false
@@ -729,6 +868,8 @@ func (n *Node) onPartitionUpdate(m proto.PartitionUpdate) {
 
 // applyPartition installs a new partition at one layer, committing any
 // pending recomposition, and pushes the consequences downward.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) applyPartition(d topology.Direction, layer int, region schedule.Region) {
 	st := n.dir(d)
 	st.parts[layer] = region
@@ -758,6 +899,16 @@ func (n *Node) applyPartition(d topology.Direction, layer int, region schedule.R
 		n.send(child, coap.PUT, proto.PathPartition, proto.EncodePartitionUpdate(proto.PartitionUpdate{
 			Direction: d, Layer: layer, Region: r,
 		}))
+	}
+	n.debugCheckGrants("applyPartition", d, layer)
+	// Replay adjust requests that queued behind the just-committed
+	// escalation; against the new partition they either fit or escalate
+	// afresh.
+	if q := st.deferred[layer]; len(q) > 0 {
+		delete(st.deferred, layer)
+		for _, da := range q {
+			n.hostChildComponent(da.from, d, layer, da.comp)
+		}
 	}
 }
 
@@ -798,6 +949,7 @@ func (n *Node) resetResources() {
 		st.parts = make(map[int]schedule.Region)
 		st.assignment = make(map[topology.NodeID][]schedule.Cell)
 		st.sentRegions = make(map[int]map[topology.NodeID]schedule.Region)
+		st.deferred = make(map[int][]deferredAdjust)
 		st.iface = proto.DirInterface{}
 	}
 }

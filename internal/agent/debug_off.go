@@ -1,0 +1,8 @@
+//go:build !harpdebug
+
+package agent
+
+// debugChecks gates the per-node local invariant validation. The default
+// build compiles it out entirely; build with -tags harpdebug to re-check a
+// node's local schedule and partition-grant state after every mutation.
+const debugChecks = false

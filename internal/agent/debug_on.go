@@ -1,0 +1,11 @@
+//go:build harpdebug
+
+package agent
+
+// debugChecks enables the per-node local invariant validation: after every
+// local cell (re)assignment and partition installation, the node checks
+// that its assignments sit inside its own-layer partition and that the
+// partitions it granted to children are contained and mutually disjoint,
+// panicking on the first violation. These properties must hold at every
+// message-handling quiescent point, even mid-protocol.
+const debugChecks = true

@@ -1,0 +1,92 @@
+package agent_test
+
+// External-package test: drives the agent fleet through its public API and
+// cross-checks it against the centralized planner with internal/invariant
+// after every dynamic adjustment — the paper's claim that distributed and
+// centralized HARP compute identical partitions, kept as an executable
+// assertion. It lives outside package agent because invariant imports
+// agent.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/harpnet/harp/internal/agent"
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/invariant"
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/transport"
+)
+
+func integrationFrame() schedule.Slotframe {
+	return schedule.Slotframe{Slots: 400, Channels: 16, DataSlots: 360, SlotDuration: 10 * time.Millisecond}
+}
+
+// deployEcho stands up a fleet over a virtual-time bus plus the matching
+// centralized plan for the same inputs.
+func deployEcho(t *testing.T, tree *topology.Tree, rate float64) (*agent.Fleet, *transport.Bus, *core.Plan) {
+	t.Helper()
+	tasks, err := traffic.UniformEcho(tree, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := integrationFrame()
+	bus, err := transport.NewBus(frame.Slots, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := agent.Deploy(tree, frame, demand, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Start()
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(tree.Clone(), frame, demand, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet, bus, plan
+}
+
+func TestFleetInvariantsTrackCentralizedPlan(t *testing.T) {
+	fleet, bus, plan := deployEcho(t, topology.Testbed50(), 1)
+	if err := invariant.CheckFleet(fleet, plan); err != nil {
+		t.Fatalf("after static phase: %v", err)
+	}
+	// Apply the same adjustment stream to both executions; after each, the
+	// fleet must satisfy the partition invariants and still mirror the
+	// planner exactly.
+	steps := []struct {
+		child topology.NodeID
+		dir   topology.Direction
+		cells int
+	}{
+		{10, topology.Uplink, 3},
+		{11, topology.Downlink, 6},
+		{10, topology.Uplink, 1}, // release
+		{15, topology.Uplink, 5},
+	}
+	for i, s := range steps {
+		l := topology.Link{Child: s.child, Direction: s.dir}
+		if err := fleet.SetLinkDemand(l, s.cells, float64(s.cells)); err != nil {
+			t.Fatalf("step %d fleet: %v", i, err)
+		}
+		if _, err := bus.Run(); err != nil {
+			t.Fatalf("step %d bus: %v", i, err)
+		}
+		if _, err := plan.SetLinkDemand(l, s.cells, float64(s.cells)); err != nil {
+			t.Fatalf("step %d plan: %v", i, err)
+		}
+		if err := invariant.CheckFleet(fleet, plan); err != nil {
+			t.Fatalf("step %d (%v -> %d cells): %v", i, l, s.cells, err)
+		}
+	}
+}

@@ -25,6 +25,7 @@ const (
 	Reset           Type = 3
 )
 
+// String names the CoAP message type (CON/NON/ACK/RST).
 func (t Type) String() string {
 	switch t {
 	case Confirmable:
@@ -66,6 +67,7 @@ func (c Code) Class() uint8 { return uint8(c) >> 5 }
 // Detail returns the code detail.
 func (c Code) Detail() uint8 { return uint8(c) & 0x1f }
 
+// String renders the code in the CoAP class.detail notation (e.g. 2.05).
 func (c Code) String() string {
 	switch c {
 	case GET:

@@ -26,6 +26,7 @@ const (
 	CaseRejected
 )
 
+// String names the adjustment case for reports and logs.
 func (c Case) String() string {
 	switch c {
 	case CaseRelease:
@@ -82,6 +83,19 @@ func (a *Adjustment) touch(id topology.NodeID) {
 	a.affected[id] = true
 }
 
+// debugCheck re-validates the whole plan after a dynamic adjustment when
+// the package is built with -tags harpdebug. A violation here is a bug in
+// the adjustment machinery itself, not a caller error, so it panics rather
+// than returning an error the caller could swallow.
+func (p *Plan) debugCheck(op string) {
+	if !debugChecks {
+		return
+	}
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("harpdebug: plan invariant violated after %s: %v", op, err))
+	}
+}
+
 // SetLinkDemand applies a traffic change to one link and performs HARP's
 // dynamic partition adjustment (§V): decreases release cells locally;
 // increases are absorbed by the parent's partition when it has slack
@@ -110,6 +124,7 @@ func (p *Plan) SetLinkDemand(l topology.Link, cells int, topRate float64) (*Adju
 		if err := p.rescheduleOwn(parent, l.Direction, adj); err != nil {
 			return nil, err
 		}
+		p.debugCheck("SetLinkDemand(release)")
 		return adj, nil
 	}
 
@@ -123,8 +138,10 @@ func (p *Plan) SetLinkDemand(l topology.Link, cells int, topRate float64) (*Adju
 		p.demand[l] = oldCells
 		p.topRate[l] = oldRate
 		adj.Case = CaseRejected
+		p.debugCheck("SetLinkDemand(rejected rollback)")
 		return adj, nil
 	}
+	p.debugCheck("SetLinkDemand(increase)")
 	return adj, nil
 }
 

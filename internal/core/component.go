@@ -41,6 +41,7 @@ func (c Component) Cells() int {
 	return c.Slots * c.Channels
 }
 
+// String renders the component as its [slots,channels] demand pair.
 func (c Component) String() string { return fmt.Sprintf("[%d,%d]", c.Slots, c.Channels) }
 
 // Region places the component at an origin, yielding the geometric footprint
@@ -80,6 +81,7 @@ func (i Interface) TotalCells() int {
 	return total
 }
 
+// String renders the interface as its per-layer component list.
 func (i Interface) String() string {
 	return fmt.Sprintf("I_%d(l=%d..%d %v)", i.Owner, i.FirstLayer, i.LastLayer(), i.Comps)
 }

@@ -1,0 +1,8 @@
+//go:build !harpdebug
+
+package core
+
+// debugChecks gates the post-adjustment invariant validation. The default
+// build compiles it out entirely; build with -tags harpdebug to re-check
+// the full plan after every dynamic adjustment.
+const debugChecks = false

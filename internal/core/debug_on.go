@@ -1,0 +1,9 @@
+//go:build harpdebug
+
+package core
+
+// debugChecks enables the post-adjustment invariant validation: every
+// successful SetLinkDemand and Reparent re-validates the whole plan and
+// panics on the first violated invariant, turning a silent scheduling
+// corruption into an immediate, attributable failure.
+const debugChecks = true

@@ -166,8 +166,8 @@ func (p *Plan) childLinkDemands(id topology.NodeID, dir topology.Direction) []Li
 func (p *Plan) nodesByDepthDesc() []topology.NodeID {
 	ids := p.Tree.Nodes()
 	sort.Slice(ids, func(i, j int) bool {
-		di, _ := p.Tree.Depth(ids[i])
-		dj, _ := p.Tree.Depth(ids[j])
+		di, _ := p.Tree.Depth(ids[i]) //harplint:allow errcheck — ids come from the tree itself
+		dj, _ := p.Tree.Depth(ids[j]) //harplint:allow errcheck
 		if di != dj {
 			return di > dj
 		}
@@ -292,7 +292,7 @@ func (p *Plan) allocate() error {
 // links and splits deeper-layer partitions among its children.
 func (p *Plan) settleNode(id topology.NodeID, dir topology.Direction) error {
 	st := p.nodes[id].dir(dir)
-	ownLayer, _ := p.Tree.LinkLayer(id)
+	ownLayer, _ := p.Tree.LinkLayer(id) //harplint:allow errcheck — id comes from the tree itself
 	for layer, region := range st.parts {
 		if layer == ownLayer {
 			if err := p.scheduleOwnLayer(id, dir, region); err != nil {
@@ -439,7 +439,7 @@ func (p *Plan) Validate() error {
 		// Children inside parents, siblings disjoint, at every node.
 		for _, id := range p.Tree.Nodes() {
 			st := p.nodes[id].dir(dir)
-			ownLayer, _ := p.Tree.LinkLayer(id)
+			ownLayer, _ := p.Tree.LinkLayer(id) //harplint:allow errcheck — id comes from the tree itself
 			for layer, region := range st.parts {
 				if layer == ownLayer {
 					continue

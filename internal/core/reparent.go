@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/topology"
@@ -231,6 +232,7 @@ func (p *Plan) Reparent(node, newParent topology.NodeID, newCells map[topology.L
 		}
 		report.DemandReports = append(report.DemandReports, adj)
 	}
+	p.debugCheck("Reparent")
 	return report, nil
 }
 
@@ -240,7 +242,7 @@ func (p *Plan) subtreeByDepthDesc(ids []topology.NodeID) []topology.NodeID {
 	out := make([]topology.NodeID, len(ids))
 	copy(out, ids)
 	depth := func(id topology.NodeID) int {
-		d, _ := p.Tree.Depth(id)
+		d, _ := p.Tree.Depth(id) //harplint:allow errcheck — subtree ids come from the tree itself
 		return d
 	}
 	for i := 1; i < len(out); i++ {
@@ -257,11 +259,7 @@ func sortedLinks(m map[topology.Link]int) []topology.Link {
 	for l := range m {
 		out = append(out, l)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && linkLess(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return linkLess(out[i], out[j]) })
 	return out
 }
 

@@ -1,0 +1,185 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/harpnet/harp/internal/agent"
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/transport"
+)
+
+func testFrame() schedule.Slotframe {
+	return schedule.Slotframe{Slots: 400, Channels: 16, DataSlots: 360, SlotDuration: 10 * time.Millisecond}
+}
+
+func buildPlan(t *testing.T, tree *topology.Tree) *core.Plan {
+	t.Helper()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(tree, testFrame(), demand, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestCheckPlanOnValidPlans(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tree *topology.Tree
+	}{
+		{"Fig1", topology.Fig1()},
+		{"Testbed50", topology.Testbed50()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := CheckPlan(buildPlan(t, tc.tree)); err != nil {
+				t.Errorf("CheckPlan on a fresh plan: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckPlanAfterAdjustments(t *testing.T) {
+	tree := topology.Testbed50()
+	plan := buildPlan(t, tree)
+	for i, cells := range []int{3, 7, 1, 12, 2} {
+		l := topology.Link{Child: topology.NodeID(10 + i), Direction: topology.Uplink}
+		if _, err := plan.SetLinkDemand(l, cells, float64(cells)); err != nil {
+			t.Fatalf("adjustment %d: %v", i, err)
+		}
+		if err := CheckPlan(plan); err != nil {
+			t.Fatalf("CheckPlan after adjustment %d: %v", i, err)
+		}
+	}
+}
+
+func TestCheckScheduleDetectsCollision(t *testing.T) {
+	tree := topology.Fig1()
+	s, err := schedule.NewSchedule(testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := schedule.Cell{Slot: 3, Channel: 2}
+	la := topology.Link{Child: 1, Direction: topology.Uplink}
+	lb := topology.Link{Child: 2, Direction: topology.Uplink}
+	if err := s.Assign(la, shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(lb, shared); err != nil {
+		t.Fatal(err)
+	}
+	err = CheckSchedule(s, tree)
+	if err == nil || !strings.Contains(err.Error(), "assigned to both") {
+		t.Errorf("shared cell not detected: %v", err)
+	}
+}
+
+func TestCheckScheduleDetectsHalfDuplexViolation(t *testing.T) {
+	tree := topology.Fig1()
+	s, err := schedule.NewSchedule(testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two links sharing node 1 in the same slot on different channels:
+	// collision-free cell-wise, but impossible for a single radio.
+	child := tree.Children(1)
+	if len(child) == 0 {
+		t.Skip("Fig1 node 1 has no children")
+	}
+	if err := s.Assign(topology.Link{Child: 1, Direction: topology.Uplink}, schedule.Cell{Slot: 5, Channel: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(topology.Link{Child: child[0], Direction: topology.Uplink}, schedule.Cell{Slot: 5, Channel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err = CheckSchedule(s, tree)
+	if err == nil || !strings.Contains(err.Error(), "half-duplex") {
+		t.Errorf("half-duplex violation not detected: %v", err)
+	}
+}
+
+func TestCheckLinkCellsDetectsEscapedCell(t *testing.T) {
+	tree := topology.Fig1()
+	frame := testFrame()
+	// A synthetic state source whose only scheduled link has a cell outside
+	// the parent's own-layer partition.
+	region := schedule.Region{Slot: 0, Channel: 0, Slots: 4, Channels: 2}
+	cellsOf := func(l topology.Link) []schedule.Cell {
+		if l.Child == 1 && l.Direction == topology.Uplink {
+			return []schedule.Cell{{Slot: 9, Channel: 9}} // outside region
+		}
+		return nil
+	}
+	partition := func(id topology.NodeID, layer int, dir topology.Direction) (schedule.Region, bool) {
+		return region, true
+	}
+	err := checkLinkCells(tree, frame, cellsOf, partition)
+	if err == nil || !strings.Contains(err.Error(), "outside parent") {
+		t.Errorf("escaped cell not detected: %v", err)
+	}
+}
+
+func TestCheckLinkCellsDetectsMissingPartition(t *testing.T) {
+	tree := topology.Fig1()
+	frame := testFrame()
+	cellsOf := func(l topology.Link) []schedule.Cell {
+		if l.Child == 1 && l.Direction == topology.Uplink {
+			return []schedule.Cell{{Slot: 0, Channel: 0}}
+		}
+		return nil
+	}
+	partition := func(id topology.NodeID, layer int, dir topology.Direction) (schedule.Region, bool) {
+		return schedule.Region{}, false
+	}
+	err := checkLinkCells(tree, frame, cellsOf, partition)
+	if err == nil || !strings.Contains(err.Error(), "holds no layer") {
+		t.Errorf("missing partition not detected: %v", err)
+	}
+}
+
+func TestCheckFleetAgainstPlan(t *testing.T) {
+	tree := topology.Testbed50()
+	frame := testFrame()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := transport.NewBus(frame.Slots, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := agent.Deploy(tree, frame, demand, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Start()
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(tree, frame, demand, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFleet(fleet, plan); err != nil {
+		t.Errorf("CheckFleet after static phase: %v", err)
+	}
+	// Internal checks alone must also pass.
+	if err := CheckFleet(fleet, nil); err != nil {
+		t.Errorf("CheckFleet without reference plan: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package packing
+
+import (
+	"errors"
+	"testing"
+)
+
+// rectsFromBytes derives a bounded rectangle set from fuzz input: each
+// byte pair becomes one rectangle with dimensions in [1,16].
+func rectsFromBytes(data []byte) []Rect {
+	const maxRects = 24
+	var rects []Rect
+	for i := 0; i+1 < len(data) && len(rects) < maxRects; i += 2 {
+		rects = append(rects, Rect{
+			ID: len(rects),
+			W:  int(data[i]%16) + 1,
+			H:  int(data[i+1]%16) + 1,
+		})
+	}
+	return rects
+}
+
+// FuzzPackStrip asserts the skyline strip packer's postconditions on
+// arbitrary inputs: no panic, and every produced layout validates (in
+// bounds, pairwise disjoint) and contains every input rectangle exactly
+// once — the properties partition composition (Alg. 1) depends on.
+func FuzzPackStrip(f *testing.F) {
+	f.Add([]byte{}, uint8(8))
+	f.Add([]byte{3, 4, 5, 6, 1, 1}, uint8(8))
+	f.Add([]byte{15, 15, 15, 15, 15, 15, 15, 15}, uint8(16))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, widthByte uint8) {
+		rects := rectsFromBytes(data)
+		stripWidth := int(widthByte%32) + 1
+		layout, err := PackStrip(rects, stripWidth)
+		if err != nil {
+			if errors.Is(err, ErrTooWide) || errors.Is(err, ErrBadInput) {
+				return // correct refusal
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		if err := layout.Validate(); err != nil {
+			t.Fatalf("invalid layout for %v in width %d: %v", rects, stripWidth, err)
+		}
+		if len(layout.Items) != len(rects) {
+			t.Fatalf("packed %d of %d rects", len(layout.Items), len(rects))
+		}
+		for _, r := range rects {
+			p, ok := layout.Find(r.ID)
+			if !ok {
+				t.Fatalf("rect %d missing from layout", r.ID)
+			}
+			if p.W != r.W || p.H != r.H {
+				t.Fatalf("rect %d resized: %dx%d -> %dx%d", r.ID, r.W, r.H, p.W, p.H)
+			}
+		}
+	})
+}
+
+// FuzzGridPack asserts the free-space packer's postconditions with an
+// obstacle present, mirroring how MinimalExtension packs around partitions
+// that must not move: placements stay in bounds, avoid the obstacle and
+// avoid each other; on failure the grid is untouched.
+func FuzzGridPack(f *testing.F) {
+	f.Add([]byte{3, 4, 5, 6}, uint8(10), uint8(10), uint8(2), uint8(2))
+	f.Add([]byte{15, 15}, uint8(4), uint8(4), uint8(0), uint8(0))
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, uint8(6), uint8(3), uint8(5), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, wByte, hByte, ox, oy uint8) {
+		width := int(wByte%24) + 1
+		height := int(hByte%24) + 1
+		g, err := NewGrid(width, height)
+		if err != nil {
+			t.Fatalf("NewGrid(%d,%d): %v", width, height, err)
+		}
+		obstacle := Placement{Rect: Rect{ID: -1, W: 1, H: 1}, X: int(ox) % width, Y: int(oy) % height}
+		if err := g.AddObstacle(obstacle.X, obstacle.Y, obstacle.W, obstacle.H); err != nil {
+			t.Fatalf("in-bounds obstacle rejected: %v", err)
+		}
+		freeBefore := g.FreeCells()
+		rects := rectsFromBytes(data)
+		placements, err := g.PackFreeSpace(rects)
+		if err != nil {
+			if !errors.Is(err, ErrNoFit) && !errors.Is(err, ErrBadInput) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if g.FreeCells() != freeBefore {
+				t.Fatalf("failed pack mutated the grid: %d -> %d free cells", freeBefore, g.FreeCells())
+			}
+			return
+		}
+		if len(placements) != len(rects) {
+			t.Fatalf("placed %d of %d rects", len(placements), len(rects))
+		}
+		for i, p := range placements {
+			if p.X < 0 || p.Y < 0 || p.X+p.W > width || p.Y+p.H > height {
+				t.Fatalf("placement %v outside %dx%d grid", p, width, height)
+			}
+			if p.Overlaps(obstacle) {
+				t.Fatalf("placement %v overlaps obstacle %v", p, obstacle)
+			}
+			for j := i + 1; j < len(placements); j++ {
+				if p.Overlaps(placements[j]) {
+					t.Fatalf("placements %v and %v overlap", p, placements[j])
+				}
+			}
+		}
+	})
+}

@@ -29,6 +29,7 @@ type Rect struct {
 // Area returns W*H.
 func (r Rect) Area() int { return r.W * r.H }
 
+// String renders the rectangle with its ID and dimensions.
 func (r Rect) String() string { return fmt.Sprintf("rect(id=%d %dx%d)", r.ID, r.W, r.H) }
 
 // Placement is a packed rectangle: the input Rect plus its bottom-left

@@ -20,6 +20,7 @@ type Cell struct {
 	Channel int
 }
 
+// String renders the cell as its (slot,channel) coordinate pair.
 func (c Cell) String() string { return fmt.Sprintf("(%d,%d)", c.Slot, c.Channel) }
 
 // Slotframe describes the repeating schedule frame. The first DataSlots
@@ -86,6 +87,7 @@ type Region struct {
 	Channels int // extent in the channel dimension (n^c)
 }
 
+// String renders the region as its slot/channel extents.
 func (r Region) String() string {
 	return fmt.Sprintf("region[t=%d c=%d %ds x %dch]", r.Slot, r.Channel, r.Slots, r.Channels)
 }

@@ -38,6 +38,7 @@ const (
 // Directions lists both directions in canonical order.
 func Directions() [2]Direction { return [2]Direction{Uplink, Downlink} }
 
+// String names the traffic direction (uplink or downlink).
 func (d Direction) String() string {
 	switch d {
 	case Uplink:
@@ -57,6 +58,7 @@ type Link struct {
 	Direction Direction
 }
 
+// String renders the link as direction[child].
 func (l Link) String() string { return fmt.Sprintf("%s[%d]", l.Direction, l.Child) }
 
 // node is the internal per-node record.

@@ -46,6 +46,7 @@ func (t Task) PeriodSlots(slotframeLen int) float64 {
 	return float64(slotframeLen) / t.Rate
 }
 
+// String summarises the task endpoints, direction and period.
 func (t Task) String() string {
 	return fmt.Sprintf("task %d (src=%d act=%d rate=%.2f/sf)", t.ID, t.Source, t.Actuator, t.Rate)
 }

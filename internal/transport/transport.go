@@ -271,8 +271,11 @@ func (l *Live) Send(from, to topology.NodeID, msg coap.Message) error {
 // WaitIdle blocks until no messages are in flight or the timeout passes.
 // Returns true when the network went idle.
 func (l *Live) WaitIdle(timeout time.Duration) bool {
+	// Wall-clock use is deliberate: WaitIdle is a harness-side settling
+	// helper with a real-time deadline, not protocol logic.
+	//harplint:allow determinism
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) { //harplint:allow determinism
 		if l.inFlight.Load() == 0 {
 			// Double-check after a settling pause: a handler may be about
 			// to send.

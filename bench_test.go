@@ -17,6 +17,7 @@ import (
 	"github.com/harpnet/harp/internal/core"
 	"github.com/harpnet/harp/internal/experiments"
 	"github.com/harpnet/harp/internal/packing"
+	"github.com/harpnet/harp/internal/parallel"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/schedulers"
 	"github.com/harpnet/harp/internal/topology"
@@ -120,6 +121,30 @@ func BenchmarkFig11aCollisionVsRate(b *testing.B) {
 	}
 	b.ReportMetric(randomAt8, "random-prob-rate8")
 	b.ReportMetric(harpAt8, "harp-prob-rate8")
+}
+
+// BenchmarkFig11aSweepWorkers runs the Fig. 11(a) sweep with the parallel
+// engine pinned to 1 worker and to GOMAXPROCS, so `go test -bench
+// Fig11aSweepWorkers` shows the fan-out speedup directly. The outputs are
+// byte-identical either way (see internal/experiments determinism tests).
+func BenchmarkFig11aSweepWorkers(b *testing.B) {
+	cfg := experiments.DefaultFig11a()
+	cfg.Topologies = 10
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := "gomaxprocs"
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig11a(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFig11bCollisionVsChannels regenerates the channel sweep of

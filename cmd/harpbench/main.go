@@ -4,31 +4,76 @@
 // Usage:
 //
 //	harpbench                 # run everything
-//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|ablations
+//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|churn|ablations
 //	harpbench -quick          # reduced repetition counts for a fast pass
+//	harpbench -workers 1      # force the serial path (0 = GOMAXPROCS)
+//	harpbench -json out.json  # also write a machine-readable bench report
 //
 // Output is the same rows/series the paper reports, as fixed-width text
-// tables on stdout.
+// tables on stdout. With -json, a BENCH_harpbench.json-style report (per-
+// experiment wall time, key metric values, host metadata) is written so the
+// bench trajectory accumulates across commits; the schema is documented in
+// DESIGN.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"time"
 
 	"github.com/harpnet/harp/internal/experiments"
+	"github.com/harpnet/harp/internal/parallel"
+	"github.com/harpnet/harp/internal/stats"
 )
+
+// reportSchema names the -json output format; bump on breaking changes.
+const reportSchema = "harpbench/v1"
+
+// report is the top-level -json document.
+type report struct {
+	Schema      string      `json:"schema"`
+	Host        hostInfo    `json:"host"`
+	Quick       bool        `json:"quick"`
+	Workers     int         `json:"workers"`
+	Experiments []expRecord `json:"experiments"`
+	TotalSec    float64     `json:"total_sec"`
+}
+
+// hostInfo records where the numbers were measured.
+type hostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// StartedAt is the wall-clock start of the run (RFC 3339, UTC).
+	StartedAt string `json:"started_at"`
+}
+
+// expRecord is one experiment's wall time and headline metrics.
+type expRecord struct {
+	Name    string             `json:"name"`
+	WallSec float64            `json:"wall_sec"`
+	Metrics map[string]float64 `json:"metrics"`
+}
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (table1, fig7d, fig9, fig10, table2, fig11a, fig11b, fig12, churn, ablations)")
 	quick := flag.Bool("quick", false, "reduced repetitions for a fast pass")
+	workers := flag.Int("workers", 0, "worker count for the parallel sweep engine (0 = GOMAXPROCS, 1 = serial)")
+	jsonPath := flag.String("json", "", "write a machine-readable bench report to this path")
 	flag.Parse()
+
+	parallel.SetWorkers(*workers)
 
 	runner := &runner{quick: *quick}
 	all := []struct {
 		name string
-		fn   func() error
+		fn   func() (map[string]float64, error)
 	}{
 		{"table1", runner.table1},
 		{"fig7d", runner.fig7d},
@@ -41,65 +86,117 @@ func main() {
 		{"churn", runner.churn},
 		{"ablations", runner.ablations},
 	}
+	rep := report{
+		Schema: reportSchema,
+		Host: hostInfo{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			StartedAt:  time.Now().UTC().Format(time.RFC3339),
+		},
+		Quick:   *quick,
+		Workers: parallel.Workers(),
+	}
+	start := time.Now()
 	ran := 0
 	for _, e := range all {
 		if *only != "" && e.name != *only {
 			continue
 		}
 		ran++
-		start := time.Now()
-		if err := e.fn(); err != nil {
+		expStart := time.Now()
+		metrics, err := e.fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "harpbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(expStart)
+		fmt.Printf("[%s completed in %v]\n\n", e.name, wall.Round(time.Millisecond))
+		rep.Experiments = append(rep.Experiments, expRecord{
+			Name:    e.name,
+			WallSec: wall.Seconds(),
+			Metrics: metrics,
+		})
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "harpbench: unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
+	rep.TotalSec = time.Since(start).Seconds()
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "harpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench report written to %s\n", *jsonPath)
+	}
+}
+
+// writeReport marshals the report with stable indentation so committed
+// BENCH_*.json trajectories diff cleanly.
+func writeReport(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 type runner struct {
 	quick bool
 }
 
-func (r *runner) table1() error {
-	fmt.Println(experiments.TableIHandlers())
-	return nil
+func (r *runner) table1() (map[string]float64, error) {
+	t := experiments.TableIHandlers()
+	fmt.Println(t)
+	return map[string]float64{"handlers": float64(t.Len())}, nil
 }
 
-func (r *runner) fig7d() error {
+func (r *runner) fig7d() (map[string]float64, error) {
 	res, err := experiments.Fig7d()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(res.Table)
 	fmt.Println(res.Map)
 	fmt.Printf("static phase messages: %d interface, %d partition, %d schedule (total %d)\n",
 		res.Static.InterfaceMessages, res.Static.PartitionMessages,
 		res.Static.ScheduleMessages, res.Static.Total())
-	return nil
+	return map[string]float64{
+		"static_msgs_total": float64(res.Static.Total()),
+		"partitions":        float64(res.Table.Len()),
+	}, nil
 }
 
-func (r *runner) fig9() error {
+func (r *runner) fig9() (map[string]float64, error) {
 	cfg := experiments.DefaultFig9()
 	if r.quick {
 		cfg.Minutes = 3
 	}
 	res, err := experiments.Fig9(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(res.Table)
 	fmt.Printf("slotframe duration: %.2fs (the paper's latency bound)\n", res.SlotframeSec)
-	return nil
+	worst := 0.0
+	for _, n := range res.Nodes {
+		if n.MeanSec > worst {
+			worst = n.MeanSec
+		}
+	}
+	return map[string]float64{
+		"worst_mean_latency_s": worst,
+		"slotframe_s":          res.SlotframeSec,
+	}, nil
 }
 
-func (r *runner) fig10() error {
+func (r *runner) fig10() (map[string]float64, error) {
 	res, err := experiments.Fig10(experiments.DefaultFig10())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, e := range res.Events {
 		fmt.Printf("t=%.1fs: rate -> %.1f pkt/sf, %s, %d HARP msgs + %d sched msgs, reconfigured in %.2fs (%d slotframes)\n",
@@ -108,96 +205,152 @@ func (r *runner) fig10() error {
 	fmt.Println()
 	fmt.Println(res.Table)
 	fmt.Printf("max latency: %.2fs\n", res.MaxLatencySec)
-	return nil
+	metrics := map[string]float64{"max_latency_s": res.MaxLatencySec}
+	if n := len(res.Events); n > 0 {
+		metrics["last_event_msgs"] = float64(res.Events[n-1].Messages)
+	}
+	return metrics, nil
 }
 
-func (r *runner) table2() error {
+func (r *runner) table2() (map[string]float64, error) {
 	res, err := experiments.TableII(experiments.DefaultTableII())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(res.Table)
-	return nil
+	maxMsgs := 0
+	for _, row := range res.Rows {
+		if row.Messages > maxMsgs {
+			maxMsgs = row.Messages
+		}
+	}
+	return map[string]float64{"max_event_msgs": float64(maxMsgs)}, nil
 }
 
-func (r *runner) fig11a() error {
+// seriesEnd returns the named series' y value at its final point.
+func seriesEnd(series []stats.Series, name string) float64 {
+	for _, s := range series {
+		if s.Name == name && len(s.Points) > 0 {
+			return s.Points[len(s.Points)-1].Y
+		}
+	}
+	return 0
+}
+
+// seriesStart returns the named series' y value at its first point.
+func seriesStart(series []stats.Series, name string) float64 {
+	for _, s := range series {
+		if s.Name == name && len(s.Points) > 0 {
+			return s.Points[0].Y
+		}
+	}
+	return 0
+}
+
+func (r *runner) fig11a() (map[string]float64, error) {
 	cfg := experiments.DefaultFig11a()
 	if r.quick {
 		cfg.Topologies = 10
 	}
 	res, err := experiments.Fig11a(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(res.Table)
 	fmt.Printf("mean total cells per slotframe across the sweep: %.0f .. %.0f\n",
 		res.TotalCells[0], res.TotalCells[len(res.TotalCells)-1])
-	return nil
+	return map[string]float64{
+		"harp_prob_rate8":   seriesEnd(res.Series, "harp"),
+		"random_prob_rate8": seriesEnd(res.Series, "random"),
+		"total_cells_rate8": res.TotalCells[len(res.TotalCells)-1],
+	}, nil
 }
 
-func (r *runner) fig11b() error {
+func (r *runner) fig11b() (map[string]float64, error) {
 	cfg := experiments.DefaultFig11b()
 	if r.quick {
 		cfg.Topologies = 10
 	}
 	res, err := experiments.Fig11b(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(res.Table)
-	return nil
+	return map[string]float64{
+		"harp_prob_2ch":   seriesStart(res.Series, "harp"),
+		"random_prob_2ch": seriesStart(res.Series, "random"),
+	}, nil
 }
 
-func (r *runner) fig12() error {
+func (r *runner) fig12() (map[string]float64, error) {
 	cfg := experiments.DefaultFig12()
 	if r.quick {
 		cfg.Topologies = 3
 	}
 	res, err := experiments.Fig12(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(res.Table)
-	return nil
+	return map[string]float64{
+		"apas_msgs_deepest": seriesEnd(res.Series, "apas"),
+		"harp_msgs_deepest": seriesEnd(res.Series, "harp"),
+	}, nil
 }
 
-func (r *runner) churn() error {
+func (r *runner) churn() (map[string]float64, error) {
 	cfg := experiments.DefaultChurn()
 	if r.quick {
 		cfg.Events = 8
 	}
 	res, err := experiments.Churn(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(res.Table)
-	return nil
+	mean := 0.0
+	for _, m := range res.MigrationMessages {
+		mean += m
+	}
+	if len(res.MigrationMessages) > 0 {
+		mean /= float64(len(res.MigrationMessages))
+	}
+	return map[string]float64{
+		"switches":            float64(res.Switches),
+		"migrated":            float64(res.Migrated),
+		"mean_migration_msgs": mean,
+		"rebuild_msgs":        float64(res.StaticMessages),
+	}, nil
 }
 
-func (r *runner) ablations() error {
+func (r *runner) ablations() (map[string]float64, error) {
 	cfg := experiments.DefaultAblation()
 	if r.quick {
 		cfg.Instances = 50
 	}
-	for _, fn := range []func(experiments.AblationConfig) (fmt.Stringer, error){
-		wrap(experiments.AblationTwoPass),
-		wrap(experiments.AblationLayeredInterface),
-		wrap(experiments.AblationAdjustment),
-		wrap(experiments.AblationPackers),
+	metrics := map[string]float64{}
+	for _, a := range []struct {
+		name string
+		fn   func(experiments.AblationConfig) (*stats.Table, error)
+	}{
+		{"two_pass", experiments.AblationTwoPass},
+		{"layered_interface", experiments.AblationLayeredInterface},
+		{"adjustment", experiments.AblationAdjustment},
+		{"packers", experiments.AblationPackers},
 	} {
-		table, err := fn(cfg)
+		table, err := a.fn(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println(table)
+		// Every ablation table is two rows of (variant, mean value): row 0
+		// is the HARP design choice, row 1 the ablated baseline.
+		if v, err := strconv.ParseFloat(table.Cell(0, 1), 64); err == nil {
+			metrics[a.name+"_harp"] = v
+		}
+		if v, err := strconv.ParseFloat(table.Cell(1, 1), 64); err == nil {
+			metrics[a.name+"_baseline"] = v
+		}
 	}
-	return nil
-}
-
-// wrap adapts the concrete table-returning ablations to fmt.Stringer.
-func wrap[T fmt.Stringer](fn func(experiments.AblationConfig) (T, error)) func(experiments.AblationConfig) (fmt.Stringer, error) {
-	return func(cfg experiments.AblationConfig) (fmt.Stringer, error) {
-		t, err := fn(cfg)
-		return t, err
-	}
+	return metrics, nil
 }

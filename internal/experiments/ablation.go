@@ -6,6 +6,7 @@ import (
 
 	"github.com/harpnet/harp/internal/core"
 	"github.com/harpnet/harp/internal/packing"
+	"github.com/harpnet/harp/internal/parallel"
 	"github.com/harpnet/harp/internal/stats"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/traffic"
@@ -38,24 +39,30 @@ func randomComponents(rng *rand.Rand, budget int) []core.ChildComponent {
 // (channel-minimising) strip-packing pass of Alg. 1.
 func AblationTwoPass(cfg AblationConfig) (*stats.Table, error) {
 	const budget = 16
-	var twoCh, oneCh, slots float64
-	for i := 0; i < cfg.Instances; i++ {
+	trials, err := parallel.Map(cfg.Instances, func(i int) ([3]float64, error) {
 		rng := rngFor(cfg.Seed, int64(i))
 		comps := randomComponents(rng, budget)
 		two, _, err := core.Compose(comps, budget)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		one, _, err := core.ComposeSinglePass(comps, budget)
 		if err != nil {
-			return nil, err
+			return [3]float64{}, err
 		}
 		if two.Slots != one.Slots {
-			return nil, fmt.Errorf("experiments: slot counts diverge (%d vs %d)", two.Slots, one.Slots)
+			return [3]float64{}, fmt.Errorf("experiments: slot counts diverge (%d vs %d)", two.Slots, one.Slots)
 		}
-		twoCh += float64(two.Channels)
-		oneCh += float64(one.Channels)
-		slots += float64(two.Slots)
+		return [3]float64{float64(two.Channels), float64(one.Channels), float64(two.Slots)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var twoCh, oneCh, slots float64
+	for _, trial := range trials {
+		twoCh += trial[0]
+		oneCh += trial[1]
+		slots += trial[2]
 	}
 	n := float64(cfg.Instances)
 	t := stats.NewTable("Ablation — two-pass composition (Alg. 1) vs single pass",
@@ -74,35 +81,35 @@ func AblationTwoPass(cfg AblationConfig) (*stats.Table, error) {
 func AblationLayeredInterface(cfg AblationConfig) (*stats.Table, error) {
 	frame := PaperSlotframe(16)
 	frame.Slots, frame.DataSlots = 4000, 4000 // wide open: measure usage, not feasibility
-	var layered, single float64
 	runs := cfg.Instances / 10
 	if runs == 0 {
 		runs = 1
 	}
-	for i := 0; i < runs; i++ {
+	trials, err := parallel.Map(runs, func(i int) ([2]float64, error) {
 		rng := rngFor(cfg.Seed, 1000+int64(i))
 		tree, err := topology.Generate(topology.GenSpec{Nodes: 50, Layers: 5, MaxChildren: 3}, rng)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		tasks, err := traffic.UniformEcho(tree, 1)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		demand, err := traffic.Compute(tree, tasks)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		plan, err := core.NewPlan(tree, frame, demand, core.Options{})
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
-		layered += float64(usedSlots(plan))
+		layered := float64(usedSlots(plan))
 
 		// Single-rectangle variant: per direct subtree of the gateway, sum
 		// the per-layer components into one rectangle (slots = Σ layer
 		// slots, channels = max layer channels), then lay the rectangles
 		// out one after another plus the gateway's own layer-1 strip.
+		var single float64
 		for _, dir := range topology.Directions() {
 			gwIface, _ := plan.InterfaceOf(topology.GatewayID, dir)
 			own, _ := gwIface.Component(1)
@@ -122,6 +129,15 @@ func AblationLayeredInterface(cfg AblationConfig) (*stats.Table, error) {
 				single += float64(blockSlots)
 			}
 		}
+		return [2]float64{layered, single}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var layered, single float64
+	for _, trial := range trials {
+		layered += trial[0]
+		single += trial[1]
 	}
 	n := float64(runs)
 	t := stats.NewTable("Ablation — layered interfaces (Fig. 3(b)) vs single-rectangle subtree blocks (Fig. 3(a))",
@@ -148,9 +164,11 @@ func usedSlots(plan *core.Plan) int {
 // full repack on every adjustment, counting moved partitions (each moved
 // partition is a PUT /part message).
 func AblationAdjustment(cfg AblationConfig) (*stats.Table, error) {
-	var alg2Moved, repackMoved float64
-	samples := 0
-	for i := 0; i < cfg.Instances; i++ {
+	type adjTrial struct {
+		alg2Moved, repackMoved float64
+		feasible               bool
+	}
+	trials, err := parallel.Map(cfg.Instances, func(i int) (adjTrial, error) {
 		rng := rngFor(cfg.Seed, 2000+int64(i))
 		// A one-channel strip of sibling partitions with some slack, like a
 		// parent partition at one layer.
@@ -171,12 +189,23 @@ func AblationAdjustment(cfg AblationConfig) (*stats.Table, error) {
 
 		_, moved, ok := core.AdjustLayout(width, 1, layout, comps, target, grown)
 		if !ok {
-			continue
+			return adjTrial{}, nil
 		}
-		alg2Moved += float64(len(moved))
 		// Full repack: everything moves (conservatively counting every
 		// partition whose placement could change as a message).
-		repackMoved += float64(n)
+		return adjTrial{alg2Moved: float64(len(moved)), repackMoved: float64(n), feasible: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var alg2Moved, repackMoved float64
+	samples := 0
+	for _, trial := range trials {
+		if !trial.feasible {
+			continue
+		}
+		alg2Moved += trial.alg2Moved
+		repackMoved += trial.repackMoved
 		samples++
 	}
 	if samples == 0 {
@@ -192,8 +221,7 @@ func AblationAdjustment(cfg AblationConfig) (*stats.Table, error) {
 // AblationPackers compares the skyline strip packer against the bottom-left
 // baseline: achieved heights on random instances.
 func AblationPackers(cfg AblationConfig) (*stats.Table, error) {
-	var skyH, blH float64
-	for i := 0; i < cfg.Instances; i++ {
+	trials, err := parallel.Map(cfg.Instances, func(i int) ([2]float64, error) {
 		rng := rngFor(cfg.Seed, 3000+int64(i))
 		width := 8 + rng.Intn(9)
 		n := 5 + rng.Intn(20)
@@ -203,14 +231,21 @@ func AblationPackers(cfg AblationConfig) (*stats.Table, error) {
 		}
 		sky, err := packing.PackStrip(rects, width)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
 		bl, err := packing.PackStripBottomLeft(rects, width)
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
-		skyH += float64(sky.H)
-		blH += float64(bl.H)
+		return [2]float64{float64(sky.H), float64(bl.H)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var skyH, blH float64
+	for _, trial := range trials {
+		skyH += trial[0]
+		blH += trial[1]
 	}
 	n := float64(cfg.Instances)
 	t := stats.NewTable("Ablation — skyline best-fit vs bottom-left strip packing (mean height)",

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/parallel"
 	"github.com/harpnet/harp/internal/rpl"
 	"github.com/harpnet/harp/internal/stats"
 	"github.com/harpnet/harp/internal/topology"
@@ -26,12 +27,16 @@ type ChurnConfig struct {
 	Events int
 	// DegradeFactor multiplies a victim link's ETX per event.
 	DegradeFactor float64
-	Seed          int64
+	// Repetitions is the number of independent random networks the study
+	// averages over; each repetition owns its own rng stream and runs on
+	// its own worker. Zero means 1 (the single-network study).
+	Repetitions int
+	Seed        int64
 }
 
 // DefaultChurn returns a 50-node configuration.
 func DefaultChurn() ChurnConfig {
-	return ChurnConfig{Nodes: 50, Radius: 0.3, Events: 20, DegradeFactor: 6, Seed: 8}
+	return ChurnConfig{Nodes: 50, Radius: 0.3, Events: 20, DegradeFactor: 6, Repetitions: 1, Seed: 8}
 }
 
 // ChurnResult summarises the study.
@@ -45,14 +50,51 @@ type ChurnResult struct {
 	// MigrationMessages are the per-switch HARP message costs.
 	MigrationMessages []float64
 	// StaticMessages is the cost of one full (re)build of the static
-	// phase — the alternative to incremental migration.
+	// phase — the alternative to incremental migration. With multiple
+	// repetitions it reports the first repetition's build cost.
 	StaticMessages int
 	Table          *stats.Table
 }
 
-// Churn runs the topology-dynamics study.
+// Churn runs the topology-dynamics study: cfg.Repetitions independent
+// random networks fan out across the worker pool (each repetition owning
+// rng stream = its index, so repetition 0 reproduces the single-network
+// study exactly) and their counters are folded in repetition order.
 func Churn(cfg ChurnConfig) (ChurnResult, error) {
-	rng := rngFor(cfg.Seed, 0)
+	reps := cfg.Repetitions
+	if reps <= 0 {
+		reps = 1
+	}
+	runs, err := parallel.Map(reps, func(rep int) (ChurnResult, error) {
+		return churnRun(cfg, int64(rep))
+	})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	res := ChurnResult{StaticMessages: runs[0].StaticMessages}
+	for _, run := range runs {
+		res.Switches += run.Switches
+		res.Migrated += run.Migrated
+		res.Rebuilt += run.Rebuilt
+		res.MigrationMessages = append(res.MigrationMessages, run.MigrationMessages...)
+	}
+
+	sum := stats.Summarize(res.MigrationMessages)
+	table := stats.NewTable("Topology churn — HARP incremental migration vs full rebuild",
+		"quantity", "value")
+	table.AddRow("parent switches", res.Switches)
+	table.AddRow("migrated incrementally", res.Migrated)
+	table.AddRow("full rebuilds", res.Rebuilt)
+	table.AddRow("mean migration messages", sum.Mean)
+	table.AddRow("p95 migration messages", sum.P95)
+	table.AddRow("static (re)build messages", res.StaticMessages)
+	res.Table = table
+	return res, nil
+}
+
+// churnRun is one repetition of the study on its own random network.
+func churnRun(cfg ChurnConfig, stream int64) (ChurnResult, error) {
+	rng := rngFor(cfg.Seed, stream)
 	graph, err := rpl.RandomGeometric(cfg.Nodes, cfg.Radius, rng)
 	if err != nil {
 		return ChurnResult{}, err
@@ -151,16 +193,5 @@ func Churn(cfg ChurnConfig) (ChurnResult, error) {
 			}
 		}
 	}
-
-	sum := stats.Summarize(res.MigrationMessages)
-	table := stats.NewTable("Topology churn — HARP incremental migration vs full rebuild",
-		"quantity", "value")
-	table.AddRow("parent switches", res.Switches)
-	table.AddRow("migrated incrementally", res.Migrated)
-	table.AddRow("full rebuilds", res.Rebuilt)
-	table.AddRow("mean migration messages", sum.Mean)
-	table.AddRow("p95 migration messages", sum.P95)
-	table.AddRow("static (re)build messages", res.StaticMessages)
-	res.Table = table
 	return res, nil
 }

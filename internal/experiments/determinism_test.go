@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/harpnet/harp/internal/parallel"
+	"github.com/harpnet/harp/internal/stats"
+)
+
+// withWorkers runs fn with the parallel engine pinned to n workers and
+// restores the previous override afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := parallel.SetWorkers(n)
+	defer parallel.SetWorkers(prev)
+	fn()
+}
+
+func smallFig11a() Fig11Config {
+	cfg := DefaultFig11a()
+	cfg.Topologies = 4
+	cfg.Rates = []float64{2, 5, 8}
+	return cfg
+}
+
+func smallFig11b() Fig11Config {
+	cfg := DefaultFig11b()
+	cfg.Topologies = 4
+	cfg.Channels = []int{2, 8, 16}
+	return cfg
+}
+
+// TestFig11aSerialParallelIdentical is the tentpole's contract: for a fixed
+// seed the parallel sweep must produce byte-identical output to the serial
+// path, for any worker count. Per-trial rng streams come from
+// rngFor(seed, stream), results land in index-owned slots, and all folds run
+// in ascending trial order after the fan-out — so the floating-point fold
+// order never depends on goroutine interleaving.
+func TestFig11aSerialParallelIdentical(t *testing.T) {
+	cfg := smallFig11a()
+	var serial, parallel4 Fig11Result
+	withWorkers(t, 1, func() {
+		res, err := Fig11a(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = res
+	})
+	withWorkers(t, 4, func() {
+		res, err := Fig11a(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel4 = res
+	})
+	if s, p := serial.Table.String(), parallel4.Table.String(); s != p {
+		t.Errorf("serial and parallel tables differ:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	compareSeries(t, serial.Series, parallel4.Series)
+	for i := range serial.TotalCells {
+		if serial.TotalCells[i] != parallel4.TotalCells[i] {
+			t.Errorf("TotalCells[%d]: serial %v != parallel %v",
+				i, serial.TotalCells[i], parallel4.TotalCells[i])
+		}
+	}
+}
+
+func TestFig11bSerialParallelIdentical(t *testing.T) {
+	cfg := smallFig11b()
+	var serial, parallel3 Fig11Result
+	withWorkers(t, 1, func() {
+		res, err := Fig11b(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = res
+	})
+	withWorkers(t, 3, func() {
+		res, err := Fig11b(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel3 = res
+	})
+	if s, p := serial.Table.String(), parallel3.Table.String(); s != p {
+		t.Errorf("serial and parallel tables differ:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	compareSeries(t, serial.Series, parallel3.Series)
+}
+
+// compareSeries asserts bit-exact equality of every point of every series.
+func compareSeries(t *testing.T, a, b []stats.Series) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("series count %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Errorf("series %d name %q != %q", i, a[i].Name, b[i].Name)
+			continue
+		}
+		if len(a[i].Points) != len(b[i].Points) {
+			t.Errorf("series %q length %d != %d", a[i].Name, len(a[i].Points), len(b[i].Points))
+			continue
+		}
+		for j, pa := range a[i].Points {
+			pb := b[i].Points[j]
+			if pa.X != pb.X || pa.Y != pb.Y {
+				t.Errorf("series %q point %d: serial (%v, %v) != parallel (%v, %v)",
+					a[i].Name, j, pa.X, pa.Y, pb.X, pb.Y)
+			}
+		}
+	}
+}
+
+// TestChurnRepetitionsSerialParallelIdentical covers the repetition fan-out:
+// aggregate counters and the per-event message trace must not depend on the
+// worker count.
+func TestChurnRepetitionsSerialParallelIdentical(t *testing.T) {
+	cfg := DefaultChurn()
+	cfg.Events = 6
+	cfg.Repetitions = 3
+	var serial, parallel4 ChurnResult
+	withWorkers(t, 1, func() {
+		res, err := Churn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = res
+	})
+	withWorkers(t, 4, func() {
+		res, err := Churn(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel4 = res
+	})
+	if serial.Switches != parallel4.Switches ||
+		serial.Migrated != parallel4.Migrated ||
+		serial.Rebuilt != parallel4.Rebuilt ||
+		serial.StaticMessages != parallel4.StaticMessages {
+		t.Errorf("aggregate counters differ: serial %+v parallel %+v", serial, parallel4)
+	}
+	if len(serial.MigrationMessages) != len(parallel4.MigrationMessages) {
+		t.Fatalf("migration trace length %d != %d",
+			len(serial.MigrationMessages), len(parallel4.MigrationMessages))
+	}
+	for i := range serial.MigrationMessages {
+		if serial.MigrationMessages[i] != parallel4.MigrationMessages[i] {
+			t.Errorf("migration trace[%d]: serial %v != parallel %v",
+				i, serial.MigrationMessages[i], parallel4.MigrationMessages[i])
+		}
+	}
+	if serial.Table.String() != parallel4.Table.String() {
+		t.Error("serial and parallel churn tables differ")
+	}
+}

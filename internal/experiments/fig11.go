@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"github.com/harpnet/harp/internal/parallel"
 	"github.com/harpnet/harp/internal/schedulers"
 	"github.com/harpnet/harp/internal/stats"
 	"github.com/harpnet/harp/internal/topology"
@@ -66,33 +67,56 @@ type Fig11Result struct {
 	TotalCells []float64
 }
 
+// collisionTrial is one topology's contribution to a sweep point: the
+// per-scheduler collision probability and the total cell demand.
+type collisionTrial struct {
+	probs map[string]float64
+	cells float64
+}
+
 // collisionPoint measures the mean collision probability of every scheduler
 // over cfg.Topologies random topologies at one (rate, channels) point.
+// Trials fan out across the worker pool; each derives its randomness from
+// its own (seed, stream) pair and the means are folded in trial order, so
+// the result is identical for any worker count.
 func collisionPoint(cfg Fig11Config, rate float64, channels int, stream int64) (map[string]float64, float64, error) {
 	frame := PaperSlotframe(channels)
-	sum := make(map[string]float64)
-	var cellSum float64
-	for i := 0; i < cfg.Topologies; i++ {
+	trials, err := parallel.Map(cfg.Topologies, func(i int) (collisionTrial, error) {
 		rng := rngFor(cfg.Seed, stream*10_000+int64(i))
 		tree, err := topology.Generate(topology.GenSpec{Nodes: cfg.Nodes, Layers: cfg.Layers, MaxChildren: cfg.FanOut}, rng)
 		if err != nil {
-			return nil, 0, err
+			return collisionTrial{}, err
 		}
 		demand, err := traffic.PerLink(tree, rate)
 		if err != nil {
-			return nil, 0, err
+			return collisionTrial{}, err
 		}
-		cellSum += float64(demand.TotalCells())
+		trial := collisionTrial{
+			probs: make(map[string]float64),
+			cells: float64(demand.TotalCells()),
+		}
 		for _, sched := range schedulers.All() {
 			s, err := sched.Build(tree, frame, demand, rng)
 			if err != nil {
-				return nil, 0, fmt.Errorf("%s: %w", sched.Name(), err)
+				return collisionTrial{}, fmt.Errorf("%s: %w", sched.Name(), err)
 			}
 			st, err := schedulers.AnalyzeCollisions(tree, s)
 			if err != nil {
-				return nil, 0, err
+				return collisionTrial{}, err
 			}
-			sum[sched.Name()] += st.Probability()
+			trial.probs[sched.Name()] = st.Probability()
+		}
+		return trial, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	sum := make(map[string]float64)
+	var cellSum float64
+	for _, trial := range trials {
+		cellSum += trial.cells
+		for _, sched := range schedulers.All() {
+			sum[sched.Name()] += trial.probs[sched.Name()]
 		}
 	}
 	probs := make(map[string]float64, len(sum))

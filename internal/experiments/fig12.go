@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/harpnet/harp/internal/apas"
 	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/parallel"
 	"github.com/harpnet/harp/internal/stats"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/traffic"
@@ -51,27 +52,34 @@ func Fig12(cfg Fig12Config) (Fig12Result, error) {
 	frame.Slots = 1200
 	frame.DataSlots = 1200
 
-	apasSums := make([]float64, cfg.Layers+1)
-	harpSums := make([]float64, cfg.Layers+1)
-	counts := make([]float64, cfg.Layers+1)
-
-	for ti := 0; ti < cfg.Topologies; ti++ {
+	// Each topology is an independent trial (its own rng stream, its own
+	// plan and APaS manager); trials fan out across the worker pool and
+	// their per-layer sums are folded in trial order.
+	type fig12Trial struct {
+		apasSums, harpSums, counts []float64
+	}
+	trials, err := parallel.Map(cfg.Topologies, func(ti int) (fig12Trial, error) {
+		trial := fig12Trial{
+			apasSums: make([]float64, cfg.Layers+1),
+			harpSums: make([]float64, cfg.Layers+1),
+			counts:   make([]float64, cfg.Layers+1),
+		}
 		rng := rngFor(cfg.Seed, int64(ti))
 		tree, err := topology.Generate(topology.GenSpec{Nodes: cfg.Nodes, Layers: cfg.Layers}, rng)
 		if err != nil {
-			return Fig12Result{}, err
+			return fig12Trial{}, err
 		}
 		tasks, err := traffic.UniformEcho(tree, cfg.BaseRate)
 		if err != nil {
-			return Fig12Result{}, err
+			return fig12Trial{}, err
 		}
 		demand, err := traffic.Compute(tree, tasks)
 		if err != nil {
-			return Fig12Result{}, err
+			return fig12Trial{}, err
 		}
 		apasMgr, err := apas.New(tree, frame, demand)
 		if err != nil {
-			return Fig12Result{}, err
+			return fig12Trial{}, err
 		}
 		// HARP state: provision one spare cell per link, then release it,
 		// leaving idle cells inside the partitions.
@@ -83,11 +91,11 @@ func Fig12(cfg Fig12Config) (Fig12Result, error) {
 		}
 		plan, err := core.NewPlanFromLinkDemand(tree, frame, inflated, rates, core.Options{})
 		if err != nil {
-			return Fig12Result{}, err
+			return fig12Trial{}, err
 		}
 		for _, l := range demand.Links() {
 			if _, err := plan.SetLinkDemand(l, demand.Cells(l), cfg.BaseRate); err != nil {
-				return Fig12Result{}, err
+				return fig12Trial{}, err
 			}
 		}
 		for _, id := range tree.Nodes() {
@@ -96,38 +104,52 @@ func Fig12(cfg Fig12Config) (Fig12Result, error) {
 			}
 			depth, err := tree.Depth(id)
 			if err != nil {
-				return Fig12Result{}, err
+				return fig12Trial{}, err
 			}
 			l := topology.Link{Child: id, Direction: topology.Uplink}
 
 			// APaS: the formula-backed centralized manager.
 			rep, err := apasMgr.SetLinkDemand(l, apasMgr.Demand(l)+1, cfg.BaseRate+1)
 			if err != nil {
-				return Fig12Result{}, err
+				return fig12Trial{}, err
 			}
 			if !rep.Rejected {
-				apasSums[depth] += float64(rep.Messages)
+				trial.apasSums[depth] += float64(rep.Messages)
 			}
 			// Revert so each measurement starts from the static state.
 			if _, err := apasMgr.SetLinkDemand(l, apasMgr.Demand(l)-1, cfg.BaseRate); err != nil {
-				return Fig12Result{}, err
+				return fig12Trial{}, err
 			}
 
 			// HARP: the child's request to its parent (1), escalation and
 			// partition grants if any, plus the grant back to the child.
 			adj, err := plan.SetLinkDemand(l, plan.Demand(l)+1, cfg.BaseRate+1)
 			if err != nil {
-				return Fig12Result{}, err
+				return fig12Trial{}, err
 			}
 			if adj.Case == core.CaseRejected {
 				continue
 			}
-			harpSums[depth] += float64(2 + adj.TotalMessages())
-			counts[depth]++
+			trial.harpSums[depth] += float64(2 + adj.TotalMessages())
+			trial.counts[depth]++
 			// Revert; the release is local and partitions keep their size.
 			if _, err := plan.SetLinkDemand(l, plan.Demand(l)-1, cfg.BaseRate); err != nil {
-				return Fig12Result{}, err
+				return fig12Trial{}, err
 			}
+		}
+		return trial, nil
+	})
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	apasSums := make([]float64, cfg.Layers+1)
+	harpSums := make([]float64, cfg.Layers+1)
+	counts := make([]float64, cfg.Layers+1)
+	for _, trial := range trials {
+		for d := 0; d <= cfg.Layers; d++ {
+			apasSums[d] += trial.apasSums[d]
+			harpSums[d] += trial.harpSums[d]
+			counts[d] += trial.counts[d]
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/parallel"
 	"github.com/harpnet/harp/internal/sim"
 	"github.com/harpnet/harp/internal/stats"
 	"github.com/harpnet/harp/internal/topology"
@@ -112,15 +113,31 @@ func fig9Run(cfg Fig9Config, pdr float64, retries int) (map[traffic.TaskID][]flo
 }
 
 // Fig9 runs the static-network latency experiment on the testbed topology.
+// The ideal-channel and lossy-channel variants are independent full
+// simulations, so they fan out across the worker pool.
 func Fig9(cfg Fig9Config) (Fig9Result, error) {
-	ideal, _, err := fig9Run(cfg, 1, 0)
+	type fig9Variant struct {
+		lat   map[traffic.TaskID][]float64
+		drops map[traffic.TaskID]int
+	}
+	variantCfg := []struct {
+		pdr     float64
+		retries int
+	}{
+		{1, 0},
+		{cfg.LossyPDR, cfg.MaxRetries},
+	}
+	variants, err := parallel.Map(len(variantCfg), func(i int) (fig9Variant, error) {
+		lat, drops, err := fig9Run(cfg, variantCfg[i].pdr, variantCfg[i].retries)
+		if err != nil {
+			return fig9Variant{}, err
+		}
+		return fig9Variant{lat: lat, drops: drops}, nil
+	})
 	if err != nil {
 		return Fig9Result{}, err
 	}
-	lossy, drops, err := fig9Run(cfg, cfg.LossyPDR, cfg.MaxRetries)
-	if err != nil {
-		return Fig9Result{}, err
-	}
+	ideal, lossy, drops := variants[0].lat, variants[1].lat, variants[1].drops
 
 	tree := topology.Testbed50()
 	frame := TestbedSlotframe()

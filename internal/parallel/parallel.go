@@ -1,0 +1,117 @@
+// Package parallel is the deterministic worker-pool fan-out engine of the
+// experiment harness. Every figure sweep decomposes into independent trials
+// (one random topology, one repetition, one instance); this package runs
+// those trials across GOMAXPROCS workers while preserving the serial path's
+// output bit for bit.
+//
+// The determinism contract callers must uphold:
+//
+//   - trial i derives all of its randomness from the (seed, stream) pair it
+//     owns (experiments.rngFor) and shares no mutable state with other
+//     trials;
+//   - trial i writes only its own result slot (Map indexes results by i);
+//   - any cross-trial reduction (summing probabilities, concatenating
+//     samples) happens after the fan-out, in ascending index order.
+//
+// Under that contract the fold over trial results performs exactly the same
+// floating-point operations in exactly the same order regardless of the
+// worker count, so Workers()==1 and Workers()==N produce byte-identical
+// tables — the property TestFig11SerialParallelIdentical pins down and the
+// harplint determinism pass assumes.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds the configured worker count; 0 means GOMAXPROCS.
+var workerOverride atomic.Int64
+
+// Workers returns the number of workers a fan-out will use.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the worker count for subsequent fan-outs and returns the
+// previous override (0 meaning "follow GOMAXPROCS"). Passing n <= 0 restores
+// the GOMAXPROCS default. Intended for cmd/harpbench's -workers flag and for
+// tests that compare the serial and parallel paths.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerOverride.Swap(int64(n)))
+}
+
+// For runs fn(i) for every i in [0, n) across Workers() goroutines and
+// blocks until all calls return. Indices are claimed from a shared counter,
+// so scheduling order is nondeterministic — results must not depend on it
+// (see the package contract). If any calls fail, For returns the error of
+// the lowest failing index, so the reported error is the one the serial
+// path would have hit first.
+func For(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial reference path: identical call order to the pre-harness
+		// loops, and the baseline the parallel path must reproduce.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) across Workers() goroutines and
+// returns the results indexed by i. On error it returns the error of the
+// lowest failing index and a nil slice.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := For(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

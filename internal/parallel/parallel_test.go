@@ -1,0 +1,137 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		prev := SetWorkers(workers)
+		counts := make([]atomic.Int64, 100)
+		if err := For(100, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		SetWorkers(prev)
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	if err := For(0, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := For(-3, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("fn ran for non-positive n")
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := SetWorkers(workers)
+		err := For(50, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("trial %d failed", i)
+			}
+			return nil
+		})
+		SetWorkers(prev)
+		if err == nil || err.Error() != "trial 3 failed" {
+			t.Errorf("workers=%d: err = %v, want trial 3's", workers, err)
+		}
+	}
+}
+
+func TestMapIndexesResults(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		prev := SetWorkers(workers)
+		out, err := Map(40, func(i int) (int, error) { return i * i, nil })
+		SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	sentinel := errors.New("boom")
+	out, err := Map(10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if out != nil {
+		t.Error("failed Map should return nil results")
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if SetWorkers(5) != 0 {
+		t.Error("previous override should be 0")
+	}
+	if Workers() != 5 {
+		t.Error("override not applied")
+	}
+	if SetWorkers(-1) != 5 {
+		t.Error("SetWorkers should return previous override")
+	}
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("negative reset: Workers() = %d, want %d", got, want)
+	}
+}
+
+// TestForFoldDeterminism is the property the experiment harness relies on:
+// per-index partial results reduced in ascending index order produce
+// identical floating-point sums for any worker count.
+func TestForFoldDeterminism(t *testing.T) {
+	fold := func(workers int) float64 {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		parts, err := Map(1000, func(i int) (float64, error) {
+			// Awkward magnitudes so that summation order matters.
+			return 1e-3 / float64(i+1), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range parts {
+			sum += p
+		}
+		return sum
+	}
+	serial := fold(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := fold(w); got != serial {
+			t.Errorf("workers=%d: sum %v differs from serial %v", w, got, serial)
+		}
+	}
+}

@@ -88,10 +88,19 @@ type Simulator struct {
 	queues      map[topology.Link][]*packet
 	maxQueue    int
 
-	// taskState tracks packet generation per task.
+	// taskState tracks packet generation per task; taskOrder is the fixed
+	// ascending-ID release order (the task set never changes mid-run).
 	taskState map[traffic.TaskID]*taskGen
+	taskOrder []traffic.TaskID
 
 	records []PacketRecord
+
+	// Scratch buffers reused by transmit every slot, so the hot path does
+	// not allocate. commitBuf/usersBuf are cleared (not reallocated) per
+	// slot; attemptsBuf is truncated.
+	commitBuf   map[topology.NodeID]commitment
+	usersBuf    map[schedule.Cell]int
+	attemptsBuf []scheduledCell
 
 	// events are callbacks keyed by absolute slot, run before the slot is
 	// simulated (e.g. rate changes, schedule swaps).
@@ -118,6 +127,22 @@ type Simulator struct {
 type scheduledCell struct {
 	cell schedule.Cell
 	link topology.Link
+	// sender/receiver are the link endpoints, resolved once at SetSchedule
+	// time instead of two tree lookups per cell per slot.
+	sender   topology.NodeID
+	receiver topology.NodeID
+	// err defers an endpoint-resolution failure (a schedule referencing a
+	// node outside the tree) to the slot that would have simulated the
+	// cell, preserving the former lookup-time error behaviour.
+	err error
+}
+
+// commitment records the one cell a half-duplex node is committed to in the
+// current slot: the cell's index in the slot's cell list and whether the
+// node is its sender.
+type commitment struct {
+	idx int
+	tx  bool
 }
 
 type taskGen struct {
@@ -160,9 +185,12 @@ func New(cfg Config) (*Simulator, error) {
 		maxQueue:    maxQueue,
 		taskState:   make(map[traffic.TaskID]*taskGen),
 		events:      make(map[int][]func(*Simulator)),
+		commitBuf:   make(map[topology.NodeID]commitment),
+		usersBuf:    make(map[schedule.Cell]int),
 	}
-	for _, t := range cfg.Tasks.Tasks() {
+	for _, t := range cfg.Tasks.Tasks() { // Tasks() is sorted by ID
 		s.taskState[t.ID] = &taskGen{task: t, nextRelease: 0}
+		s.taskOrder = append(s.taskOrder, t.ID)
 	}
 	return s, nil
 }
@@ -178,7 +206,9 @@ func (s *Simulator) Frame() schedule.Slotframe { return s.frame }
 func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
 	s.cellsBySlot = make(map[int][]scheduledCell)
 	for _, tx := range sched.Transmissions() {
-		s.cellsBySlot[tx.Cell.Slot] = append(s.cellsBySlot[tx.Cell.Slot], scheduledCell{cell: tx.Cell, link: tx.Link})
+		sc := scheduledCell{cell: tx.Cell, link: tx.Link}
+		sc.sender, sc.receiver, sc.err = s.endpointsOf(tx.Link)
+		s.cellsBySlot[tx.Cell.Slot] = append(s.cellsBySlot[tx.Cell.Slot], sc)
 	}
 	for slot := range s.cellsBySlot {
 		cells := s.cellsBySlot[slot]
@@ -196,7 +226,10 @@ func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
 
 // SetTaskRate changes a task's packet generation rate immediately. The
 // caller is responsible for adjusting the schedule (that is HARP's job, not
-// the radio's).
+// the radio's). The next release instant is re-derived from the new period
+// at the moment of the change — one new period after the last release, but
+// never in the past — so a rate increase takes effect within one new period
+// instead of waiting out the remainder of the old one.
 func (s *Simulator) SetTaskRate(id traffic.TaskID, rate float64) error {
 	st, ok := s.taskState[id]
 	if !ok {
@@ -205,7 +238,13 @@ func (s *Simulator) SetTaskRate(id traffic.TaskID, rate float64) error {
 	if rate <= 0 {
 		return fmt.Errorf("sim: non-positive rate %.3f", rate)
 	}
+	lastRelease := st.nextRelease - st.task.PeriodSlots(s.frame.Slots)
 	st.task.Rate = rate
+	next := lastRelease + st.task.PeriodSlots(s.frame.Slots)
+	if next < float64(s.now) {
+		next = float64(s.now)
+	}
+	st.nextRelease = next
 	return nil
 }
 
@@ -244,12 +283,7 @@ func (s *Simulator) step() error {
 
 // generate releases new task packets whose release instant has passed.
 func (s *Simulator) generate() {
-	ids := make([]traffic.TaskID, 0, len(s.taskState))
-	for id := range s.taskState {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range s.taskOrder {
 		st := s.taskState[id]
 		period := st.task.PeriodSlots(s.frame.Slots)
 		for float64(s.now) >= st.nextRelease {
@@ -359,43 +393,37 @@ func (s *Simulator) transmit() error {
 	if len(cells) == 0 {
 		return nil
 	}
-	type commitment struct {
-		sc scheduledCell
-		tx bool
-	}
+	commit := s.commitBuf
+	users := s.usersBuf
+	clear(commit)
+	clear(users)
+	attempts := s.attemptsBuf[:0]
 	// Pass 1: node commitments, in deterministic cell order.
-	commit := make(map[topology.NodeID]commitment)
-	for _, sc := range cells {
-		sender, receiver, err := s.endpointsOf(sc.link)
-		if err != nil {
-			return err
+	for i, sc := range cells {
+		if sc.err != nil {
+			return sc.err
 		}
 		if len(s.queues[sc.link]) > 0 {
-			if _, busy := commit[sender]; busy {
+			if _, busy := commit[sc.sender]; busy {
 				s.HalfDuplexBlocks++
 			} else {
-				commit[sender] = commitment{sc: sc, tx: true}
+				commit[sc.sender] = commitment{idx: i, tx: true}
 			}
 		}
 		// A receiver listens on its scheduled RX cell whether or not a
 		// packet is coming, unless it already committed earlier this slot.
-		if _, busy := commit[receiver]; !busy {
-			commit[receiver] = commitment{sc: sc, tx: false}
+		if _, busy := commit[sc.receiver]; !busy {
+			commit[sc.receiver] = commitment{idx: i, tx: false}
 		}
 	}
 	// Pass 2: committed transmissions and co-cell contention.
-	var attempts []scheduledCell
-	users := make(map[schedule.Cell]int)
-	for _, sc := range cells {
-		sender, _, err := s.endpointsOf(sc.link)
-		if err != nil {
-			return err
-		}
-		if c, ok := commit[sender]; ok && c.tx && c.sc == sc {
+	for i, sc := range cells {
+		if c, ok := commit[sc.sender]; ok && c.tx && c.idx == i {
 			attempts = append(attempts, sc)
 			users[sc.cell]++
 		}
 	}
+	s.attemptsBuf = attempts
 	// Pass 3: outcomes.
 	for _, sc := range attempts {
 		if users[sc.cell] > 1 {
@@ -403,12 +431,8 @@ func (s *Simulator) transmit() error {
 			s.failAttempt(sc.link)
 			continue // stays queued (unless retries exhausted)
 		}
-		_, receiver, err := s.endpointsOf(sc.link)
-		if err != nil {
-			return err
-		}
-		rc, listening := commit[receiver]
-		if !listening || rc.tx || rc.sc.cell != sc.cell {
+		rc, listening := commit[sc.receiver]
+		if !listening || rc.tx || cells[rc.idx].cell != sc.cell {
 			s.ReceiverMisses++
 			s.failAttempt(sc.link)
 			continue

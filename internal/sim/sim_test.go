@@ -303,6 +303,90 @@ func TestRateChangeIncreasesGeneration(t *testing.T) {
 	}
 }
 
+// releaseSlots extracts the CreatedAt instants of every generated packet.
+func releaseSlots(s *Simulator) []int {
+	var out []int
+	for _, r := range s.Records() {
+		out = append(out, r.CreatedAt)
+	}
+	return out
+}
+
+func TestRateStepReleasesRederived(t *testing.T) {
+	// Fig. 10-style rate step 1 -> 3 pkt/slotframe mid-run. Frame is 40
+	// slots, so the old period is 40 and the new one 40/3 ≈ 13.3 slots.
+	tree, tasks := chainNet(t, 1)
+	f := frame()
+	sim, err := New(Config{Tree: tree, Frame: f, Tasks: tasks, PDR: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetSchedule(harpSchedule(t, tree, tasks, f))
+	// Change the rate at slot 50: the last release was at slot 40, so the
+	// next must come one NEW period later (slot ceil(40+13.3) within slot
+	// 54) — not at slot 80 where the old period had it.
+	sim.At(50, func(s *Simulator) {
+		if err := s.SetTaskRate(2, 3); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	rel := releaseSlots(sim)
+	if len(rel) < 4 {
+		t.Fatalf("only %d releases: %v", len(rel), rel)
+	}
+	if rel[0] != 0 || rel[1] != 40 {
+		t.Fatalf("pre-step releases = %v, want slots 0 and 40", rel[:2])
+	}
+	// First post-step release: 40 + 40/3 lands in slot 54 (generate fires
+	// when now >= nextRelease). The old bug kept it at slot 80.
+	if rel[2] != 54 {
+		t.Errorf("first post-step release at slot %d, want 54 (old-period bug gives 80)", rel[2])
+	}
+	// Subsequent releases run at the new period (~13.3 slots apart).
+	for i := 3; i < len(rel); i++ {
+		gap := rel[i] - rel[i-1]
+		if gap < 13 || gap > 14 {
+			t.Errorf("post-step release gap %d slots between %d and %d, want ~13.3",
+				gap, rel[i-1], rel[i])
+		}
+	}
+}
+
+func TestRateStepDownDoesNotBurst(t *testing.T) {
+	// Slowing a task down must not leave a stale (near) release instant: the
+	// next release moves one NEW period after the last one.
+	tree, tasks := chainNet(t, 4) // period 10
+	f := frame()
+	sim, err := New(Config{Tree: tree, Frame: f, Tasks: tasks, PDR: 1, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetSchedule(harpSchedule(t, tree, tasks, f))
+	sim.At(25, func(s *Simulator) {
+		if err := s.SetTaskRate(2, 1); err != nil { // period 40
+			t.Error(err)
+		}
+	})
+	if err := sim.Run(61); err != nil {
+		t.Fatal(err)
+	}
+	rel := releaseSlots(sim)
+	// Releases at 0, 10, 20 under rate 4; after the step at slot 25 the
+	// last release was 20, so the next comes at 20+40 = 60.
+	want := []int{0, 10, 20, 60}
+	if len(rel) != len(want) {
+		t.Fatalf("releases = %v, want %v", rel, want)
+	}
+	for i := range want {
+		if rel[i] != want[i] {
+			t.Fatalf("releases = %v, want %v", rel, want)
+		}
+	}
+}
+
 func TestEventCallbacks(t *testing.T) {
 	tree, tasks := chainNet(t, 1)
 	f := frame()

@@ -32,17 +32,18 @@ func Summarize(sample []float64) Summary {
 	sorted := make([]float64, len(sample))
 	copy(sorted, sample)
 	sort.Float64s(sorted)
-	var sum, sqsum float64
-	for _, v := range sorted {
-		sum += v
-		sqsum += v * v
+	// Welford's online algorithm: the textbook sqsum/n − mean² form loses
+	// all significant digits to catastrophic cancellation when the sample
+	// magnitude dwarfs its spread (e.g. absolute slot indices late in a
+	// long run), and can even go negative.
+	var mean, m2 float64
+	for i, v := range sorted {
+		delta := v - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (v - mean)
 	}
 	n := float64(len(sorted))
-	mean := sum / n
-	variance := sqsum/n - mean*mean
-	if variance < 0 {
-		variance = 0 // numerical noise
-	}
+	variance := m2 / n
 	return Summary{
 		Count:  len(sorted),
 		Mean:   mean,
@@ -56,7 +57,9 @@ func Summarize(sample []float64) Summary {
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
-// sample using nearest-rank interpolation.
+// sample by linear interpolation between the two nearest ranks (the
+// "exclusive" variant with rank p·(n−1)): Percentile([10,20], 0.5) is 15,
+// not either sample. p outside [0, 1] clamps to the extremes.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -134,6 +137,16 @@ func (t *Table) AddRow(cells ...any) {
 // Len returns the number of data rows.
 func (t *Table) Len() int { return len(t.rows) }
 
+// Cell returns the rendered cell at (row, col), or "" out of bounds — the
+// hook machine consumers (cmd/harpbench's -json report) use to lift
+// headline numbers back out of a rendered table.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Headers))
@@ -173,21 +186,30 @@ func (t *Table) String() string {
 }
 
 // SeriesTable renders several series sharing the same x grid as one table:
-// first column is x, then one column per series.
+// first column is x, then one column per series. Rows run to the longest
+// series — a series without a point at some row gets "-" there, whichever
+// side of the table it is on — and each row's x comes from the first series
+// long enough to have that point.
 func SeriesTable(title, xLabel string, series ...Series) *Table {
 	headers := append([]string{xLabel}, make([]string, len(series))...)
+	rows := 0
 	for i, s := range series {
 		headers[i+1] = s.Name
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
 	}
 	t := NewTable(title, headers...)
-	if len(series) == 0 {
-		return t
-	}
-	for i, p := range series[0].Points {
-		row := make([]any, 0, len(series)+1)
-		row = append(row, p.X)
+	for i := 0; i < rows; i++ {
+		row := make([]any, 1, len(series)+1)
+		row[0] = "-"
+		haveX := false
 		for _, s := range series {
 			if i < len(s.Points) {
+				if !haveX {
+					row[0] = s.Points[i].X
+					haveX = true
+				}
 				row = append(row, s.Points[i].Y)
 			} else {
 				row = append(row, "-")

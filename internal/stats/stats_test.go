@@ -74,6 +74,44 @@ func TestSummaryPropertyBounds(t *testing.T) {
 	}
 }
 
+func TestSummarizeLargeMagnitude(t *testing.T) {
+	// Absolute slot indices late in a long run: a huge offset with a tiny
+	// spread. The old sqsum/n − mean² formula cancels catastrophically here
+	// (it reported StdDev 0 — or NaN before the negative-variance clamp);
+	// Welford keeps full precision.
+	base := 1e9
+	s := Summarize([]float64{base, base + 1, base + 2})
+	if s.Mean != base+1 {
+		t.Errorf("Mean = %v, want %v", s.Mean, base+1)
+	}
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	// Identical samples at large magnitude: exactly zero spread.
+	if got := Summarize([]float64{base, base, base}).StdDev; got != 0 {
+		t.Errorf("constant-sample StdDev = %v, want 0", got)
+	}
+}
+
+func TestPercentileBoundaries(t *testing.T) {
+	if got := Percentile([]float64{42}, 0.73); got != 42 {
+		t.Errorf("single-sample percentile = %v, want 42", got)
+	}
+	two := []float64{10, 20}
+	if got := Percentile(two, 0.5); got != 15 {
+		t.Errorf("P50 of two samples = %v, want 15 (linear interpolation)", got)
+	}
+	if Percentile(two, 0) != 10 || Percentile(two, 1) != 20 {
+		t.Error("exact boundaries should return the extremes")
+	}
+	// Interpolation between the last two ranks.
+	four := []float64{0, 10, 20, 30}
+	if got := Percentile(four, 0.95); math.Abs(got-28.5) > 1e-12 {
+		t.Errorf("P95 = %v, want 28.5", got)
+	}
+}
+
 func TestSeries(t *testing.T) {
 	var s Series
 	s.Name = "harp"
@@ -133,5 +171,32 @@ func TestSeriesTable(t *testing.T) {
 	}
 	if SeriesTable("t", "x").Len() != 0 {
 		t.Error("no-series table should be empty")
+	}
+}
+
+func TestSeriesTableLongerLaterSeries(t *testing.T) {
+	// A series longer than series[0] must not be truncated: rows run to the
+	// longest series, short series pad with "-", and x falls back to the
+	// first series that still has points.
+	short := Series{Name: "short"}
+	short.Add(1, 0.1)
+	long := Series{Name: "long"}
+	long.Add(1, 0.5)
+	long.Add(2, 0.6)
+	long.Add(3, 0.7)
+	tab := SeriesTable("Fig", "x", short, long)
+	if tab.Len() != 3 {
+		t.Fatalf("rows = %d, want 3 (longest series)", tab.Len())
+	}
+	out := tab.String()
+	for _, want := range []string{"0.600", "0.700", "2.000", "3.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("truncated tail: missing %q in\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "-") || !strings.Contains(last, "0.700") {
+		t.Errorf("last row should pad the short series with '-': %q", last)
 	}
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet fuzz check clean
+.PHONY: all build test race lint fmt vet fuzz determinism check clean
 
 all: build
 
@@ -35,6 +35,16 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/coap/
 	$(GO) test -run=^$$ -fuzz=FuzzPackStrip -fuzztime=$(FUZZTIME) ./internal/packing/
 	$(GO) test -run=^$$ -fuzz=FuzzGridPack  -fuzztime=$(FUZZTIME) ./internal/packing/
+
+# Benchmark output must be a pure function of the seeds: run the quick
+# suite under two worker counts and require identical reports outside the
+# host/walltime fields.
+determinism:
+	$(GO) run ./cmd/harpbench -quick -json /tmp/harpbench_w1.json -workers 1
+	$(GO) run ./cmd/harpbench -quick -json /tmp/harpbench_w4.json -workers 4
+	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/harpbench_w1.json > /tmp/harpbench_w1.norm.json
+	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/harpbench_w4.json > /tmp/harpbench_w4.norm.json
+	diff -u /tmp/harpbench_w1.norm.json /tmp/harpbench_w4.norm.json
 
 check: fmt vet lint build test race
 

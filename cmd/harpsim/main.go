@@ -17,6 +17,8 @@ import (
 	"os"
 	"time"
 
+	"github.com/harpnet/harp/internal/agent"
+	"github.com/harpnet/harp/internal/cosim"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/schedulers"
 	"github.com/harpnet/harp/internal/sim"
@@ -41,10 +43,11 @@ func main() {
 		slotframes = flag.Int("slotframes", 50, "slotframes to simulate")
 		pdr        = flag.Float64("pdr", 1, "per-transmission delivery ratio")
 		seed       = flag.Int64("seed", 1, "random seed")
+		cosimFlag  = flag.Bool("cosim", false, "co-simulate the distributed HARP protocol with the MAC on one shared clock: agents build the schedule over real CoAP exchanges, and a mid-run traffic change measures the disruption window (ignores -scheduler)")
 	)
 	flag.Parse()
 	if err := run(*topoName, *topoFile, *nodes, *layers, *fanout, *schedName,
-		*rate, *perLink, *slots, *dataSlots, *channels, *slotframes, *pdr, *seed); err != nil {
+		*rate, *perLink, *slots, *dataSlots, *channels, *slotframes, *pdr, *seed, *cosimFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "harpsim:", err)
 		os.Exit(1)
 	}
@@ -86,7 +89,7 @@ func pickTopology(name, file string, nodes, layers, fanout int, rng *rand.Rand) 
 }
 
 func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
-	rate float64, perLink bool, slots, dataSlots, channels, slotframes int, pdr float64, seed int64) error {
+	rate float64, perLink bool, slots, dataSlots, channels, slotframes int, pdr float64, seed int64, cosimMode bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	tree, err := pickTopology(topoName, topoFile, nodes, layers, fanout, rng)
 	if err != nil {
@@ -95,10 +98,6 @@ func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
 	frame := schedule.Slotframe{
 		Slots: slots, Channels: channels, DataSlots: dataSlots,
 		SlotDuration: 10 * time.Millisecond,
-	}
-	sched, err := pickScheduler(schedName)
-	if err != nil {
-		return err
 	}
 
 	var demand *traffic.Demand
@@ -115,6 +114,14 @@ func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
 		return err
 	}
 
+	if cosimMode {
+		return runCoSim(tree, frame, tasks, demand, slotframes, pdr, seed)
+	}
+
+	sched, err := pickScheduler(schedName)
+	if err != nil {
+		return err
+	}
 	s, err := sched.Build(tree, frame, demand, rng)
 	if err != nil {
 		return err
@@ -156,5 +163,77 @@ func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
 	fmt.Printf("radio events: %d collisions, %d receiver misses, %d channel losses, %d half-duplex deferrals, %d drops\n",
 		simulator.Collisions, simulator.ReceiverMisses, simulator.LossFailures,
 		simulator.HalfDuplexBlocks, simulator.Drops)
+	return nil
+}
+
+// runCoSim runs the distributed HARP protocol and the MAC on one shared
+// virtual clock: the fleet's static phase builds the schedule over real
+// CoAP exchanges, data packets flow over it, and halfway through the run
+// the deepest node's uplink demand is raised — the printed disruption
+// window is the measured gap between the traffic change and the slot the
+// protocol commits the adjusted schedule.
+func runCoSim(tree *topology.Tree, frame schedule.Slotframe, tasks *traffic.Set,
+	demand *traffic.Demand, slotframes int, pdr float64, seed int64) error {
+	cs, err := cosim.New(cosim.Config{
+		Tree: tree, Frame: frame, Tasks: tasks, Demand: demand,
+		PDR: pdr, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %d nodes, %d layers; distributed HARP fleet on a shared virtual clock\n",
+		tree.Len(), tree.MaxLayer())
+	fmt.Printf("static phase: %d protocol messages, converged at t=%.1f slots\n",
+		cs.Bus.Delivered, cs.Clock.Now())
+
+	// Pick the deepest node (lowest ID on ties) and raise its uplink
+	// demand mid-run, exercising the full escalation path.
+	var deepest topology.NodeID
+	depth := -1
+	for _, id := range tree.Nodes() {
+		if id == topology.GatewayID {
+			continue
+		}
+		if l, err := tree.LinkLayer(id); err == nil && l > depth {
+			deepest, depth = id, l
+		}
+	}
+	link := topology.Link{Child: deepest, Direction: topology.Uplink}
+	target := demand.Cells(link) + 2
+	cs.At(slotframes/2*frame.Slots, func(c *cosim.CoSim) {
+		if err := c.Adjust(func(f *agent.Fleet) error {
+			return f.RequestLinkDemand(link, target)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "harpsim: adjustment:", err)
+		}
+	})
+
+	if err := cs.RunSlotframes(slotframes); err != nil {
+		return err
+	}
+
+	slotSec := frame.SlotDuration.Seconds()
+	var latencies []float64
+	delivered, generated := 0, 0
+	for _, r := range cs.Sim.Records() {
+		generated++
+		if r.Delivered {
+			delivered++
+			latencies = append(latencies, float64(r.Latency())*slotSec)
+		}
+	}
+	sum := stats.Summarize(latencies)
+	fmt.Printf("simulated %d slotframes (%.1fs): %d/%d packets delivered\n",
+		slotframes, float64(slotframes*frame.Slots)*slotSec, delivered, generated)
+	fmt.Printf("e2e latency: mean %.3fs, p50 %.3fs, p95 %.3fs, max %.3fs\n",
+		sum.Mean, sum.P50, sum.P95, sum.Max)
+	for _, cm := range cs.Commits {
+		fmt.Printf("adjustment: node %d uplink -> %d cells; %d msgs (%d requests, %d sched), committed at slot %d, disruption %.2fs (%d slotframes)\n",
+			deepest, target, cm.Messages, cm.Requests, cm.ScheduleMessages,
+			cm.CommitSlot, cm.DisruptionSec(frame), cm.Slotframes(frame))
+	}
+	if !cs.Quiesced() {
+		fmt.Println("adjustment still in flight at run end")
+	}
 	return nil
 }

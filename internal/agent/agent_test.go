@@ -106,14 +106,14 @@ func TestStaticPhaseScheduleValid(t *testing.T) {
 			nonLeafNonGateway++
 		}
 	}
-	if got := bus.MessageCount["POST intf"]; got != nonLeafNonGateway {
+	if got := bus.Count(coap.POST, "intf"); got != nonLeafNonGateway {
 		t.Errorf("POST intf = %d, want %d", got, nonLeafNonGateway)
 	}
-	if got := bus.MessageCount["POST part"]; got != nonLeafNonGateway {
+	if got := bus.Count(coap.POST, "part"); got != nonLeafNonGateway {
 		t.Errorf("POST part = %d, want %d", got, nonLeafNonGateway)
 	}
 	// Every node with demand hears its cells: 49 links x 2 directions.
-	if got := bus.MessageCount["POST sched"]; got != 98 {
+	if got := bus.Count(coap.POST, "sched"); got != 98 {
 		t.Errorf("POST sched = %d, want 98", got)
 	}
 }
@@ -158,10 +158,10 @@ func TestDynamicLocalAdjustment(t *testing.T) {
 	if _, err := bus.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if bus.MessageCount["PUT intf"] != 0 || bus.MessageCount["PUT part"] != 0 {
+	if bus.Count(coap.PUT, "intf") != 0 || bus.Count(coap.PUT, "part") != 0 {
 		t.Errorf("local adjustment sent partition messages: %v", bus.MessageCount)
 	}
-	if bus.MessageCount["POST sched"] == 0 {
+	if bus.Count(coap.POST, "sched") == 0 {
 		t.Error("no schedule notifications after local adjustment")
 	}
 	if err := fleet.Validate(); err != nil {
@@ -183,10 +183,10 @@ func TestDynamicEscalatedAdjustment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bus.MessageCount["PUT intf"] == 0 {
+	if bus.Count(coap.PUT, "intf") == 0 {
 		t.Error("no adjustment request sent")
 	}
-	if bus.MessageCount["PUT part"] == 0 {
+	if bus.Count(coap.PUT, "part") == 0 {
 		t.Error("no partition update sent")
 	}
 	if end <= start {
@@ -359,10 +359,10 @@ func TestFleetReparentLeaf(t *testing.T) {
 	if _, err := bus.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if bus.MessageCount["DELETE intf"] != 1 {
-		t.Errorf("leave messages = %d, want 1", bus.MessageCount["DELETE intf"])
+	if bus.Count(coap.DELETE, "intf") != 1 {
+		t.Errorf("leave messages = %d, want 1", bus.Count(coap.DELETE, "intf"))
 	}
-	if bus.MessageCount["POST intf"] == 0 {
+	if bus.Count(coap.POST, "intf") == 0 {
 		t.Error("no join report sent")
 	}
 	if err := fleet.Validate(); err != nil {

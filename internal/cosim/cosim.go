@@ -1,0 +1,228 @@
+// Package cosim runs the distributed HARP protocol and the slot-accurate
+// MAC simulator against one shared virtual clock — the co-simulation of
+// the paper's testbed (§VI-C). An agent.Fleet exchanges real CoAP
+// /intf–/part–/sched messages over a transport.Bus whose management-cell
+// latencies are events on the clock, while a sim.Simulator drives data
+// packets slot by slot on the same clock. When traffic changes, the data
+// plane keeps flowing over the OLD schedule until the protocol actually
+// quiesces; the new schedule is installed in the MAC at the slot the
+// exchange commits. Fig. 10's disruption window and Table II's convergence
+// times therefore emerge from message timing, instead of being injected
+// analytically.
+package cosim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/harpnet/harp/internal/agent"
+	"github.com/harpnet/harp/internal/coap"
+	"github.com/harpnet/harp/internal/invariant"
+	"github.com/harpnet/harp/internal/proto"
+	"github.com/harpnet/harp/internal/schedule"
+	"github.com/harpnet/harp/internal/sim"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/transport"
+	"github.com/harpnet/harp/internal/vclock"
+)
+
+// Config parameterises a co-simulation.
+type Config struct {
+	Tree  *topology.Tree
+	Frame schedule.Slotframe
+	// Tasks drive data-plane packet generation.
+	Tasks *traffic.Set
+	// Demand is the provisioned per-link demand the agents are deployed
+	// with; nil derives it from Tasks (exact provisioning, no slack).
+	Demand *traffic.Demand
+	// PDR, MaxQueue, MaxRetries and Seed configure the MAC simulator as in
+	// sim.Config. Seed also drives the transport's management-cell latency
+	// sampling (independent streams).
+	PDR        float64
+	MaxQueue   int
+	MaxRetries int
+	Seed       int64
+	// RootGap reserves slots after the data sub-frame boundary, as the
+	// experiments' plans do.
+	RootGap int
+}
+
+// Commit records one control-plane adjustment observed end to end: the
+// slot the traffic change was injected, the slot the protocol quiesced and
+// the schedule was hot-swapped into the MAC, and the message cost of the
+// exchange. CommitSlot - TriggerSlot is the measured disruption window.
+type Commit struct {
+	TriggerSlot int
+	CommitSlot  int
+	// Messages is the total delivered during the exchange; Requests and
+	// ScheduleMessages are the PUT /intf and POST /sched counts (the
+	// "msg"/"layers"/"sched" columns of Table II).
+	Messages         int
+	Requests         int
+	ScheduleMessages int
+	Participants     int
+}
+
+// Slotframes returns the disruption window in whole slotframes.
+func (c Commit) Slotframes(frame schedule.Slotframe) int {
+	return int(math.Ceil(float64(c.CommitSlot-c.TriggerSlot) / float64(frame.Slots)))
+}
+
+// DisruptionSec returns the disruption window in seconds.
+func (c Commit) DisruptionSec(frame schedule.Slotframe) float64 {
+	return float64(c.CommitSlot-c.TriggerSlot) * frame.SlotDuration.Seconds()
+}
+
+// CoSim couples a fleet and a MAC simulator on one clock.
+type CoSim struct {
+	Clock *vclock.Clock
+	Bus   *transport.Bus
+	Fleet *agent.Fleet
+	Sim   *sim.Simulator
+
+	frame   schedule.Slotframe
+	pending bool // an adjustment awaits protocol quiescence
+	trigger int  // slot of the pending adjustment's injection
+	// Commits holds every committed adjustment in order.
+	Commits []Commit
+}
+
+// New deploys the fleet, runs the static allocation phase to completion on
+// the shared clock, installs the resulting schedule in the MAC simulator
+// and binds the simulator to the clock at the next whole slot boundary.
+func New(cfg Config) (*CoSim, error) {
+	if cfg.Tree == nil || cfg.Tasks == nil {
+		return nil, errors.New("cosim: nil tree or tasks")
+	}
+	demand := cfg.Demand
+	if demand == nil {
+		var err error
+		demand, err = traffic.Compute(cfg.Tree, cfg.Tasks)
+		if err != nil {
+			return nil, err
+		}
+	}
+	clock := vclock.New()
+	bus, err := transport.NewBusOnClock(clock, cfg.Frame.Slots, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := agent.Deploy(cfg.Tree, cfg.Frame, demand, bus, agent.WithRootGap(cfg.RootGap))
+	if err != nil {
+		return nil, err
+	}
+	fleet.Start()
+	if _, err := bus.Run(); err != nil {
+		return nil, fmt.Errorf("cosim: static phase: %w", err)
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, fmt.Errorf("cosim: fleet invalid after static phase: %w", err)
+	}
+	if debugChecks {
+		if err := invariant.CheckFleet(fleet, nil); err != nil {
+			panic(fmt.Sprintf("cosim: static phase invariant: %v", err))
+		}
+	}
+	sched, err := fleet.BuildSchedule()
+	if err != nil {
+		return nil, err
+	}
+	mac, err := sim.New(sim.Config{
+		Tree:       cfg.Tree,
+		Frame:      cfg.Frame,
+		Tasks:      cfg.Tasks,
+		PDR:        cfg.PDR,
+		MaxQueue:   cfg.MaxQueue,
+		MaxRetries: cfg.MaxRetries,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mac.SetSchedule(sched)
+	if err := mac.BindClock(clock); err != nil {
+		return nil, err
+	}
+	cs := &CoSim{Clock: clock, Bus: bus, Fleet: fleet, Sim: mac, frame: cfg.Frame}
+	mac.EachSlot(func(*sim.Simulator) { cs.observe() })
+	return cs, nil
+}
+
+// observe runs at the start of every slot: once a pending adjustment's
+// protocol traffic has drained, the fleet's schedule is committed into the
+// MAC effective this very slot — the earliest slot boundary after the last
+// protocol message, exactly when the testbed's nodes switch schedules.
+func (cs *CoSim) observe() {
+	if !cs.pending || cs.Bus.Pending() != 0 {
+		return
+	}
+	cs.pending = false
+	if err := cs.Fleet.Validate(); err != nil {
+		panic(fmt.Sprintf("cosim: fleet invalid at commit: %v", err))
+	}
+	if debugChecks {
+		// The static plan no longer matches after dynamic adjustments, so
+		// convergence against it is skipped (nil plan) — the structural
+		// partition/schedule invariants are what must hold at commit.
+		if err := invariant.CheckFleet(cs.Fleet, nil); err != nil {
+			panic(fmt.Sprintf("cosim: commit invariant: %v", err))
+		}
+	}
+	sched, err := cs.Fleet.BuildSchedule()
+	if err != nil {
+		panic(fmt.Sprintf("cosim: building committed schedule: %v", err))
+	}
+	cs.Sim.SetSchedule(sched)
+	cs.Commits = append(cs.Commits, Commit{
+		TriggerSlot:      cs.trigger,
+		CommitSlot:       cs.Sim.Now(),
+		Messages:         cs.Bus.Delivered,
+		Requests:         cs.Bus.Count(coap.PUT, proto.PathInterface),
+		ScheduleMessages: cs.Bus.Count(coap.POST, proto.PathSchedule),
+		Participants:     len(cs.Bus.Participants),
+	})
+}
+
+// Adjust injects a traffic change: message counters reset, fn issues the
+// demand requests through the fleet (e.g. Fleet.RequestLinkDemand), and
+// the harness commits the adjusted schedule into the MAC at the first slot
+// boundary after the protocol quiesces. Call it from an At callback or
+// between Run calls; one adjustment may be in flight at a time.
+func (cs *CoSim) Adjust(fn func(*agent.Fleet) error) error {
+	if cs.pending {
+		return errors.New("cosim: adjustment already in flight")
+	}
+	cs.Bus.ResetCounters()
+	cs.trigger = cs.Sim.Now()
+	if err := fn(cs.Fleet); err != nil {
+		return err
+	}
+	cs.pending = true
+	return nil
+}
+
+// At registers fn at the start of the given absolute slot, before the
+// harness's quiescence check — an Adjust made here that needs no messages
+// commits in the same slot.
+func (cs *CoSim) At(slot int, fn func(*CoSim)) {
+	cs.Sim.At(slot, func(*sim.Simulator) { fn(cs) })
+}
+
+// Run advances the co-simulation by n slots, interleaving slot events and
+// protocol message deliveries in timestamp order.
+func (cs *CoSim) Run(n int) error {
+	if err := cs.Sim.Run(n); err != nil {
+		return err
+	}
+	return cs.Bus.Err()
+}
+
+// RunSlotframes advances by n whole slotframes.
+func (cs *CoSim) RunSlotframes(n int) error {
+	return cs.Run(n * cs.frame.Slots)
+}
+
+// Quiesced reports whether no adjustment is awaiting commit.
+func (cs *CoSim) Quiesced() bool { return !cs.pending }

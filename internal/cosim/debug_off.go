@@ -1,0 +1,8 @@
+//go:build !harpdebug
+
+package cosim
+
+// debugChecks gates the invariant sweep at every schedule commit point.
+// The default build skips it; `-tags harpdebug` enables it (see
+// debug_on.go).
+const debugChecks = false

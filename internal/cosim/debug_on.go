@@ -1,0 +1,10 @@
+//go:build harpdebug
+
+package cosim
+
+// debugChecks enables the full invariant sweep (invariant.CheckFleet:
+// partition containment, sibling disjointness, collision freedom,
+// half-duplex safety) at the static-phase handoff and at every schedule
+// commit point, panicking on the first violation. Quiescent points are the
+// only instants these must hold, and commits are exactly those instants.
+const debugChecks = true

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -370,4 +372,70 @@ func statsSummary(xs []float64) float64 {
 		total += x
 	}
 	return total / float64(len(xs))
+}
+
+func TestFig10MeasuredCommitSlots(t *testing.T) {
+	cfg := DefaultFig10()
+	cfg.TotalSlotframes = 90
+	res, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := TestbedSlotframe()
+	for i, e := range res.Events {
+		if !e.Measured {
+			t.Errorf("event %d not marked measured in the default (co-sim) mode", i)
+		}
+		if e.CommitSlot < 0 {
+			t.Errorf("event %d has no commit slot: %+v", i, e)
+		}
+	}
+	// Step 1 commits in its own slot (no messages to wait for); step 2's
+	// window spans the slots its CoAP exchange actually took.
+	step2 := res.Events[1]
+	trigger := cfg.Step2At * frame.Slots
+	if step2.CommitSlot <= trigger {
+		t.Errorf("step 2 committed at slot %d, not after its trigger %d", step2.CommitSlot, trigger)
+	}
+	wantDelay := float64(step2.CommitSlot-trigger) * frame.SlotDuration.Seconds()
+	if math.Abs(step2.DelaySec-wantDelay) > 1e-9 {
+		t.Errorf("DelaySec %.4f does not equal commit-slot window %.4f", step2.DelaySec, wantDelay)
+	}
+	// The analytic ablation is labelled as such and models the delay
+	// instead of measuring it.
+	cfg.Analytic = true
+	abl, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range abl.Events {
+		if e.Measured {
+			t.Errorf("analytic event %d marked measured", i)
+		}
+		if e.CommitSlot != -1 {
+			t.Errorf("analytic event %d has commit slot %d, want -1", i, e.CommitSlot)
+		}
+	}
+	if abl.Events[1].DelaySec <= 0 {
+		t.Error("analytic ablation lost its modelled delay")
+	}
+}
+
+func TestFig10Deterministic(t *testing.T) {
+	cfg := DefaultFig10()
+	cfg.TotalSlotframes = 70
+	a, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Errorf("same-seed events differ:\n%+v\n%+v", a.Events, b.Events)
+	}
+	if !reflect.DeepEqual(a.Points, b.Points) {
+		t.Error("same-seed latency traces differ")
+	}
 }

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/harpnet/harp/internal/agent"
 	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/cosim"
+	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/sim"
 	"github.com/harpnet/harp/internal/stats"
 	"github.com/harpnet/harp/internal/topology"
@@ -27,9 +30,15 @@ type Fig10Config struct {
 	TotalSlotframes int
 	PDR             float64
 	Seed            int64
+	// Analytic selects the ablation: instead of co-simulating the real
+	// protocol exchange, the adjustment runs on a centralized plan and the
+	// schedule swap is delayed by the §VI-A half-slotframe-per-message
+	// model. The default (false) measures the disruption window from the
+	// slot the actual CoAP exchange commits on the shared clock.
+	Analytic bool
 }
 
-// DefaultFig10 returns the paper's scenario.
+// DefaultFig10 returns the paper's scenario (measured co-simulation).
 func DefaultFig10() Fig10Config {
 	return Fig10Config{
 		Node:            15,
@@ -48,10 +57,16 @@ type Fig10Event struct {
 	AtSec      float64
 	Rate       float64
 	Case       string
-	Messages   int // HARP partition-protocol messages across affected links
+	Messages   int // protocol messages delivered during the adjustment
 	SchedMsgs  int
-	DelaySec   float64 // reconfiguration completion delay applied in the sim
-	Slotframes int     // delay in whole slotframes
+	DelaySec   float64 // disruption window: rate step to schedule swap
+	Slotframes int     // window in whole slotframes
+	// CommitSlot is the absolute slot the new schedule entered the MAC
+	// (measured mode only; -1 in the analytic ablation).
+	CommitSlot int
+	// Measured reports whether the window was observed on the shared clock
+	// (true) or injected by the analytic model (false).
+	Measured bool
 }
 
 // Fig10Result carries the latency trace of the observed node's task.
@@ -65,31 +80,23 @@ type Fig10Result struct {
 	MaxLatencySec float64
 }
 
-// Fig10 runs the dynamic traffic-change scenario.
-func Fig10(cfg Fig10Config) (Fig10Result, error) {
-	tree := topology.Testbed50()
-	frame := TestbedSlotframe()
-	if !tree.Has(cfg.Node) || cfg.Node == topology.GatewayID {
-		return Fig10Result{}, fmt.Errorf("experiments: invalid observed node %d", cfg.Node)
-	}
+// fig10Provisioning returns the scenario's task set and provisioned
+// per-link demand: every link carries its task demand, the observed node's
+// path links get one spare cell beyond it — the "idle cells in the
+// allocated partition" that let the first rate step resolve locally on the
+// paper's testbed — and top rates start at one packet/slotframe.
+func fig10Provisioning(tree *topology.Tree, node topology.NodeID) (*traffic.Set, map[topology.Link]int, map[topology.Link]float64, error) {
 	tasks, err := traffic.UniformEcho(tree, 1)
 	if err != nil {
-		return Fig10Result{}, err
+		return nil, nil, nil, err
 	}
 	baseDemand, err := traffic.Compute(tree, tasks)
 	if err != nil {
-		return Fig10Result{}, err
+		return nil, nil, nil, err
 	}
-
-	// Provisioning policy: the observed node's path links get one spare
-	// cell beyond their task demand — the "idle cells in the allocated
-	// partition" that let the first rate step resolve locally on the
-	// paper's testbed — and the gateway leaves two idle slots between its
-	// layer partitions so a widened layer does not displace its
-	// neighbours.
-	path, err := tree.PathToGateway(cfg.Node)
+	path, err := tree.PathToGateway(node)
 	if err != nil {
-		return Fig10Result{}, err
+		return nil, nil, nil, err
 	}
 	slackLinks := make(map[topology.Link]bool)
 	for _, hop := range path[:len(path)-1] {
@@ -105,6 +112,129 @@ func Fig10(cfg Fig10Config) (Fig10Result, error) {
 			inflated[l]++
 		}
 		rates[l] = 1
+	}
+	return tasks, inflated, rates, nil
+}
+
+// Fig10 runs the dynamic traffic-change scenario: co-simulated by default,
+// analytically modelled when cfg.Analytic is set.
+func Fig10(cfg Fig10Config) (Fig10Result, error) {
+	tree := topology.Testbed50()
+	frame := TestbedSlotframe()
+	if !tree.Has(cfg.Node) || cfg.Node == topology.GatewayID {
+		return Fig10Result{}, fmt.Errorf("experiments: invalid observed node %d", cfg.Node)
+	}
+	if cfg.Analytic {
+		return fig10Analytic(cfg, tree, frame)
+	}
+	return fig10Measured(cfg, tree, frame)
+}
+
+// fig10Measured co-simulates the scenario: each rate step triggers the
+// real CoAP adjustment protocol over management cells on the shared
+// virtual clock, the data plane keeps flowing over the OLD schedule while
+// the exchange is in flight, and the swap lands at the slot the protocol
+// actually commits — the disruption window is measured, not modelled.
+func fig10Measured(cfg Fig10Config, tree *topology.Tree, frame schedule.Slotframe) (Fig10Result, error) {
+	tasks, inflated, _, err := fig10Provisioning(tree, cfg.Node)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	cs, err := cosim.New(cosim.Config{
+		Tree:    tree,
+		Frame:   frame,
+		Tasks:   tasks,
+		Demand:  traffic.FromCells(inflated),
+		PDR:     cfg.PDR,
+		Seed:    cfg.Seed,
+		RootGap: 2,
+	})
+	if err != nil {
+		return Fig10Result{}, err
+	}
+
+	// provisioned tracks each link's current allocation so a step requests
+	// adjustment only where its new demand overflows it (same growth
+	// policy as the analytic path: the new requirement plus one spare cell
+	// to drain the backlog built during reconfiguration; never shrink).
+	provisioned := inflated
+	type stepMeta struct {
+		slot int
+		rate float64
+	}
+	var steps []stepMeta
+	applyStep := func(atSlotframe int, rate float64) {
+		slot := atSlotframe * frame.Slots
+		steps = append(steps, stepMeta{slot: slot, rate: rate})
+		cs.At(slot, func(c *cosim.CoSim) {
+			_ = c.Sim.SetTaskRate(traffic.TaskID(cfg.Node), rate)
+			if err := tasks.SetRate(traffic.TaskID(cfg.Node), rate); err != nil {
+				return
+			}
+			newDemand, err := traffic.Compute(tree, tasks)
+			if err != nil {
+				return
+			}
+			_ = c.Adjust(func(f *agent.Fleet) error {
+				for _, l := range newDemand.Links() {
+					needed := newDemand.Cells(l)
+					if needed <= provisioned[l] {
+						continue
+					}
+					target := needed + 1
+					if err := f.RequestLinkDemand(l, target); err != nil {
+						return err
+					}
+					provisioned[l] = target
+				}
+				return nil
+			})
+		})
+	}
+	applyStep(cfg.Step1At, cfg.Step1Rate)
+	applyStep(cfg.Step2At, cfg.Step2Rate)
+
+	if err := cs.RunSlotframes(cfg.TotalSlotframes); err != nil {
+		return Fig10Result{}, err
+	}
+
+	slotSec := frame.SlotDuration.Seconds()
+	var events []Fig10Event
+	for i, st := range steps {
+		ev := Fig10Event{
+			AtSec:      float64(st.slot) * slotSec,
+			Rate:       st.rate,
+			CommitSlot: -1,
+			Measured:   true,
+		}
+		if i < len(cs.Commits) {
+			cm := cs.Commits[i]
+			ev.Messages = cm.Messages
+			ev.SchedMsgs = cm.ScheduleMessages
+			ev.DelaySec = cm.DisruptionSec(frame)
+			ev.Slotframes = cm.Slotframes(frame)
+			ev.CommitSlot = cm.CommitSlot
+			if cm.Requests == 0 {
+				ev.Case = "local"
+			} else {
+				ev.Case = "escalated"
+			}
+		} else {
+			ev.Case = "uncommitted" // protocol still in flight at run end
+		}
+		events = append(events, ev)
+	}
+	return fig10Trace(cfg, cs.Sim.Records(), frame, events), nil
+}
+
+// fig10Analytic is the labelled ablation: the adjustment runs on a
+// centralized plan and the schedule swap is delayed by the analytic
+// half-slotframe-per-message timing model of §VI-A, with no protocol
+// traffic simulated.
+func fig10Analytic(cfg Fig10Config, tree *topology.Tree, frame schedule.Slotframe) (Fig10Result, error) {
+	tasks, inflated, rates, err := fig10Provisioning(tree, cfg.Node)
+	if err != nil {
+		return Fig10Result{}, err
 	}
 	plan, err := core.NewPlanFromLinkDemand(tree, frame, inflated, rates, core.Options{RootGap: 2})
 	if err != nil {
@@ -124,7 +254,7 @@ func Fig10(cfg Fig10Config) (Fig10Result, error) {
 	var events []Fig10Event
 	// applyStep raises the observed node's task rate at the given slot; the
 	// HARP adjustment runs on the plan and the reconfigured schedule is
-	// installed after the measured signalling delay.
+	// installed after the modelled signalling delay.
 	applyStep := func(atSlotframe int, rate float64) {
 		slot := atSlotframe * frame.Slots
 		simulator.At(slot, func(s *sim.Simulator) {
@@ -184,6 +314,7 @@ func Fig10(cfg Fig10Config) (Fig10Result, error) {
 				SchedMsgs:  schedMsgs,
 				DelaySec:   float64(delaySlots) * frame.SlotDuration.Seconds(),
 				Slotframes: (delaySlots + frame.Slots - 1) / frame.Slots,
+				CommitSlot: -1,
 			})
 			s.At(slot+delaySlots, func(s2 *sim.Simulator) {
 				if newSched, err := plan.BuildSchedule(); err == nil {
@@ -198,10 +329,15 @@ func Fig10(cfg Fig10Config) (Fig10Result, error) {
 	if err := simulator.RunSlotframes(cfg.TotalSlotframes); err != nil {
 		return Fig10Result{}, err
 	}
+	return fig10Trace(cfg, simulator.Records(), frame, events), nil
+}
 
+// fig10Trace extracts the observed node's latency trace from the packet
+// records and assembles the result.
+func fig10Trace(cfg Fig10Config, records []sim.PacketRecord, frame schedule.Slotframe, events []Fig10Event) Fig10Result {
 	slotSec := frame.SlotDuration.Seconds()
 	var res Fig10Result
-	for _, r := range simulator.Records() {
+	for _, r := range records {
 		if r.Task != traffic.TaskID(cfg.Node) || !r.Delivered {
 			continue
 		}
@@ -222,5 +358,5 @@ func Fig10(cfg Fig10Config) (Fig10Result, error) {
 		table.AddRow(p.X, p.Y)
 	}
 	res.Table = table
-	return res, nil
+	return res
 }

@@ -5,7 +5,9 @@ import (
 	"math"
 
 	"github.com/harpnet/harp/internal/agent"
+	"github.com/harpnet/harp/internal/coap"
 	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/proto"
 	"github.com/harpnet/harp/internal/stats"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/traffic"
@@ -150,13 +152,13 @@ func TableII(cfg TableIIConfig) (TableIIResult, error) {
 			return TableIIResult{}, fmt.Errorf("experiments: fleet invalid after %v: %w", ev.Link, err)
 		}
 		elapsed := end - start
-		requests := bus.MessageCount["PUT intf"]
+		requests := bus.Count(coap.PUT, proto.PathInterface)
 		rows = append(rows, TableIIRow{
 			Event:            fmt.Sprintf("r(%v) -> %d", ev.Link, ev.NewDemand),
 			Nodes:            len(bus.Participants),
 			Layers:           requests,
 			Messages:         bus.Delivered,
-			ScheduleMessages: bus.MessageCount["POST sched"],
+			ScheduleMessages: bus.Count(coap.POST, proto.PathSchedule),
 			TimeSec:          elapsed * frame.SlotDuration.Seconds(),
 			Slotframes:       int(math.Ceil(elapsed / float64(frame.Slots))),
 		})

@@ -10,12 +10,14 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/vclock"
 )
 
 // Config parameterises a simulation run.
@@ -81,6 +83,15 @@ type Simulator struct {
 	frame schedule.Slotframe
 	rng   *rand.Rand
 
+	// clock schedules one event per simulated slot; by default it is
+	// private, but BindClock rebinds the simulator onto a shared clock so
+	// slots interleave with other consumers' events (the transport bus in
+	// co-simulation). origin maps slot indices to virtual time: slot n
+	// runs at origin + n.
+	clock  *vclock.Clock
+	origin float64
+	runErr error
+
 	now int // absolute slot index
 
 	// cellsBySlot indexes the active schedule: slot-in-frame -> cells.
@@ -105,6 +116,11 @@ type Simulator struct {
 	// events are callbacks keyed by absolute slot, run before the slot is
 	// simulated (e.g. rate changes, schedule swaps).
 	events map[int][]func(*Simulator)
+	// eachSlot callbacks run at the start of every slot, after the slot's
+	// At events and before packet generation — the observation point
+	// co-simulations use to commit a quiesced control-plane adjustment so
+	// it takes effect in the very slot it was detected.
+	eachSlot []func(*Simulator)
 
 	// Drops counts queue-overflow losses.
 	Drops int
@@ -122,6 +138,10 @@ type Simulator struct {
 	LossFailures int
 	// Expired counts packets dropped after exhausting MaxRetries at a hop.
 	Expired int
+	// SwapDrops counts packets discarded by a SetSchedule hot swap because
+	// their link lost all cells in the new schedule (they could never be
+	// transmitted again).
+	SwapDrops int
 }
 
 type scheduledCell struct {
@@ -179,6 +199,7 @@ func New(cfg Config) (*Simulator, error) {
 		cfg:         cfg,
 		tree:        cfg.Tree,
 		frame:       cfg.Frame,
+		clock:       vclock.New(),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		cellsBySlot: make(map[int][]scheduledCell),
 		queues:      make(map[topology.Link][]*packet),
@@ -198,17 +219,41 @@ func New(cfg Config) (*Simulator, error) {
 // Now returns the current absolute slot index.
 func (s *Simulator) Now() int { return s.now }
 
+// Clock returns the virtual clock slot events run on.
+func (s *Simulator) Clock() *vclock.Clock { return s.clock }
+
+// BindClock rebinds the simulator onto a shared clock (typically one a
+// transport.Bus already schedules deliveries on), aligning the next slot
+// with the next whole virtual slot boundary at or after the clock's
+// current time. All later Run calls interleave slot events with the other
+// consumers' events in timestamp order — the co-simulation of §VI-C. Must
+// be called between Run calls, never from inside one.
+func (s *Simulator) BindClock(c *vclock.Clock) error {
+	if c == nil {
+		return errors.New("sim: nil clock")
+	}
+	s.clock = c
+	s.origin = math.Ceil(c.Now()) - float64(s.now)
+	return nil
+}
+
 // Frame returns the slotframe configuration.
 func (s *Simulator) Frame() schedule.Slotframe { return s.frame }
 
 // SetSchedule installs (or replaces) the active cell schedule. Queued
-// packets are retained; they continue over the new cells.
+// packets are retained and continue over the new cells — except packets on
+// a link the new schedule no longer serves at all, which are drained and
+// counted in SwapDrops (a cell-less link would hold them forever). Safe to
+// call mid-run from an At or EachSlot callback: the swap takes effect for
+// the current slot's transmissions.
 func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
 	s.cellsBySlot = make(map[int][]scheduledCell)
+	served := make(map[topology.Link]bool)
 	for _, tx := range sched.Transmissions() {
 		sc := scheduledCell{cell: tx.Cell, link: tx.Link}
 		sc.sender, sc.receiver, sc.err = s.endpointsOf(tx.Link)
 		s.cellsBySlot[tx.Cell.Slot] = append(s.cellsBySlot[tx.Cell.Slot], sc)
+		served[tx.Link] = true
 	}
 	for slot := range s.cellsBySlot {
 		cells := s.cellsBySlot[slot]
@@ -221,6 +266,16 @@ func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
 			}
 			return cells[i].link.Child < cells[j].link.Child
 		})
+	}
+	for l, q := range s.queues {
+		if len(q) == 0 || served[l] {
+			continue
+		}
+		for _, p := range q {
+			s.SwapDrops++
+			s.records[p.rec].Dropped = true
+		}
+		delete(s.queues, l)
 	}
 }
 
@@ -253,14 +308,39 @@ func (s *Simulator) At(slot int, fn func(*Simulator)) {
 	s.events[slot] = append(s.events[slot], fn)
 }
 
-// Run advances the simulation by n slots.
+// EachSlot registers a callback run at the start of every slot, after the
+// slot's At events and before packet generation. A schedule committed from
+// here (SetSchedule) governs the same slot's transmissions.
+func (s *Simulator) EachSlot(fn func(*Simulator)) {
+	s.eachSlot = append(s.eachSlot, fn)
+}
+
+// Run advances the simulation by n slots. Each slot is one event on the
+// virtual clock; on a shared clock every other consumer's events due in
+// the window — transport deliveries, in co-simulation — run interleaved in
+// timestamp order.
 func (s *Simulator) Run(n int) error {
-	for i := 0; i < n; i++ {
+	if n <= 0 {
+		return nil
+	}
+	end := s.now + n
+	s.runErr = nil
+	var tick func()
+	tick = func() {
+		if s.runErr != nil || s.now >= end {
+			return
+		}
 		if err := s.step(); err != nil {
-			return err
+			s.runErr = err
+			return
+		}
+		if s.now < end {
+			s.clock.Schedule(s.origin+float64(s.now), tick)
 		}
 	}
-	return nil
+	s.clock.Schedule(s.origin+float64(s.now), tick)
+	s.clock.RunUntil(s.origin + float64(end))
+	return s.runErr
 }
 
 // RunSlotframes advances by n whole slotframes.
@@ -273,6 +353,9 @@ func (s *Simulator) step() error {
 		fn(s)
 	}
 	delete(s.events, s.now)
+	for _, fn := range s.eachSlot {
+		fn(s)
+	}
 	s.generate()
 	if err := s.transmit(); err != nil {
 		return err

@@ -11,6 +11,7 @@ import (
 	"github.com/harpnet/harp/internal/schedulers"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/vclock"
 )
 
 func frame() schedule.Slotframe {
@@ -482,5 +483,87 @@ func TestSimPropertyDeliveredLatencyPositive(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSetScheduleHotSwapDrainsUnservedLinks(t *testing.T) {
+	tree, tasks := chainNet(t, 1)
+	f := frame()
+	s, err := New(Config{Tree: tree, Frame: f, Tasks: tasks, PDR: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSchedule(harpSchedule(t, tree, tasks, f))
+	if err := s.RunSlotframes(2); err != nil {
+		t.Fatal(err)
+	}
+	// Strand a packet: queue one on link 2 uplink, then install a schedule
+	// that serves only link 1 — link 2's queue can never drain again.
+	s.release(s.taskState[2].task)
+	if s.QueueDepth(topology.Link{Child: 2, Direction: topology.Uplink}) == 0 {
+		t.Fatal("no packet queued on link 2")
+	}
+	partial, err := schedule.NewSchedule(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partial.Assign(topology.Link{Child: 1, Direction: topology.Uplink}, schedule.Cell{Slot: 0, Channel: 0}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.SwapDrops
+	s.SetSchedule(partial)
+	if s.SwapDrops <= before {
+		t.Errorf("SwapDrops = %d, want > %d: stranded packet not drained", s.SwapDrops, before)
+	}
+	if s.QueueDepth(topology.Link{Child: 2, Direction: topology.Uplink}) != 0 {
+		t.Error("unserved link still holds packets after hot swap")
+	}
+	// Links the new schedule still serves keep their queues.
+	if err := s.RunSlotframes(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnSharedClockInterleaves(t *testing.T) {
+	tree, tasks := chainNet(t, 1)
+	f := frame()
+	s, err := New(Config{Tree: tree, Frame: f, Tasks: tasks, PDR: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSchedule(harpSchedule(t, tree, tasks, f))
+	c := vclock.New()
+	if err := s.BindClock(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindClock(nil); err == nil {
+		t.Error("BindClock(nil) accepted")
+	}
+	// A foreign event mid-window (a transport delivery in co-simulation)
+	// must run between the right slot ticks.
+	var slotAtEvent int
+	c.Schedule(10.5, func() { slotAtEvent = s.Now() })
+	if err := s.Run(2 * f.Slots); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 10's tick runs at time 10 and advances Now to 11; the event at
+	// 10.5 then observes Now == 11.
+	if slotAtEvent != 11 {
+		t.Errorf("foreign event at t=10.5 saw slot %d, want 11", slotAtEvent)
+	}
+	if s.Now() != 2*f.Slots {
+		t.Errorf("Now = %d, want %d", s.Now(), 2*f.Slots)
+	}
+	if c.Now() != float64(2*f.Slots) {
+		t.Errorf("clock Now = %v, want %v", c.Now(), float64(2*f.Slots))
+	}
+	// EachSlot fires once per slot.
+	ticks := 0
+	s.EachSlot(func(*Simulator) { ticks++ })
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Errorf("EachSlot ran %d times over 5 slots", ticks)
 	}
 }

@@ -5,7 +5,10 @@
 //     the management sub-frame of §VI-A — a node's protocol message waits
 //     for the node's next management cell, i.e. a uniform fraction of a
 //     slotframe per hop — and time is tracked in slots, which is how the
-//     Table II "Time" and "SF" columns are measured.
+//     Table II "Time" and "SF" columns are measured. Deliveries are events
+//     on a vclock.Clock; with NewBusOnClock the bus shares that clock with
+//     the MAC simulator, so control-plane messages and data-plane slots
+//     interleave on one timeline (the co-simulation of §VI-C).
 //
 //   - Live: a goroutine-per-node transport over channels, demonstrating
 //     the same agents running genuinely concurrently.
@@ -15,7 +18,6 @@
 package transport
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,6 +28,7 @@ import (
 
 	"github.com/harpnet/harp/internal/coap"
 	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/vclock"
 )
 
 // Handler consumes a delivered message. Implementations may call Send from
@@ -48,31 +51,21 @@ var (
 
 // envelope is one in-flight message.
 type envelope struct {
-	from, to  topology.NodeID
-	wire      []byte
-	deliverAt float64 // slots (Bus only)
-	seq       int     // tie-breaker for deterministic ordering
+	from, to topology.NodeID
+	wire     []byte
 }
 
-// busQueue is a min-heap on (deliverAt, seq).
-type busQueue []*envelope
+// CountKey identifies a message class in the delivery tally: the CoAP
+// method plus the request path — the unit Table II and Fig. 12 count.
+// Keeping the key structured (rather than a formatted string) keeps the
+// per-delivery accounting off the allocator; CountKeys formats on demand.
+type CountKey struct {
+	Code coap.Code
+	Path string
+}
 
-func (q busQueue) Len() int { return len(q) }
-func (q busQueue) Less(i, j int) bool {
-	if q[i].deliverAt != q[j].deliverAt {
-		return q[i].deliverAt < q[j].deliverAt
-	}
-	return q[i].seq < q[j].seq
-}
-func (q busQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *busQueue) Push(x any)   { *q = append(*q, x.(*envelope)) }
-func (q *busQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
-}
+// String renders the key in the traditional "METHOD path" form.
+func (k CountKey) String() string { return fmt.Sprintf("%s %s", k.Code, k.Path) }
 
 // Bus is the deterministic virtual-time transport. Delivery between any
 // ordered pair of nodes is FIFO, as on the real substrate: a node's
@@ -80,11 +73,16 @@ func (q *busQueue) Pop() any {
 // and cannot overtake each other. (Without this, a stale partition grant
 // could overtake a newer one and corrupt the receiver's state.)
 type Bus struct {
+	clock    *vclock.Clock
 	handlers map[topology.NodeID]Handler
-	queue    busQueue
-	now      float64
-	seq      int
 	rng      *rand.Rand
+
+	// inFlight counts queued, not-yet-delivered messages; co-simulation
+	// harnesses poll it (Pending) to detect protocol quiescence.
+	inFlight int
+	// err latches the first delivery failure (a decode error); once set,
+	// remaining deliveries are skipped and Run reports it.
+	err error
 
 	// lastDelivery enforces per-pair FIFO: the next message on a pair is
 	// delivered strictly after the previous one.
@@ -95,9 +93,9 @@ type Bus struct {
 	// management cell.
 	slotsPerHop int
 
-	// MessageCount tallies delivered messages by "METHOD path" (e.g.
-	// "PUT intf"), the unit Table II and Fig. 12 count.
-	MessageCount map[string]int
+	// MessageCount tallies delivered messages by (method, path); use
+	// Count for lookups and CountKeys for deterministic reporting.
+	MessageCount map[CountKey]int
 	// Delivered is the total number of delivered messages.
 	Delivered int
 	// Participants records every node that sent or received a message
@@ -105,17 +103,29 @@ type Bus struct {
 	Participants map[topology.NodeID]bool
 }
 
-// NewBus builds a virtual-time bus. slotframeSlots sets the per-hop latency
-// scale; seed drives latency sampling.
+// NewBus builds a virtual-time bus on a private clock. slotframeSlots sets
+// the per-hop latency scale; seed drives latency sampling.
 func NewBus(slotframeSlots int, seed int64) (*Bus, error) {
+	return NewBusOnClock(vclock.New(), slotframeSlots, seed)
+}
+
+// NewBusOnClock builds a bus whose deliveries are events on the given
+// clock. Sharing the clock with a sim.Simulator (sim.BindClock) co-runs
+// the HARP protocol with the data plane; the caller then drives the clock
+// (or the simulator) instead of Bus.Run.
+func NewBusOnClock(c *vclock.Clock, slotframeSlots int, seed int64) (*Bus, error) {
 	if slotframeSlots <= 0 {
 		return nil, fmt.Errorf("transport: non-positive slotframe length %d", slotframeSlots)
 	}
+	if c == nil {
+		return nil, errors.New("transport: nil clock")
+	}
 	return &Bus{
+		clock:        c,
 		handlers:     make(map[topology.NodeID]Handler),
-		rng:          rand.New(rand.NewSource(seed)),
+		rng:          c.RNG("transport.bus", seed),
 		slotsPerHop:  slotframeSlots,
-		MessageCount: make(map[string]int),
+		MessageCount: make(map[CountKey]int),
 		Participants: make(map[topology.NodeID]bool),
 		lastDelivery: make(map[[2]topology.NodeID]float64),
 	}, nil
@@ -126,8 +136,18 @@ func (b *Bus) Register(id topology.NodeID, h Handler) {
 	b.handlers[id] = h
 }
 
+// Clock returns the virtual clock deliveries are scheduled on.
+func (b *Bus) Clock() *vclock.Clock { return b.clock }
+
 // Now returns the current virtual time in slots.
-func (b *Bus) Now() float64 { return b.now }
+func (b *Bus) Now() float64 { return b.clock.Now() }
+
+// Pending returns the number of sent, not-yet-delivered messages. Zero
+// means the protocol has quiesced (no message can trigger further sends).
+func (b *Bus) Pending() int { return b.inFlight }
+
+// Err returns the first delivery error, if any.
+func (b *Bus) Err() error { return b.err }
 
 // Send implements Network: the message is CoAP-encoded and queued with a
 // management-cell latency.
@@ -140,61 +160,70 @@ func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
 		return err
 	}
 	latency := b.rng.Float64() * float64(b.slotsPerHop)
-	deliverAt := b.now + latency
+	deliverAt := b.clock.Now() + latency
 	pair := [2]topology.NodeID{from, to}
 	if last, ok := b.lastDelivery[pair]; ok && deliverAt <= last {
 		deliverAt = last + 1e-6 // FIFO per pair
 	}
 	b.lastDelivery[pair] = deliverAt
-	b.seq++
-	heap.Push(&b.queue, &envelope{
-		from:      from,
-		to:        to,
-		wire:      wire,
-		deliverAt: deliverAt,
-		seq:       b.seq,
-	})
+	b.inFlight++
+	e := &envelope{from: from, to: to, wire: wire}
+	b.clock.Schedule(deliverAt, func() { b.deliver(e) })
 	return nil
 }
 
-// Run delivers messages in timestamp order until the queue drains,
-// returning the virtual time (slots) when the last message was delivered.
-// Handlers may send further messages; those are delivered too.
-func (b *Bus) Run() (float64, error) {
-	for b.queue.Len() > 0 {
-		e := heap.Pop(&b.queue).(*envelope)
-		b.now = e.deliverAt
-		msg, err := coap.Decode(e.wire)
-		if err != nil {
-			return b.now, fmt.Errorf("transport: decoding message %d->%d: %w", e.from, e.to, err)
-		}
-		b.count(msg)
-		b.Participants[e.from] = true
-		b.Participants[e.to] = true
-		if h := b.handlers[e.to]; h != nil {
-			h.Handle(e.from, msg)
-		}
+// deliver is the clock event for one queued message.
+func (b *Bus) deliver(e *envelope) {
+	b.inFlight--
+	if b.err != nil {
+		return // a previous delivery failed; drop the rest
 	}
-	return b.now, nil
+	msg, err := coap.Decode(e.wire)
+	if err != nil {
+		b.err = fmt.Errorf("transport: decoding message %d->%d: %w", e.from, e.to, err)
+		return
+	}
+	b.count(msg)
+	b.Participants[e.from] = true
+	b.Participants[e.to] = true
+	if h := b.handlers[e.to]; h != nil {
+		h.Handle(e.from, msg)
+	}
+}
+
+// Run delivers messages in timestamp order until the clock drains,
+// returning the virtual time (slots) when the last event ran. Handlers
+// may send further messages; those are delivered too. On a shared clock
+// Run also runs the other consumers' events — co-simulations drive the
+// clock (or the simulator) instead and check Err afterwards.
+func (b *Bus) Run() (float64, error) {
+	now := b.clock.Run()
+	return now, b.err
 }
 
 func (b *Bus) count(msg coap.Message) {
 	b.Delivered++
-	b.MessageCount[fmt.Sprintf("%s %s", msg.Code, msg.Path())]++
+	b.MessageCount[CountKey{Code: msg.Code, Path: msg.Path()}]++
+}
+
+// Count returns the delivered tally of one message class.
+func (b *Bus) Count(code coap.Code, path string) int {
+	return b.MessageCount[CountKey{Code: code, Path: path}]
 }
 
 // ResetCounters clears the message tallies (between experiment events).
 func (b *Bus) ResetCounters() {
-	b.MessageCount = make(map[string]int)
+	b.MessageCount = make(map[CountKey]int)
 	b.Delivered = 0
 	b.Participants = make(map[topology.NodeID]bool)
 }
 
-// CountKeys returns the tally keys sorted, for deterministic reporting.
+// CountKeys returns the tally keys formatted as "METHOD path" and sorted,
+// for deterministic reporting.
 func (b *Bus) CountKeys() []string {
 	keys := make([]string, 0, len(b.MessageCount))
 	for k := range b.MessageCount {
-		keys = append(keys, k)
+		keys = append(keys, k.String())
 	}
 	sort.Strings(keys)
 	return keys
@@ -210,16 +239,26 @@ type Live struct {
 	wg       sync.WaitGroup
 	closed   bool
 
-	inFlight atomic.Int64
+	// inFlight counts accepted, not-yet-handled messages; idle is closed
+	// whenever inFlight reaches zero and replaced when work starts, so
+	// WaitIdle blocks on a channel instead of polling. Both are guarded
+	// by mu. A Send inside a Handle increments before the handled
+	// message's decrement, so inFlight==0 is a true quiescent point.
+	inFlight int
+	idle     chan struct{}
+
 	// Delivered counts messages handled.
 	Delivered atomic.Int64
 }
 
 // NewLive builds a live transport. inboxDepth bounds each node's queue.
 func NewLive() *Live {
+	idle := make(chan struct{})
+	close(idle) // no work yet: born idle
 	return &Live{
 		inboxes:  make(map[topology.NodeID]chan envelope),
 		handlers: make(map[topology.NodeID]Handler),
+		idle:     idle,
 	}
 }
 
@@ -242,9 +281,20 @@ func (l *Live) Register(id topology.NodeID, h Handler) {
 				h.Handle(e.from, msg)
 				l.Delivered.Add(1)
 			}
-			l.inFlight.Add(-1)
+			l.settle()
 		}
 	}()
+}
+
+// settle retires one in-flight message and signals quiescence when it was
+// the last.
+func (l *Live) settle() {
+	l.mu.Lock()
+	l.inFlight--
+	if l.inFlight == 0 {
+		close(l.idle)
+	}
+	l.mu.Unlock()
 }
 
 // Send implements Network.
@@ -252,6 +302,12 @@ func (l *Live) Send(from, to topology.NodeID, msg coap.Message) error {
 	l.mu.Lock()
 	inbox, ok := l.inboxes[to]
 	closed := l.closed
+	if !closed && ok {
+		if l.inFlight == 0 {
+			l.idle = make(chan struct{}) // going busy
+		}
+		l.inFlight++
+	}
 	l.mu.Unlock()
 	if closed {
 		return ErrClosed
@@ -261,33 +317,32 @@ func (l *Live) Send(from, to topology.NodeID, msg coap.Message) error {
 	}
 	wire, err := msg.Encode()
 	if err != nil {
+		l.settle() // the reserved slot never ships
 		return err
 	}
-	l.inFlight.Add(1)
 	inbox <- envelope{from: from, to: to, wire: wire}
 	return nil
 }
 
 // WaitIdle blocks until no messages are in flight or the timeout passes.
-// Returns true when the network went idle.
+// Returns true when the network went idle. Quiescence is signalled by the
+// delivery goroutines (a channel closed when the in-flight count hits
+// zero), not polled.
 func (l *Live) WaitIdle(timeout time.Duration) bool {
-	// Wall-clock use is deliberate: WaitIdle is a harness-side settling
-	// helper with a real-time deadline, not protocol logic.
-	//harplint:allow determinism
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) { //harplint:allow determinism
-		if l.inFlight.Load() == 0 {
-			// Double-check after a settling pause: a handler may be about
-			// to send.
-			time.Sleep(time.Millisecond)
-			if l.inFlight.Load() == 0 {
-				return true
-			}
-			continue
-		}
-		time.Sleep(time.Millisecond)
+	l.mu.Lock()
+	ch := l.idle
+	l.mu.Unlock()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-timer.C:
+		l.mu.Lock()
+		idle := l.inFlight == 0
+		l.mu.Unlock()
+		return idle
 	}
-	return l.inFlight.Load() == 0
 }
 
 // Close stops all delivery goroutines.

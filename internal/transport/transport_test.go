@@ -8,6 +8,7 @@ import (
 
 	"github.com/harpnet/harp/internal/coap"
 	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/vclock"
 )
 
 // recorder is a Handler capturing deliveries.
@@ -71,7 +72,7 @@ func TestBusDeliversInOrderAndCounts(t *testing.T) {
 	if bus.Delivered != 2 {
 		t.Errorf("Delivered = %d, want 2", bus.Delivered)
 	}
-	if bus.MessageCount["POST intf"] != 1 || bus.MessageCount["PUT part"] != 1 {
+	if bus.Count(coap.POST, "intf") != 1 || bus.Count(coap.PUT, "part") != 1 {
 		t.Errorf("counts = %v", bus.MessageCount)
 	}
 	keys := bus.CountKeys()
@@ -234,5 +235,43 @@ func TestBusFIFOPerPair(t *testing.T) {
 		if int(m.MessageID) != i {
 			t.Fatalf("message %d delivered out of order (id %d)", i, m.MessageID)
 		}
+	}
+}
+
+func TestBusOnSharedClockRunUntil(t *testing.T) {
+	// A bus on a shared clock delivers only the messages due by the
+	// RunUntil boundary; handlers sending from inside Handle during the
+	// window have those sends delivered in the same window when due.
+	c := vclock.New()
+	bus, err := NewBusOnClock(c, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &recorder{}
+	b := &recorder{net: bus, self: 2, echoTo: 1}
+	bus.Register(1, a)
+	bus.Register(2, b)
+	if err := bus.Send(1, 2, coap.NewRequest(coap.NonConfirmable, coap.POST, 1, "ping")); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", bus.Pending())
+	}
+	// Drive the clock in slot-sized increments, as a co-simulation does;
+	// the ping and its echo both land within two slotframes.
+	for slot := 1; slot <= 100; slot++ {
+		c.RunUntil(float64(slot))
+	}
+	if bus.Pending() != 0 {
+		t.Fatalf("Pending = %d after 2 slotframes, want 0", bus.Pending())
+	}
+	if b.count() != 1 || a.count() != 1 {
+		t.Fatalf("deliveries: ping=%d echo=%d, want 1,1", b.count(), a.count())
+	}
+	if got := bus.Now(); got != 100 {
+		t.Errorf("Now = %v, want the RunUntil boundary 100", got)
+	}
+	if err := bus.Err(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,141 @@
+// Package vclock is the shared virtual-time event scheduler that the
+// control plane (transport.Bus carrying the HARP protocol) and the data
+// plane (the slot-accurate MAC in internal/sim) run on. One Clock holds a
+// min-heap of (time, seq) events: the transport schedules message
+// deliveries at fractional slot times (the wait for a management cell),
+// the simulator schedules one event per slot boundary, and popping the
+// heap interleaves the two planes exactly as the testbed's single radio
+// timeline does — management traffic and data traffic contending for the
+// same slotframe (§VI-A/§VI-C).
+//
+// Determinism is the package's contract: events at equal times run in
+// schedule order (the seq tie-break), handlers may schedule further
+// events while running, and all randomness flows through per-consumer
+// seeded RNG streams (RNG), so a co-simulation is a pure function of its
+// seeds. A Clock is not safe for concurrent use; every consumer of one
+// clock runs on the same goroutine, which is what makes replay exact.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a deterministic virtual-time scheduler. Time is measured in
+// slots (fractional between slot boundaries, as transport latencies are).
+type Clock struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+	rngs  map[string]*rand.Rand
+}
+
+// New returns a clock at time zero with no pending events.
+func New() *Clock {
+	return &Clock{rngs: make(map[string]*rand.Rand)}
+}
+
+// Now returns the current virtual time in slots.
+func (c *Clock) Now() float64 { return c.now }
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// NextAt returns the time of the earliest pending event.
+func (c *Clock) NextAt() (float64, bool) {
+	if len(c.queue) == 0 {
+		return 0, false
+	}
+	return c.queue[0].at, true
+}
+
+// Schedule queues fn at virtual time at. Times in the past are clamped to
+// Now (the event runs next, after already-queued same-time events — seq
+// keeps FIFO order). Safe to call from inside a running event.
+func (c *Clock) Schedule(at float64, fn func()) {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	heap.Push(&c.queue, &event{at: at, seq: c.seq, fn: fn})
+}
+
+// Step runs the earliest pending event, advancing Now to its time.
+// Returns false when no event is pending.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*event)
+	c.now = e.at
+	e.fn()
+	return true
+}
+
+// Run drains the queue — including events scheduled by running events —
+// and returns the time of the last event run (Now if none were pending).
+func (c *Clock) Run() float64 {
+	for c.Step() {
+	}
+	return c.now
+}
+
+// RunUntil runs every event with time <= t in order, then advances Now to
+// t (Now is left untouched if it is already past t). Events scheduled at
+// or before t by running events are run too.
+func (c *Clock) RunUntil(t float64) {
+	for len(c.queue) > 0 && c.queue[0].at <= t {
+		c.Step()
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// RNG returns the named consumer's random stream, creating it from seed on
+// first use. Each consumer owning a distinct name gets an independent
+// stream, so adding a consumer never perturbs another's draws — the same
+// property internal/parallel's per-trial streams provide. Calling RNG
+// again with the same name returns the same stream regardless of seed.
+func (c *Clock) RNG(name string, seed int64) *rand.Rand {
+	if r, ok := c.rngs[name]; ok {
+		return r
+	}
+	r := rand.New(rand.NewSource(seed))
+	c.rngs[name] = r
+	return r
+}
+
+// String renders the clock state for debugging.
+func (c *Clock) String() string {
+	return fmt.Sprintf("vclock{now=%.4f pending=%d}", c.now, len(c.queue))
+}

@@ -1,0 +1,138 @@
+package vclock
+
+import "testing"
+
+func TestRunOrdersByTime(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(3.5, func() { got = append(got, 3) })
+	c.Schedule(1.25, func() { got = append(got, 1) })
+	c.Schedule(2.0, func() { got = append(got, 2) })
+	end := c.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("run order = %v", got)
+	}
+	if end != 3.5 || c.Now() != 3.5 {
+		t.Errorf("end time = %v, Now = %v, want 3.5", end, c.Now())
+	}
+}
+
+func TestSameTimeTieBreakBySeq(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(7.0, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestScheduleFromInsideEvent(t *testing.T) {
+	c := New()
+	var got []string
+	c.Schedule(1, func() {
+		got = append(got, "a")
+		// Re-entrant schedules: one in the past (clamped to now), one at
+		// now (runs after already-queued same-time events), one later.
+		c.Schedule(0.5, func() { got = append(got, "clamped") })
+		c.Schedule(1, func() { got = append(got, "same") })
+		c.Schedule(2, func() { got = append(got, "later") })
+	})
+	c.Schedule(1, func() { got = append(got, "b") })
+	c.Run()
+	want := []string{"a", "b", "clamped", "same", "later"}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 2 {
+		t.Errorf("Now = %v, want 2", c.Now())
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(1, func() { got = append(got, 1) })
+	c.Schedule(5, func() { got = append(got, 5) })
+	c.Schedule(10, func() { got = append(got, 10) })
+	c.RunUntil(5)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(5) ran %v, want the <=5 events", got)
+	}
+	if c.Now() != 5 {
+		t.Errorf("Now = %v, want 5", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", c.Pending())
+	}
+	if at, ok := c.NextAt(); !ok || at != 10 {
+		t.Errorf("NextAt = %v,%v, want 10,true", at, ok)
+	}
+	// RunUntil with an earlier time must not rewind the clock.
+	c.RunUntil(3)
+	if c.Now() != 5 {
+		t.Errorf("RunUntil rewound the clock to %v", c.Now())
+	}
+}
+
+func TestRunUntilRunsEventsScheduledWithinWindow(t *testing.T) {
+	c := New()
+	var got []float64
+	c.Schedule(1, func() {
+		got = append(got, 1)
+		c.Schedule(2, func() { got = append(got, 2) })
+		c.Schedule(4, func() { got = append(got, 4) })
+	})
+	c.RunUntil(3)
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("events = %v, want [1 2]", got)
+	}
+	if c.Pending() != 1 {
+		t.Errorf("Pending = %d, want the t=4 event", c.Pending())
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if end := c.Run(); end != 0 {
+		t.Errorf("Run on empty queue returned %v", end)
+	}
+}
+
+func TestRNGStreamsIndependentAndStable(t *testing.T) {
+	a, b := New(), New()
+	// Same (name, seed) on two clocks: identical streams.
+	r1, r2 := a.RNG("bus", 42), b.RNG("bus", 42)
+	for i := 0; i < 100; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	// Same name again returns the same stream, not a reset one.
+	if a.RNG("bus", 42) != r1 {
+		t.Error("RNG returned a fresh stream for an existing name")
+	}
+	// A second consumer does not perturb the first.
+	c := New()
+	s1 := c.RNG("bus", 42)
+	first := s1.Float64()
+	c.RNG("sim", 7).Float64()
+	d := New()
+	t1 := d.RNG("bus", 42)
+	if got := t1.Float64(); got != first {
+		t.Errorf("stream perturbed by an unrelated consumer: %v != %v", got, first)
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet fuzz determinism check clean
+.PHONY: all build test race lint fmt vet fuzz determinism faultsoak check clean
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # harpdebug invariant hooks catch what plain tests miss.
 race:
 	$(GO) test -race ./...
-	$(GO) test -tags harpdebug ./internal/core/ ./internal/agent/ ./internal/invariant/
+	$(GO) test -tags harpdebug ./internal/core/ ./internal/agent/ ./internal/invariant/ ./internal/transport/ ./internal/cosim/
 
 lint:
 	$(GO) run ./cmd/harplint ./...
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/coap/
 	$(GO) test -run=^$$ -fuzz=FuzzPackStrip -fuzztime=$(FUZZTIME) ./internal/packing/
 	$(GO) test -run=^$$ -fuzz=FuzzGridPack  -fuzztime=$(FUZZTIME) ./internal/packing/
+	$(GO) test -run=^$$ -fuzz=FuzzConExchange -fuzztime=$(FUZZTIME) ./internal/coap/
 
 # Benchmark output must be a pure function of the seeds: run the quick
 # suite under two worker counts and require identical reports outside the
@@ -45,6 +46,17 @@ determinism:
 	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/harpbench_w1.json > /tmp/harpbench_w1.norm.json
 	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/harpbench_w4.json > /tmp/harpbench_w4.norm.json
 	diff -u /tmp/harpbench_w1.norm.json /tmp/harpbench_w4.norm.json
+
+# Fault-injection soak: the loss-tolerance test surface under the race
+# detector and the harpdebug invariant hooks, then the loss sweep at two
+# worker counts — its convergence metrics must not depend on scheduling.
+faultsoak:
+	$(GO) test -race -tags harpdebug -run 'Fault|Crash|Dup|Loss|Reliab|WaitIdle' ./internal/transport/ ./internal/agent/ ./internal/cosim/ ./internal/experiments/
+	$(GO) run ./cmd/harpbench -quick -only losssweep -json /tmp/losssweep_w1.json -workers 1
+	$(GO) run ./cmd/harpbench -quick -only losssweep -json /tmp/losssweep_w4.json -workers 4
+	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/losssweep_w1.json > /tmp/losssweep_w1.norm.json
+	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/losssweep_w4.json > /tmp/losssweep_w4.norm.json
+	diff -u /tmp/losssweep_w1.norm.json /tmp/losssweep_w4.norm.json
 
 check: fmt vet lint build test race
 

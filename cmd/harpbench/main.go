@@ -4,7 +4,7 @@
 // Usage:
 //
 //	harpbench                 # run everything
-//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|churn|ablations
+//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|churn|ablations|losssweep
 //	harpbench -quick          # reduced repetition counts for a fast pass
 //	harpbench -workers 1      # force the serial path (0 = GOMAXPROCS)
 //	harpbench -json out.json  # also write a machine-readable bench report
@@ -62,7 +62,7 @@ type expRecord struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1, fig7d, fig9, fig10, table2, fig11a, fig11b, fig12, churn, ablations)")
+	only := flag.String("only", "", "run a single experiment (table1, fig7d, fig9, fig10, table2, fig11a, fig11b, fig12, churn, ablations, losssweep)")
 	quick := flag.Bool("quick", false, "reduced repetitions for a fast pass")
 	workers := flag.Int("workers", 0, "worker count for the parallel sweep engine (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write a machine-readable bench report to this path")
@@ -85,6 +85,7 @@ func main() {
 		{"fig12", runner.fig12},
 		{"churn", runner.churn},
 		{"ablations", runner.ablations},
+		{"losssweep", runner.losssweep},
 	}
 	rep := report{
 		Schema: reportSchema,
@@ -352,6 +353,30 @@ func (r *runner) churn() (map[string]float64, error) {
 		"mean_migration_msgs": mean,
 		"rebuild_msgs":        float64(res.StaticMessages),
 	}, nil
+}
+
+func (r *runner) losssweep() (map[string]float64, error) {
+	res, err := experiments.LossSweep(experiments.DefaultLossSweep())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println(res.Table)
+	metrics := map[string]float64{}
+	boolAs := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for _, p := range res.Points {
+		key := fmt.Sprintf("loss_pdr%02.0f", p.PDR*100)
+		metrics[key+"_retx"] = float64(p.StaticRetransmissions + p.Retransmissions)
+		metrics[key+"_dup_suppressed"] = float64(p.DuplicatesSuppressed)
+		metrics[key+"_giveups"] = float64(p.GiveUps)
+		metrics[key+"_conv_sf"] = float64(p.ConvergenceSlotframes)
+		metrics[key+"_matches_lossless"] = boolAs(p.MatchesLossless)
+	}
+	return metrics, nil
 }
 
 func (r *runner) ablations() (map[string]float64, error) {

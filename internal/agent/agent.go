@@ -53,6 +53,13 @@ type dirState struct {
 	// other's pending state and one request is silently lost.
 	deferred map[int][]deferredAdjust
 
+	// pendingDemand snapshots child link demands raised by an own-layer
+	// escalation that has not been granted yet. If the escalation dies (the
+	// parent is unreachable and the transport gives up), the increase is
+	// reverted — otherwise the stale demand would re-escalate on the next
+	// interface recomputation, e.g. while re-hosting a rejoining neighbour.
+	pendingDemand map[topology.NodeID]demandSnapshot
+
 	// parts are the partitions granted by the parent (or self-allocated at
 	// the gateway), keyed by layer.
 	parts map[int]schedule.Region
@@ -80,6 +87,7 @@ func newDirState() *dirState {
 		assignment:     make(map[topology.NodeID][]schedule.Cell),
 		sentRegions:    make(map[int]map[topology.NodeID]schedule.Region),
 		deferred:       make(map[int][]deferredAdjust),
+		pendingDemand:  make(map[topology.NodeID]demandSnapshot),
 	}
 }
 
@@ -87,6 +95,12 @@ func newDirState() *dirState {
 type deferredAdjust struct {
 	from topology.NodeID
 	comp core.Component
+}
+
+// demandSnapshot is a child link demand before an un-granted escalation.
+type demandSnapshot struct {
+	cells   int
+	topRate float64
 }
 
 // Node is one HARP protocol agent.
@@ -111,6 +125,12 @@ type Node struct {
 	// demands.
 	joining    bool
 	joinDemand [2]int
+
+	// settledOnce records that the first PartitionSet was consumed, so a
+	// duplicated copy of it (same regions) is recognised as such — without
+	// it the legitimate first empty-entries set of a zero-demand subtree
+	// would look like a duplicate of nothing.
+	settledOnce bool
 
 	// Rejections counts adjustment requests the node (as gateway) could not
 	// satisfy.
@@ -180,6 +200,45 @@ func (n *Node) Handle(from topology.NodeID, msg coap.Message) {
 	}
 }
 
+// HandleSendFailure implements transport.FailureHandler: a confirmable
+// message of ours exhausted MAX_RETRANSMIT — the peer is dead or the link
+// is down. Upward traffic (reports, adjust requests) degrades into a
+// counted rejection, and an escalation's reserved pending state is unwound
+// so the layer can adjust again instead of wedging behind a grant that
+// will never come; deferred requests queued behind it replay immediately.
+// Downward traffic (grants, notices) is simply dropped — a crashed child
+// re-syncs through the Join path when it returns.
+func (n *Node) HandleSendFailure(to topology.NodeID, msg coap.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case msg.Code == coap.PUT && msg.Path() == proto.PathInterface:
+		n.Rejections++
+		if m, err := proto.DecodeAdjustRequest(msg.Payload); err == nil {
+			st := n.dir(m.Direction)
+			if m.Layer == n.ownLayer {
+				// A dead own-layer escalation: the grant will never come,
+				// so the provisional link-demand increases revert.
+				for c, snap := range st.pendingDemand {
+					st.demand[c] = snap.cells
+					st.topRate[c] = snap.topRate
+					delete(st.pendingDemand, c)
+				}
+			}
+			delete(st.pendingLayouts, m.Layer)
+			delete(st.pendingComps, m.Layer)
+			if q := st.deferred[m.Layer]; len(q) > 0 {
+				delete(st.deferred, m.Layer)
+				for _, da := range q {
+					n.hostChildComponent(da.from, m.Direction, m.Layer, da.comp)
+				}
+			}
+		}
+	case msg.Code == coap.POST && msg.Path() == proto.PathInterface:
+		n.Rejections++ // interface report lost: the parent is unreachable
+	}
+}
+
 // start kicks off the static phase at this node: non-leaf nodes whose
 // children are all leaves can compute and report immediately.
 func (n *Node) start() {
@@ -199,6 +258,12 @@ func (n *Node) start() {
 //
 //harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) onInterfaceReport(m proto.InterfaceReport) {
+	up, okU := n.dir(topology.Uplink).childIfaces[m.Owner]
+	down, okD := n.dir(topology.Downlink).childIfaces[m.Owner]
+	if okU && okD && dirIfaceEqual(up, m.Up) && dirIfaceEqual(down, m.Down) &&
+		len(n.dir(topology.Uplink).childIfaces) >= len(n.nonLeaf) {
+		return // duplicate of an already-consumed report: recomputing would re-forward
+	}
 	n.dir(topology.Uplink).childIfaces[m.Owner] = m.Up
 	n.dir(topology.Downlink).childIfaces[m.Owner] = m.Down
 	if len(n.dir(topology.Uplink).childIfaces) < len(n.nonLeaf) {
@@ -345,8 +410,25 @@ func (n *Node) settle() {
 }
 
 // onPartitionSet installs the partitions granted by the parent and
-// continues the top-down phase.
+// continues the top-down phase. A duplicated delivery (every entry equal to
+// the installed partition) is dropped: re-running settle would re-send the
+// whole subtree's PartitionSets and amplify one duplicate into a flood.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) onPartitionSet(m proto.PartitionSet) {
+	if n.settledOnce {
+		dup := true
+		for _, e := range m.Entries {
+			if cur, ok := n.dir(e.Direction).parts[e.Layer]; !ok || cur != e.Region {
+				dup = false
+				break
+			}
+		}
+		if dup {
+			return
+		}
+	}
+	n.settledOnce = true
 	for _, e := range m.Entries {
 		n.dir(e.Direction).parts[e.Layer] = e.Region
 	}
@@ -464,6 +546,18 @@ func (n *Node) debugCheckGrants(op string, d topology.Direction, layer int) {
 	}
 }
 
+func dirIfaceEqual(a, b proto.DirInterface) bool {
+	if a.FirstLayer != b.FirstLayer || a.OwnDemand != b.OwnDemand || len(a.Comps) != len(b.Comps) {
+		return false
+	}
+	for i := range a.Comps {
+		if a.Comps[i] != b.Comps[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func cellsEqual(a, b []schedule.Cell) bool {
 	if len(a) != len(b) {
 		return false
@@ -507,6 +601,7 @@ func (n *Node) SetChildDemand(child topology.NodeID, d topology.Direction, cells
 func (n *Node) applyChildDemand(child topology.NodeID, d topology.Direction, cells int, topRate float64) {
 	st := n.dir(d)
 	old := st.demand[child]
+	oldRate := st.topRate[child]
 	st.demand[child] = cells
 	st.topRate[child] = topRate
 	if cells <= old {
@@ -521,7 +616,12 @@ func (n *Node) applyChildDemand(child topology.NodeID, d topology.Direction, cel
 		n.assignOwn(d) // Case 1: local schedule update.
 		return
 	}
-	// Case 2: escalate with the grown own-layer component.
+	// Case 2: escalate with the grown own-layer component. The increase is
+	// provisional until the parent grants the space; snapshot the old value
+	// so an unreachable parent's give-up can revert it.
+	if _, ok := st.pendingDemand[child]; !ok {
+		st.pendingDemand[child] = demandSnapshot{cells: old, topRate: oldRate}
+	}
 	n.escalate(d, n.ownLayer, core.Component{Slots: total, Channels: 1})
 }
 
@@ -588,6 +688,11 @@ func (n *Node) onAdjustRequest(from topology.NodeID, m proto.AdjustRequest) {
 //harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, layer int, comp core.Component) {
 	st := n.dir(d)
+	if cur, ok := st.childComps[layer][from]; ok && cur == comp {
+		if _, granted := st.sentRegions[layer][from]; granted {
+			return // already hosted unchanged (e.g. a rejoining child): re-laying out would shuffle siblings
+		}
+	}
 	if _, busy := st.pendingLayouts[layer]; busy {
 		// An escalation for this layer is in flight: its pending layout was
 		// computed without this request, and recomputing now would clobber
@@ -686,7 +791,11 @@ func (n *Node) onChildLeave(from topology.NodeID) {
 //
 //harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) onChildJoin(m proto.InterfaceReport) {
-	if !containsNode(n.children, m.Owner) {
+	// A Join from a node already in children is a crashed child rejoining
+	// (a reparented node arrives unknown): after hosting it, re-send the
+	// state its reboot lost, which the send-dedup caches would suppress.
+	rejoining := containsNode(n.children, m.Owner)
+	if !rejoining {
 		n.children = insertNode(n.children, m.Owner)
 	}
 	dirIfaces := [2]proto.DirInterface{m.Up, m.Down}
@@ -713,7 +822,47 @@ func (n *Node) onChildJoin(m proto.InterfaceReport) {
 			}
 			n.hostChildComponent(m.Owner, d, di.FirstLayer+i, comp)
 		}
+		if rejoining && n.dir(d).demand[m.Owner] == di.OwnDemand {
+			// A rebooted child reporting its configured demand: this node's
+			// stored demand and top rate are already authoritative (the Join
+			// report carries no rate), so re-applying would only perturb the
+			// cell assignment with the float64(cells) rate fallback.
+			continue
+		}
 		n.applyChildDemand(m.Owner, d, di.OwnDemand, float64(di.OwnDemand))
+	}
+	if rejoining {
+		n.resyncChild(m.Owner)
+	}
+}
+
+// resyncChild re-sends a rejoining child's current grants and own-link
+// cells. The child's reboot wiped them, but this node's send-dedup caches
+// (sentRegions, the cellsEqual check) see no change and would stay silent;
+// the child's duplicate guards make the re-sends safe if it did not
+// actually reboot.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
+func (n *Node) resyncChild(child topology.NodeID) {
+	for _, d := range topology.Directions() {
+		st := n.dir(d)
+		layers := make([]int, 0, len(st.sentRegions))
+		for layer := range st.sentRegions {
+			if _, ok := st.sentRegions[layer][child]; ok {
+				layers = append(layers, layer)
+			}
+		}
+		sort.Ints(layers)
+		for _, layer := range layers {
+			n.send(child, coap.PUT, proto.PathPartition, proto.EncodePartitionUpdate(proto.PartitionUpdate{
+				Direction: d, Layer: layer, Region: st.sentRegions[layer][child],
+			}))
+		}
+		if cells := st.assignment[child]; len(cells) > 0 {
+			n.send(child, coap.POST, proto.PathSchedule, proto.EncodeScheduleNotice(proto.ScheduleNotice{
+				Direction: d, Cells: cells,
+			}))
+		}
 	}
 }
 
@@ -861,8 +1010,16 @@ func (n *Node) rootHost(d topology.Direction, layer int, cur topology.NodeID, cu
 	return false
 }
 
-// onPartitionUpdate applies a PUT /part from the parent.
+// onPartitionUpdate applies a PUT /part from the parent. An update carrying
+// the already-installed region is a duplicate: a genuine grant after an
+// escalation always differs from the current region (the escalated
+// component did not fit in it), so an identical region carries no new
+// information — and applying it could wrongly commit a pending
+// recomposition belonging to a newer escalation at the same layer.
 func (n *Node) onPartitionUpdate(m proto.PartitionUpdate) {
+	if cur, ok := n.dir(m.Direction).parts[m.Layer]; ok && cur == m.Region {
+		return
+	}
 	n.applyPartition(m.Direction, m.Layer, m.Region)
 }
 
@@ -880,6 +1037,10 @@ func (n *Node) applyPartition(d topology.Direction, layer int, region schedule.R
 		delete(st.pendingComps, layer)
 	}
 	if layer == n.ownLayer {
+		// The grant commits any provisionally raised link demands.
+		for c := range st.pendingDemand {
+			delete(st.pendingDemand, c)
+		}
 		n.assignOwn(d)
 		return
 	}
@@ -950,8 +1111,10 @@ func (n *Node) resetResources() {
 		st.assignment = make(map[topology.NodeID][]schedule.Cell)
 		st.sentRegions = make(map[int]map[topology.NodeID]schedule.Region)
 		st.deferred = make(map[int][]deferredAdjust)
+		st.pendingDemand = make(map[topology.NodeID]demandSnapshot)
 		st.iface = proto.DirInterface{}
 	}
+	n.settledOnce = false
 }
 
 // startJoin primes the node to re-attach: its next interface report carries

@@ -1,0 +1,187 @@
+package agent_test
+
+// Crash/rejoin coverage: a node goes dark mid-run (transport.Bus.Crash),
+// traffic addressed to it degrades into counted give-ups instead of
+// wedging the fleet, and after Restart + Fleet.RestartNode the rebooted
+// agent re-attaches through the Join flag and the network converges back
+// to exactly the centralized planner's schedules — checked with
+// invariant.CheckFleet at every post-recovery commit point (the full
+// partition-containment sweep when built with -tags harpdebug).
+
+import (
+	"testing"
+
+	"github.com/harpnet/harp/internal/agent"
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/invariant"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/transport"
+)
+
+// planFor builds the centralized reference plan for the same inputs a
+// deployReliable fleet was given.
+func planFor(t *testing.T, tree *topology.Tree, rate float64) *core.Plan {
+	t.Helper()
+	tasks, err := traffic.UniformEcho(tree, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(tree.Clone(), integrationFrame(), demand, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// deployReliable is deployEcho on a bus with CON reliability enabled —
+// crash recovery rides on give-up notifications, which need exchanges.
+func deployReliable(t *testing.T, tree *topology.Tree, rate float64) (*agent.Fleet, *transport.Bus, *traffic.Demand) {
+	t.Helper()
+	tasks, err := traffic.UniformEcho(tree, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := integrationFrame()
+	bus, err := transport.NewBus(frame.Slots, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.EnableReliability(7)
+	fleet, err := agent.Deploy(tree, frame, demand, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Start()
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return fleet, bus, demand
+}
+
+func TestCrashedNodeRecoversViaRejoin(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		tree   func() *topology.Tree
+		victim topology.NodeID // a non-leaf, non-gateway node
+		orphan topology.NodeID // a child of victim that escalates while it is down
+	}{
+		{"Fig1", topology.Fig1, 5, 8},
+		{"Testbed50", topology.Testbed50, 9, 15},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tree := tc.tree()
+			fleet, bus, demand := deployReliable(t, tree, 1)
+			plan := planFor(t, tree, 1)
+			if err := invariant.CheckFleet(fleet, plan); err != nil {
+				t.Fatalf("after static phase: %v", err)
+			}
+
+			// Outage: the victim drops off the air.
+			bus.Crash(tc.victim)
+
+			// Its child notices queue growth and escalates — into a dead
+			// parent. The request must die with counted give-ups and a
+			// rejection at the child, not wedge the run.
+			before := fleet.Rejections()
+			l := topology.Link{Child: tc.orphan, Direction: topology.Uplink}
+			if err := fleet.RequestLinkDemand(l, demand.Cells(l)+2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bus.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if bus.Faults.GiveUps == 0 {
+				t.Fatalf("no give-ups sending into a crashed node: %+v", bus.Faults)
+			}
+			if fleet.Rejections() <= before {
+				t.Fatalf("dead-parent escalation not counted as a rejection (rejections=%d)", fleet.Rejections())
+			}
+			if bus.Pending() != 0 {
+				t.Fatalf("Pending = %d with the victim down, want 0 (leaked exchange)", bus.Pending())
+			}
+
+			// Recovery: reboot, rejoin, reconverge. Demands return to the
+			// original model, so the recovered fleet must mirror the
+			// original plan again.
+			bus.Restart(tc.victim)
+			if err := fleet.RestartNode(tc.victim, demand); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bus.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if bus.Pending() != 0 {
+				t.Fatalf("Pending = %d after recovery", bus.Pending())
+			}
+			if err := fleet.Validate(); err != nil {
+				t.Fatalf("post-recovery schedule invalid: %v", err)
+			}
+			if err := invariant.CheckFleet(fleet, plan); err != nil {
+				t.Fatalf("post-recovery commit point: %v", err)
+			}
+
+			// The recovered fleet must still adjust normally.
+			if err := fleet.SetLinkDemand(l, demand.Cells(l)+1, float64(demand.Cells(l)+1)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bus.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := plan.SetLinkDemand(l, demand.Cells(l)+1, float64(demand.Cells(l)+1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := invariant.CheckFleet(fleet, plan); err != nil {
+				t.Fatalf("post-recovery adjustment commit point: %v", err)
+			}
+		})
+	}
+}
+
+// A crash during an in-flight adjustment: the victim dies holding an
+// escalation's pending state upstream. The requester's give-up unwinds it
+// and the fleet stays consistent after recovery.
+func TestCrashDuringAdjustmentUnwinds(t *testing.T) {
+	tree := topology.Testbed50()
+	fleet, bus, demand := deployReliable(t, tree, 1)
+	plan := planFor(t, tree, 1)
+
+	// Node 5 (parent of 9 and 10) crashes; then 9's child 15 requests more
+	// cells. 9 absorbs or escalates to dead 5 — either way the run must
+	// drain with Pending()==0 and no panic, counting any give-ups.
+	bus.Crash(5)
+	l := topology.Link{Child: 15, Direction: topology.Uplink}
+	if err := fleet.RequestLinkDemand(l, demand.Cells(l)+4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Pending() != 0 {
+		t.Fatalf("Pending = %d with node 5 down", bus.Pending())
+	}
+
+	bus.Restart(5)
+	if err := fleet.RestartNode(5, demand); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Validate(); err != nil {
+		t.Fatalf("post-recovery schedule invalid: %v", err)
+	}
+	// The orphaned request was rejected, not silently retried, so demands
+	// match the original model again after recovery; the planner agrees.
+	if err := invariant.CheckFleet(fleet, plan); err != nil {
+		t.Fatalf("post-recovery commit point: %v", err)
+	}
+}

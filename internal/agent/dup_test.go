@@ -1,0 +1,197 @@
+package agent
+
+import (
+	"testing"
+
+	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/transport"
+)
+
+// compareToPlan asserts the fleet's global schedule equals the centralized
+// planner's, link by link.
+func compareToPlan(t *testing.T, fleet *Fleet, plan *core.Plan) {
+	t.Helper()
+	got, err := fleet.BuildSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.BuildSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCells() != want.TotalCells() {
+		t.Fatalf("cells: distributed %d vs centralized %d", got.TotalCells(), want.TotalCells())
+	}
+	for _, l := range want.Links() {
+		a, b := got.Cells(l), want.Cells(l)
+		if len(a) != len(b) {
+			t.Fatalf("link %v: %d vs %d cells", l, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("link %v cell %d: %v vs %v", l, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// Every protocol message delivered twice (a duplication fault on every
+// delivery, no reliability layer to suppress it): the handlers' idempotency
+// guards must keep the fleet's state identical to the centralized planner
+// through the static phase and a stream of adjustments — including an
+// escalating one — without message amplification running away.
+func TestHandlersIdempotentUnderDuplicateDelivery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tree *topology.Tree
+	}{
+		{"Fig1", topology.Fig1()},
+		{"Testbed50", topology.Testbed50()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := testFrame()
+			tasks, err := traffic.UniformEcho(tc.tree, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			demand, err := traffic.Compute(tc.tree, tasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bus, err := transport.NewBus(frame.Slots, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bus.SetFaults(transport.FaultConfig{Dup: 1.0, Seed: 4})
+			fleet, err := Deploy(tc.tree, frame, demand, bus)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := core.NewPlan(tc.tree.Clone(), frame, demand, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fleet.Start()
+			if _, err := bus.Run(); err != nil {
+				t.Fatal(err)
+			}
+			compareToPlan(t, fleet, plan)
+
+			steps := []struct {
+				child topology.NodeID
+				dir   topology.Direction
+				cells int
+			}{
+				{10, topology.Uplink, 3},
+				{11, topology.Downlink, 6},
+				{10, topology.Uplink, 1}, // release
+			}
+			for i, s := range steps {
+				l := topology.Link{Child: s.child, Direction: s.dir}
+				if err := fleet.SetLinkDemand(l, s.cells, float64(s.cells)); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+				if _, err := bus.Run(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+				if _, err := plan.SetLinkDemand(l, s.cells, float64(s.cells)); err != nil {
+					t.Fatalf("step %d plan: %v", i, err)
+				}
+				compareToPlan(t, fleet, plan)
+				if err := fleet.Validate(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+			if bus.Faults.Duplicated == 0 {
+				t.Fatal("duplication faults never fired")
+			}
+		})
+	}
+}
+
+// The same duplicated-channel run with CON reliability enabled: the
+// transport's Message-ID dedup absorbs the duplicates before they reach the
+// handlers, and the schedule still matches the planner.
+func TestReliabilitySuppressesDuplicatesFleetWide(t *testing.T) {
+	tree := topology.Fig1()
+	frame := testFrame()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := transport.NewBus(frame.Slots, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.EnableReliability(7)
+	bus.SetFaults(transport.FaultConfig{Dup: 0.5, Seed: 4})
+	fleet, err := Deploy(tree, frame, demand, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(tree.Clone(), frame, demand, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Start()
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	compareToPlan(t, fleet, plan)
+	if bus.Faults.DuplicatesSuppressed == 0 {
+		t.Error("dedup cache suppressed nothing on a duplicating channel")
+	}
+	if bus.Pending() != 0 {
+		t.Errorf("Pending = %d after drain", bus.Pending())
+	}
+}
+
+// A lossy channel under reliability: the static phase must still converge
+// to the planner's schedule — retransmissions recover every lost report,
+// grant and notice.
+func TestStaticPhaseConvergesUnderLoss(t *testing.T) {
+	tree := topology.Testbed50()
+	frame := testFrame()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := traffic.Compute(tree, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := transport.NewBus(frame.Slots, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.EnableReliability(7)
+	bus.SetFaults(transport.FaultConfig{Drop: 0.1, Seed: 12})
+	fleet, err := Deploy(tree, frame, demand, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewPlan(tree.Clone(), frame, demand, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Start()
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Faults.GiveUps > 0 {
+		t.Fatalf("give-ups at drop 0.1 seed 12: %+v", bus.Faults)
+	}
+	compareToPlan(t, fleet, plan)
+	if err := fleet.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Faults.Retransmissions == 0 {
+		t.Error("loss exercised no retransmissions")
+	}
+}

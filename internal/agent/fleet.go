@@ -311,6 +311,55 @@ func (f *Fleet) Reparent(node, newParent topology.NodeID, newDemand *traffic.Dem
 	return nil
 }
 
+// RestartNode models the recovery side of a device reboot: the agent's
+// volatile protocol state is wiped (as RAM is), its link demands are
+// reloaded from configuration, and it re-attaches to its unchanged parent
+// through the same Join flag a reparented node uses. Its non-leaf children
+// — who never crashed — re-report their interfaces (on a real deployment
+// they notice the parent's reboot), which lets the node rebuild its own
+// interface bottom-up; the parent's onChildJoin then re-syncs the grants
+// the reboot lost. The caller scripts the outage itself on the transport
+// (Bus.Crash before, Bus.Restart just before calling this) and runs the
+// transport afterwards; validate with Fleet.Validate.
+func (f *Fleet) RestartNode(id topology.NodeID, demand *traffic.Demand) error {
+	n, err := f.Node(id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	gateway := n.parent == topology.None
+	n.mu.Unlock()
+	if gateway {
+		return fmt.Errorf("agent: gateway restart is not supported")
+	}
+	n.resetResources()
+	n.mu.Lock()
+	nonLeaf := append([]topology.NodeID(nil), n.nonLeaf...)
+	for _, d := range topology.Directions() {
+		st := n.dir(d)
+		st.myCells = nil
+		for _, c := range n.children {
+			l := topology.Link{Child: c, Direction: d}
+			st.demand[c] = demand.Cells(l)
+			flows := demand.Flows(l)
+			if len(flows) > 0 {
+				st.topRate[c] = flows[0].Task.Rate
+			}
+		}
+	}
+	n.mu.Unlock()
+	upLink := topology.Link{Child: id, Direction: topology.Uplink}
+	downLink := topology.Link{Child: id, Direction: topology.Downlink}
+	n.startJoin(demand.Cells(upLink), demand.Cells(downLink))
+	for _, c := range nonLeaf {
+		child := f.nodes[c]
+		child.mu.Lock()
+		child.computeAndForwardInterface()
+		child.mu.Unlock()
+	}
+	return nil
+}
+
 // Rejections sums the adjustment rejections across agents.
 func (f *Fleet) Rejections() int {
 	total := 0

@@ -1,0 +1,133 @@
+package coap
+
+import (
+	"testing"
+)
+
+// FuzzConExchange drives the confirmable-exchange state machines through a
+// fuzzed loss/duplication/reorder trace and asserts the two properties the
+// reliable transports build on:
+//
+//   - a receiver never applies one confirmable message twice within the
+//     exchange lifetime, whatever copies the channel delivers;
+//   - a sender's exchange never leaks a pending retransmission: it
+//     terminates (resolved or given up) within MAX_RETRANSMIT+1
+//     transmissions, with strictly advancing timer expiries, and stays
+//     terminated.
+//
+// Each trace byte scripts one transmission attempt: bit 0 drops the data
+// copy, bit 1 duplicates it, bit 2 drops the ACK of the (first) copy,
+// bit 3 delays the duplicate so it arrives after a later retransmission
+// (reordering), bits 4-7 jitter the initial timeout of the exchange.
+func FuzzConExchange(f *testing.F) {
+	f.Add([]byte{0x00})                               // clean delivery
+	f.Add([]byte{0x01, 0x01, 0x00})                   // two drops then delivery
+	f.Add([]byte{0x02, 0x00})                         // duplicate then clean
+	f.Add([]byte{0x05, 0x05, 0x05, 0x05})             // ACK losses force retransmission
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x01, 0x01}) // total loss: give up
+	f.Add([]byte{0x0a, 0x04, 0xf1, 0x00})             // reorder + jitter mix
+	f.Fuzz(func(t *testing.T, trace []byte) {
+		if len(trace) == 0 {
+			return
+		}
+		params := DefaultReliability(2)
+		dedup := NewDedupCache(params.ExchangeLifetime())
+		now := 0.0
+
+		// Three sequential messages share the channel trace round-robin, so
+		// late duplicates of an earlier Message-ID land while a later
+		// exchange runs.
+		type lateCopy struct {
+			mid uint16
+			at  float64
+		}
+		var pending []lateCopy
+		step := 0
+		nextOp := func() byte {
+			op := trace[step%len(trace)]
+			step++
+			return op
+		}
+
+		for _, mid := range []uint16{100, 101, 102} {
+			op := nextOp()
+			jitter := float64(op>>4) / 16
+			ex := params.NewExchange(mid, now, jitter)
+			applied := 0
+			prevNext := now
+			for {
+				if ex.NextAt <= prevNext && ex.Attempts > 1 {
+					t.Fatalf("mid %d: timer expiry did not advance: %v <= %v", mid, ex.NextAt, prevNext)
+				}
+				prevNext = ex.NextAt
+
+				// Deliver any reordered duplicates that are now due.
+				for i := 0; i < len(pending); {
+					if pending[i].at <= now {
+						if !dedup.Observe(uint64(1), pending[i].mid, now) {
+							t.Fatalf("late duplicate of mid %d applied again", pending[i].mid)
+						}
+						pending = append(pending[:i], pending[i+1:]...)
+						continue
+					}
+					i++
+				}
+
+				dropData := op&0x01 != 0
+				dupData := op&0x02 != 0
+				dropAck := op&0x04 != 0
+				delayDup := op&0x08 != 0
+
+				acked := false
+				if !dropData {
+					if !dedup.Observe(uint64(1), mid, now) {
+						applied++
+					}
+					if applied > 1 {
+						t.Fatalf("mid %d applied %d times", mid, applied)
+					}
+					if !dropAck {
+						acked = true
+					}
+				}
+				if dupData && !dropData {
+					if delayDup {
+						// Arrives two timeouts later, possibly mid-next-exchange.
+						pending = append(pending, lateCopy{mid: mid, at: now + 2*params.AckTimeout})
+					} else if !dedup.Observe(uint64(1), mid, now) {
+						t.Fatalf("immediate duplicate of mid %d applied", mid)
+					}
+				}
+
+				if acked {
+					if !ex.Ack(mid) {
+						t.Fatalf("mid %d: live exchange refused its ACK", mid)
+					}
+					break
+				}
+				now = ex.NextAt
+				if !ex.Retransmit(now) {
+					if !ex.GaveUp() {
+						t.Fatalf("mid %d: exchange stopped without giving up or resolving", mid)
+					}
+					break
+				}
+				if ex.Attempts > params.MaxRetransmit+1 {
+					t.Fatalf("mid %d: %d transmissions exceed MAX_RETRANSMIT+1", mid, ex.Attempts)
+				}
+				op = nextOp()
+			}
+			if !ex.Done() {
+				t.Fatalf("mid %d: exchange left pending", mid)
+			}
+			// A terminated exchange must stay inert.
+			if ex.Retransmit(now + 1000) {
+				t.Fatalf("mid %d: terminated exchange retransmitted", mid)
+			}
+			if ex.Resolved() && ex.GaveUp() {
+				t.Fatalf("mid %d: both resolved and gave up", mid)
+			}
+			now += 1
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package coap
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExchangeBackoffDoubles(t *testing.T) {
+	p := DefaultReliability(2)
+	e := p.NewExchange(7, 10, 0) // jitter 0: initial timeout == AckTimeout
+	if e.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1", e.Attempts)
+	}
+	if e.NextAt != 12 {
+		t.Fatalf("NextAt = %v, want 12", e.NextAt)
+	}
+	// Each expiry doubles the timeout: 2, 4, 8, 16, 32.
+	wantTimeouts := []float64{4, 8, 16, 32}
+	now := e.NextAt
+	for i, w := range wantTimeouts {
+		if !e.Retransmit(now) {
+			t.Fatalf("retransmission %d refused", i+1)
+		}
+		if got := e.NextAt - now; math.Abs(got-w) > 1e-9 {
+			t.Fatalf("retransmission %d timeout = %v, want %v", i+1, got, w)
+		}
+		now = e.NextAt
+	}
+	// Initial + MAX_RETRANSMIT transmissions exhausted: next expiry gives up.
+	if e.Retransmit(now) {
+		t.Fatal("exchange retransmitted beyond MAX_RETRANSMIT")
+	}
+	if !e.GaveUp() || e.Resolved() || !e.Done() {
+		t.Fatalf("state after exhaustion: gaveUp=%t resolved=%t", e.GaveUp(), e.Resolved())
+	}
+	if e.Attempts != 5 {
+		t.Errorf("Attempts = %d, want 5 (initial + 4 retransmissions)", e.Attempts)
+	}
+}
+
+func TestExchangeJitterWidensInitialTimeout(t *testing.T) {
+	p := DefaultReliability(2)
+	lo := p.NewExchange(1, 0, 0)
+	hi := p.NewExchange(1, 0, 0.999999)
+	if lo.NextAt != 2 {
+		t.Errorf("jitter-0 timeout = %v, want AckTimeout", lo.NextAt)
+	}
+	if hi.NextAt <= 2 || hi.NextAt >= 3.0001 {
+		t.Errorf("jitter-max timeout = %v, want just under AckTimeout*RandomFactor (3)", hi.NextAt)
+	}
+}
+
+func TestExchangeAck(t *testing.T) {
+	p := DefaultReliability(2)
+	e := p.NewExchange(42, 0, 0.5)
+	if e.Ack(41) {
+		t.Error("ACK with wrong Message-ID resolved the exchange")
+	}
+	if !e.Ack(42) {
+		t.Error("matching ACK did not resolve")
+	}
+	if e.Ack(42) {
+		t.Error("duplicate ACK resolved twice")
+	}
+	if e.Retransmit(100) {
+		t.Error("resolved exchange retransmitted")
+	}
+	if !e.Resolved() || e.GaveUp() {
+		t.Errorf("state: resolved=%t gaveUp=%t", e.Resolved(), e.GaveUp())
+	}
+}
+
+func TestDedupCacheSuppressesWithinLifetime(t *testing.T) {
+	c := NewDedupCache(10)
+	if c.Observe(1, 7, 0) {
+		t.Fatal("first observation reported duplicate")
+	}
+	if !c.Observe(1, 7, 5) {
+		t.Fatal("retransmission within lifetime not recognised")
+	}
+	if c.Observe(2, 7, 5) {
+		t.Fatal("same Message-ID from a different peer treated as duplicate")
+	}
+	if c.Observe(1, 8, 5) {
+		t.Fatal("different Message-ID treated as duplicate")
+	}
+	// Past the lifetime the ID may be reused (the 16-bit space wraps).
+	if c.Observe(1, 7, 20) {
+		t.Fatal("expired entry still suppressing")
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache empty after live observations")
+	}
+}
+
+func TestDedupCachePrunes(t *testing.T) {
+	c := NewDedupCache(1)
+	for mid := uint16(0); mid < 100; mid++ {
+		c.Observe(1, mid, float64(mid)*10)
+	}
+	// Every earlier entry expired long before the last observation.
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after pruning, want 1", c.Len())
+	}
+}
+
+func TestEmptyAckRoundTrip(t *testing.T) {
+	ack := EmptyAck(999)
+	wire, err := ack.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != Acknowledgement || got.Code != CodeEmpty || got.MessageID != 999 {
+		t.Errorf("ACK corrupted: %+v", got)
+	}
+}
+
+func TestExchangeLifetimeCoversFullBackoff(t *testing.T) {
+	p := DefaultReliability(2)
+	// Worst-case exchange span: widened initial timeout 3, doubled 4 times:
+	// 3+6+12+24+48 = 93, plus one AckTimeout slack.
+	if got := p.ExchangeLifetime(); got != 95 {
+		t.Errorf("ExchangeLifetime = %v, want 95", got)
+	}
+}

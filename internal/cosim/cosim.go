@@ -47,6 +47,27 @@ type Config struct {
 	// RootGap reserves slots after the data sub-frame boundary, as the
 	// experiments' plans do.
 	RootGap int
+
+	// ControlPDR is the control plane's per-delivery packet delivery ratio:
+	// each management-cell frame is dropped with probability 1-ControlPDR,
+	// from a fault RNG stream independent of the latency sampling. Zero
+	// means lossless (the default); set Reliable when below 1, or the
+	// static phase will not converge.
+	ControlPDR float64
+	// ControlDup duplicates each delivered control frame with the given
+	// probability (testing duplicate suppression end to end).
+	ControlDup float64
+	// ControlFaultSeed seeds the fault stream (only read when faults are on).
+	ControlFaultSeed int64
+	// Reliable runs the control plane over CoAP CON exchanges
+	// (retransmission + Message-ID dedup, RFC 7252 §4.2) instead of bare
+	// NON messages.
+	Reliable bool
+	// TolerateStaticLoss keeps a run alive when the static phase fails to
+	// produce a valid complete schedule (possible at harsh loss when a
+	// CON exchange exhausts MAX_RETRANSMIT): New returns the co-sim with
+	// StaticConverged=false instead of an error.
+	TolerateStaticLoss bool
 }
 
 // Commit records one control-plane adjustment observed end to end: the
@@ -87,6 +108,14 @@ type CoSim struct {
 	trigger int  // slot of the pending adjustment's injection
 	// Commits holds every committed adjustment in order.
 	Commits []Commit
+	// StaticConverged reports whether the static phase produced a valid
+	// complete schedule (always true unless TolerateStaticLoss absorbed a
+	// failure).
+	StaticConverged bool
+	// tolerateLoss relaxes the commit-time validation panic: under loss an
+	// adjustment can die with a give-up, and the commit then records the
+	// (still valid) pre-adjustment schedule.
+	tolerateLoss bool
 }
 
 // New deploys the fleet, runs the static allocation phase to completion on
@@ -109,25 +138,62 @@ func New(cfg Config) (*CoSim, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Reliable {
+		bus.EnableReliability(cfg.Seed)
+	}
+	if cfg.ControlPDR < 0 || cfg.ControlPDR > 1 {
+		return nil, fmt.Errorf("cosim: control PDR %v out of [0,1]", cfg.ControlPDR)
+	}
+	drop := 0.0
+	if cfg.ControlPDR > 0 {
+		drop = 1 - cfg.ControlPDR
+	}
+	if drop > 0 || cfg.ControlDup > 0 {
+		if drop > 0 && !cfg.Reliable {
+			return nil, fmt.Errorf("cosim: lossy control plane (PDR %v) needs Reliable", cfg.ControlPDR)
+		}
+		bus.SetFaults(transport.FaultConfig{Drop: drop, Dup: cfg.ControlDup, Seed: cfg.ControlFaultSeed})
+	}
 	fleet, err := agent.Deploy(cfg.Tree, cfg.Frame, demand, bus, agent.WithRootGap(cfg.RootGap))
 	if err != nil {
 		return nil, err
 	}
+	staticConverged := true
 	fleet.Start()
 	if _, err := bus.Run(); err != nil {
 		return nil, fmt.Errorf("cosim: static phase: %w", err)
 	}
 	if err := fleet.Validate(); err != nil {
-		return nil, fmt.Errorf("cosim: fleet invalid after static phase: %w", err)
+		if !cfg.TolerateStaticLoss {
+			return nil, fmt.Errorf("cosim: fleet invalid after static phase: %w", err)
+		}
+		staticConverged = false
 	}
-	if debugChecks {
+	if staticConverged && bus.Faults.GiveUps > 0 {
+		// Every schedule cell may be in place, but an abandoned exchange
+		// means some agent state was withdrawn mid-protocol: treat the run
+		// as non-converged for reporting.
+		staticConverged = false
+		if !cfg.TolerateStaticLoss {
+			return nil, fmt.Errorf("cosim: static phase gave up %d exchanges", bus.Faults.GiveUps)
+		}
+	}
+	if debugChecks && staticConverged {
 		if err := invariant.CheckFleet(fleet, nil); err != nil {
 			panic(fmt.Sprintf("cosim: static phase invariant: %v", err))
 		}
 	}
 	sched, err := fleet.BuildSchedule()
 	if err != nil {
-		return nil, err
+		if staticConverged || !cfg.TolerateStaticLoss {
+			return nil, err
+		}
+		// A half-converged fleet can hold overlapping assignments; the MAC
+		// then starts on an empty schedule (no cells, nothing flows).
+		sched, err = schedule.NewSchedule(cfg.Frame)
+		if err != nil {
+			return nil, err
+		}
 	}
 	mac, err := sim.New(sim.Config{
 		Tree:       cfg.Tree,
@@ -145,7 +211,11 @@ func New(cfg Config) (*CoSim, error) {
 	if err := mac.BindClock(clock); err != nil {
 		return nil, err
 	}
-	cs := &CoSim{Clock: clock, Bus: bus, Fleet: fleet, Sim: mac, frame: cfg.Frame}
+	cs := &CoSim{
+		Clock: clock, Bus: bus, Fleet: fleet, Sim: mac, frame: cfg.Frame,
+		StaticConverged: staticConverged,
+		tolerateLoss:    cfg.TolerateStaticLoss,
+	}
 	mac.EachSlot(func(*sim.Simulator) { cs.observe() })
 	return cs, nil
 }
@@ -160,7 +230,10 @@ func (cs *CoSim) observe() {
 	}
 	cs.pending = false
 	if err := cs.Fleet.Validate(); err != nil {
-		panic(fmt.Sprintf("cosim: fleet invalid at commit: %v", err))
+		if !cs.tolerateLoss {
+			panic(fmt.Sprintf("cosim: fleet invalid at commit: %v", err))
+		}
+		return // keep running on the old schedule; never swap in a bad one
 	}
 	if debugChecks {
 		// The static plan no longer matches after dynamic adjustments, so
@@ -226,3 +299,21 @@ func (cs *CoSim) RunSlotframes(n int) error {
 
 // Quiesced reports whether no adjustment is awaiting commit.
 func (cs *CoSim) Quiesced() bool { return !cs.pending }
+
+// Crash scripts a node outage on the control plane: deliveries to and
+// retransmissions toward the node are dropped (and counted) from now on.
+// The data plane is unaffected — the MAC keeps its schedule; HARP's control
+// robustness, not PHY failure, is what is under test.
+func (cs *CoSim) Crash(id topology.NodeID) { cs.Bus.Crash(id) }
+
+// Recover reverses a Crash: the transport endpoint comes back with a clean
+// dedup cache, and the agent reboots — volatile state wiped, link demands
+// reloaded from the given configuration, re-attachment through the Join
+// flag. Wrapped in Adjust so the harness measures the recovery exchange and
+// re-commits the schedule when it quiesces.
+func (cs *CoSim) Recover(id topology.NodeID, demand *traffic.Demand) error {
+	cs.Bus.Restart(id)
+	return cs.Adjust(func(f *agent.Fleet) error {
+		return f.RestartNode(id, demand)
+	})
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import "testing"
+
+// smallLossSweep trims the sweep to two points for fast CI passes while
+// keeping a lossy endpoint that exercises retransmission and dedup.
+func smallLossSweep() LossSweepConfig {
+	cfg := DefaultLossSweep()
+	cfg.PDRs = []float64{1.0, 0.9}
+	return cfg
+}
+
+// TestLossSweepConvergesAtPaperPDRs is the robustness acceptance bar: at
+// control-plane PDR 0.9 the testbed network's adjustment must land on the
+// exact schedule of the lossless run, recovered purely by CON
+// retransmission and Message-ID dedup.
+func TestLossSweepConvergesAtPaperPDRs(t *testing.T) {
+	res, err := LossSweep(DefaultLossSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points: %d, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.PDR == 1.0 {
+			if p.StaticRetransmissions+p.Retransmissions != 0 || p.DuplicatesSuppressed != 0 {
+				t.Errorf("lossless point shows recovery work: %+v", p)
+			}
+			if !p.StaticConverged || !p.Committed {
+				t.Errorf("lossless point did not converge: %+v", p)
+			}
+		}
+		if p.PDR == 0.9 {
+			if !p.StaticConverged {
+				t.Errorf("PDR 0.9: static phase did not converge: %+v", p)
+			}
+			if !p.Committed || !p.MatchesLossless {
+				t.Errorf("PDR 0.9: adjustment did not converge to the lossless schedule: %+v", p)
+			}
+			if p.StaticRetransmissions+p.Retransmissions == 0 {
+				t.Errorf("PDR 0.9: loss exercised no retransmissions: %+v", p)
+			}
+		}
+		// Every point, converged or not, must leave the run quiescent and
+		// give-up-free at these PDRs... except the harshest: at 0.8 a CON
+		// exchange can exhaust MAX_RETRANSMIT in the static phase, which is
+		// exactly what TolerateStaticLoss + the convergence columns report.
+		if p.PDR >= 0.9 && p.GiveUps != 0 {
+			t.Errorf("PDR %.2f: unexpected give-ups: %+v", p.PDR, p)
+		}
+	}
+}
+
+// TestLossSweepSerialParallelIdentical extends the repo's determinism
+// contract to the fault-injection path: the sweep's table must be
+// byte-identical for any worker count — loss draws come from the dedicated
+// fault stream of each point's own clock, never from shared state.
+func TestLossSweepSerialParallelIdentical(t *testing.T) {
+	cfg := smallLossSweep()
+	var serial, parallel4 LossSweepResult
+	withWorkers(t, 1, func() {
+		res, err := LossSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = res
+	})
+	withWorkers(t, 4, func() {
+		res, err := LossSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel4 = res
+	})
+	if s, p := serial.Table.String(), parallel4.Table.String(); s != p {
+		t.Errorf("serial and parallel loss sweeps differ:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	for i := range serial.Points {
+		if serial.Points[i] != parallel4.Points[i] {
+			t.Errorf("point %d: serial %+v != parallel %+v", i, serial.Points[i], parallel4.Points[i])
+		}
+	}
+}

@@ -15,6 +15,22 @@
 //
 // Both transports move raw bytes: messages are CoAP-encoded on send and
 // decoded at the receiver, so the full codec path is exercised.
+//
+// # Fault model
+//
+// By default both transports deliver every message exactly once — the
+// ideal channel all existing baselines are measured on. SetFaults turns on
+// per-delivery Bernoulli loss and (on the Bus) duplication, drawn from a
+// dedicated RNG stream ("transport.fault") so enabling faults never
+// perturbs the latency draws of a lossless run; Crash/Restart script node
+// outages. EnableReliability layers RFC 7252 §4.2 confirmable-message
+// reliability on top: non-confirmable requests are upgraded to CON,
+// acknowledged by the receiving bus end, retransmitted with exponential
+// backoff on the virtual clock, and deduplicated by Message-ID at the
+// receiver. One exchange is outstanding per ordered node pair (NSTART = 1,
+// §4.7), which also preserves the per-pair FIFO ordering the agents rely
+// on. ACKs are control traffic: they are not tallied in MessageCount or
+// Delivered, so protocol-overhead counts stay comparable with the paper's.
 package transport
 
 import (
@@ -37,6 +53,15 @@ type Handler interface {
 	Handle(from topology.NodeID, msg coap.Message)
 }
 
+// FailureHandler is optionally implemented by a Handler that wants to hear
+// when one of its confirmable messages was given up on (MAX_RETRANSMIT
+// exhausted, e.g. the peer crashed). msg is the message that was lost; the
+// agent uses this to unwind the state the request had reserved instead of
+// waiting forever for a reply.
+type FailureHandler interface {
+	HandleSendFailure(to topology.NodeID, msg coap.Message)
+}
+
 // Network is the sending side exposed to agents.
 type Network interface {
 	// Send transmits a message; delivery is asynchronous.
@@ -53,6 +78,49 @@ var (
 type envelope struct {
 	from, to topology.NodeID
 	wire     []byte
+	mid      uint16
+	// reliable marks a confirmable application message owned by an
+	// exchange: its in-flight slot is retired when the exchange resolves,
+	// not when a copy is delivered.
+	reliable bool
+	// control marks transport-generated traffic (ACKs): never tallied,
+	// never holding an in-flight slot.
+	control bool
+}
+
+// FaultConfig scripts the channel's misbehaviour. Drop and Dup are
+// per-delivery Bernoulli probabilities; a duplicated delivery injects one
+// extra copy after an independent management-cell latency. Seed drives the
+// dedicated fault stream.
+type FaultConfig struct {
+	Drop float64
+	Dup  float64
+	Seed int64
+}
+
+// FaultStats counts what the channel and the reliability layer did. All
+// fields are monotonic between ResetCounters calls.
+type FaultStats struct {
+	// Dropped counts deliveries lost to injected Bernoulli loss.
+	Dropped int
+	// Duplicated counts extra copies injected by duplication faults.
+	Duplicated int
+	// CrashDropped counts deliveries (and sends) discarded because the
+	// node was crashed.
+	CrashDropped int
+	// Retransmissions counts CON copies retransmitted after an ACK timeout.
+	Retransmissions int
+	// DuplicatesSuppressed counts confirmable deliveries the receiver's
+	// Message-ID dedup cache recognised and did not re-apply.
+	DuplicatesSuppressed int
+	// AcksDelivered counts ACK deliveries (control traffic, excluded from
+	// Delivered/MessageCount).
+	AcksDelivered int
+	// GiveUps counts exchanges abandoned after MAX_RETRANSMIT.
+	GiveUps int
+	// DecodeErrors counts deliveries whose payload failed to decode; each
+	// is also retrievable via Errors.
+	DecodeErrors int
 }
 
 // CountKey identifies a message class in the delivery tally: the CoAP
@@ -67,6 +135,15 @@ type CountKey struct {
 // String renders the key in the traditional "METHOD path" form.
 func (k CountKey) String() string { return fmt.Sprintf("%s %s", k.Code, k.Path) }
 
+// busExchange is one outstanding confirmable exchange on the bus: the
+// envelope being retried, the RFC 7252 state machine, and the cancelable
+// clock event of the pending retransmission timer.
+type busExchange struct {
+	env   *envelope
+	ex    *coap.Exchange
+	timer *vclock.Handle
+}
+
 // Bus is the deterministic virtual-time transport. Delivery between any
 // ordered pair of nodes is FIFO, as on the real substrate: a node's
 // messages to one neighbour leave through its sequential management cells
@@ -77,12 +154,15 @@ type Bus struct {
 	handlers map[topology.NodeID]Handler
 	rng      *rand.Rand
 
-	// inFlight counts queued, not-yet-delivered messages; co-simulation
-	// harnesses poll it (Pending) to detect protocol quiescence.
+	// inFlight counts messages whose outcome is unsettled; co-simulation
+	// harnesses poll it (Pending) to detect protocol quiescence. An
+	// unreliable message settles at its delivery event; a confirmable one
+	// settles when its exchange resolves or gives up, so Pending()==0
+	// really means no retransmission can wake the protocol up again.
 	inFlight int
-	// err latches the first delivery failure (a decode error); once set,
-	// remaining deliveries are skipped and Run reports it.
-	err error
+	// errs records every delivery failure (decode errors); deliveries
+	// keep flowing — one bad frame must not blackhole the rest of a run.
+	errs []error
 
 	// lastDelivery enforces per-pair FIFO: the next message on a pair is
 	// delivered strictly after the previous one.
@@ -93,6 +173,25 @@ type Bus struct {
 	// management cell.
 	slotsPerHop int
 
+	// Fault injection (nil faultRNG: clean channel, zero extra draws).
+	faults   FaultConfig
+	faultRNG *rand.Rand
+	crashed  map[topology.NodeID]bool
+
+	// Reliability (RFC 7252 §4.2), off unless EnableReliability ran.
+	reliable bool
+	params   coap.ReliabilityParams
+	// retxRNG drives retransmission jitter and the latency of control/
+	// retransmitted copies, so primary application-message latencies draw
+	// the exact same "transport.bus" sequence as a run without reliability.
+	retxRNG *rand.Rand
+	// outstanding holds the one in-progress exchange per ordered pair
+	// (NSTART=1); backlog queues further confirmable sends on the pair.
+	outstanding map[[2]topology.NodeID]*busExchange
+	backlog     map[[2]topology.NodeID][]*envelope
+	// dedup is each receiver's Message-ID cache.
+	dedup map[topology.NodeID]*coap.DedupCache
+
 	// MessageCount tallies delivered messages by (method, path); use
 	// Count for lookups and CountKeys for deterministic reporting.
 	MessageCount map[CountKey]int
@@ -101,6 +200,8 @@ type Bus struct {
 	// Participants records every node that sent or received a message
 	// since the last ResetCounters — the "Nodes" column of Table II.
 	Participants map[topology.NodeID]bool
+	// Faults counts channel faults and reliability-layer work.
+	Faults FaultStats
 }
 
 // NewBus builds a virtual-time bus on a private clock. slotframeSlots sets
@@ -125,6 +226,7 @@ func NewBusOnClock(c *vclock.Clock, slotframeSlots int, seed int64) (*Bus, error
 		handlers:     make(map[topology.NodeID]Handler),
 		rng:          c.RNG("transport.bus", seed),
 		slotsPerHop:  slotframeSlots,
+		crashed:      make(map[topology.NodeID]bool),
 		MessageCount: make(map[CountKey]int),
 		Participants: make(map[topology.NodeID]bool),
 		lastDelivery: make(map[[2]topology.NodeID]float64),
@@ -142,46 +244,269 @@ func (b *Bus) Clock() *vclock.Clock { return b.clock }
 // Now returns the current virtual time in slots.
 func (b *Bus) Now() float64 { return b.clock.Now() }
 
-// Pending returns the number of sent, not-yet-delivered messages. Zero
-// means the protocol has quiesced (no message can trigger further sends).
+// Pending returns the number of unsettled messages: queued deliveries plus
+// unresolved confirmable exchanges. Zero means the protocol has quiesced
+// (no delivery or retransmission can trigger further sends).
 func (b *Bus) Pending() int { return b.inFlight }
 
-// Err returns the first delivery error, if any.
-func (b *Bus) Err() error { return b.err }
+// Err returns the first delivery error, if any. Unlike earlier versions a
+// delivery error no longer stops the bus; see Errors for the full list.
+func (b *Bus) Err() error {
+	if len(b.errs) > 0 {
+		return b.errs[0]
+	}
+	return nil
+}
+
+// Errors returns every delivery error recorded so far.
+func (b *Bus) Errors() []error {
+	out := make([]error, len(b.errs))
+	copy(out, b.errs)
+	return out
+}
+
+// SetFaults configures channel fault injection. Drop/Dup of zero restores
+// the clean channel; the fault stream ("transport.fault") is separate from
+// the latency stream, so a clean-channel run makes exactly the same draws
+// with or without this call.
+func (b *Bus) SetFaults(cfg FaultConfig) {
+	b.faults = cfg
+	if cfg.Drop > 0 || cfg.Dup > 0 {
+		b.faultRNG = b.clock.RNG("transport.fault", cfg.Seed)
+	} else {
+		b.faultRNG = nil
+	}
+}
+
+// EnableReliability turns on confirmable-message reliability with the RFC
+// 7252 defaults scaled to the bus's timebase: ACK_TIMEOUT is two
+// slotframes (a send and its ACK each wait at most one slotframe for a
+// management cell), ACK_RANDOM_FACTOR 1.5, MAX_RETRANSMIT 4. seed drives
+// the "transport.retx" stream (retransmission jitter and control-copy
+// latencies).
+func (b *Bus) EnableReliability(seed int64) {
+	b.EnableReliabilityWith(coap.DefaultReliability(2*float64(b.slotsPerHop)), seed)
+}
+
+// EnableReliabilityWith is EnableReliability with explicit parameters (in
+// slots), for tests that want short timeouts.
+func (b *Bus) EnableReliabilityWith(p coap.ReliabilityParams, seed int64) {
+	b.reliable = true
+	b.params = p
+	b.retxRNG = b.clock.RNG("transport.retx", seed)
+	if b.outstanding == nil {
+		b.outstanding = make(map[[2]topology.NodeID]*busExchange)
+		b.backlog = make(map[[2]topology.NodeID][]*envelope)
+		b.dedup = make(map[topology.NodeID]*coap.DedupCache)
+	}
+}
+
+// Reliable reports whether confirmable-message reliability is on.
+func (b *Bus) Reliable() bool { return b.reliable }
+
+// Crash takes a node off the air: deliveries to it are discarded (counted
+// as CrashDropped) and its own pending sends — outstanding exchanges and
+// backlogged messages — are abandoned, as a reboot loses RAM. Frames it
+// already transmitted stay in flight.
+func (b *Bus) Crash(id topology.NodeID) {
+	if b.crashed[id] {
+		return
+	}
+	b.crashed[id] = true
+	for pair, bx := range b.outstanding {
+		if pair[0] == id {
+			bx.timer.Cancel()
+			delete(b.outstanding, pair)
+			b.inFlight--
+		}
+	}
+	for pair, q := range b.backlog {
+		if pair[0] == id {
+			b.inFlight -= len(q)
+			delete(b.backlog, pair)
+		}
+	}
+}
+
+// Restart puts a crashed node back on the air with empty transport state
+// (its Message-ID dedup cache is gone — reboots lose RAM, which is exactly
+// what the dedup lifetime bound protects against).
+func (b *Bus) Restart(id topology.NodeID) {
+	delete(b.crashed, id)
+	if b.dedup != nil {
+		delete(b.dedup, id)
+	}
+}
+
+// Crashed reports whether the node is currently down.
+func (b *Bus) Crashed(id topology.NodeID) bool { return b.crashed[id] }
 
 // Send implements Network: the message is CoAP-encoded and queued with a
-// management-cell latency.
+// management-cell latency. In reliable mode non-confirmable requests are
+// upgraded to confirmable and tracked by an exchange; at most one exchange
+// per ordered pair is in progress (NSTART=1), later ones queue behind it.
 func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
 	if _, ok := b.handlers[to]; !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	if b.crashed[from] {
+		b.Faults.CrashDropped++
+		return nil
+	}
+	if b.reliable && msg.Type == coap.NonConfirmable && msg.Code.IsRequest() {
+		msg.Type = coap.Confirmable
 	}
 	wire, err := msg.Encode()
 	if err != nil {
 		return err
 	}
-	latency := b.rng.Float64() * float64(b.slotsPerHop)
+	e := &envelope{from: from, to: to, wire: wire, mid: msg.MessageID}
+	b.inFlight++
+	if b.reliable && msg.Type == coap.Confirmable {
+		e.reliable = true
+		pair := [2]topology.NodeID{from, to}
+		if _, busy := b.outstanding[pair]; busy {
+			b.backlog[pair] = append(b.backlog[pair], e)
+			return nil
+		}
+		b.startExchange(pair, e)
+		return nil
+	}
+	b.transmit(e, b.rng)
+	return nil
+}
+
+// transmit queues one copy of an envelope with a management-cell latency
+// drawn from r, preserving per-pair FIFO.
+func (b *Bus) transmit(e *envelope, r *rand.Rand) {
+	latency := r.Float64() * float64(b.slotsPerHop)
 	deliverAt := b.clock.Now() + latency
-	pair := [2]topology.NodeID{from, to}
+	pair := [2]topology.NodeID{e.from, e.to}
 	if last, ok := b.lastDelivery[pair]; ok && deliverAt <= last {
 		deliverAt = last + 1e-6 // FIFO per pair
 	}
 	b.lastDelivery[pair] = deliverAt
-	b.inFlight++
-	e := &envelope{from: from, to: to, wire: wire}
-	b.clock.Schedule(deliverAt, func() { b.deliver(e) })
-	return nil
+	b.clock.Schedule(deliverAt, func() { b.deliver(e, true) })
 }
 
-// deliver is the clock event for one queued message.
-func (b *Bus) deliver(e *envelope) {
+// startExchange begins the confirmable exchange for e on pair: transmit
+// the first copy and arm the retransmission timer.
+func (b *Bus) startExchange(pair [2]topology.NodeID, e *envelope) {
+	jitter := b.retxRNG.Float64()
+	bx := &busExchange{env: e, ex: b.params.NewExchange(e.mid, b.clock.Now(), jitter)}
+	b.outstanding[pair] = bx
+	b.transmit(e, b.rng)
+	bx.timer = b.clock.ScheduleCancelable(bx.ex.NextAt, func() { b.onRetxTimer(pair, bx) })
+}
+
+// onRetxTimer is the clock event of an exchange's retransmission timer.
+func (b *Bus) onRetxTimer(pair [2]topology.NodeID, bx *busExchange) {
+	if b.outstanding[pair] != bx || bx.ex.Done() {
+		return // resolved or superseded; timer was stale
+	}
+	if bx.ex.Retransmit(b.clock.Now()) {
+		b.Faults.Retransmissions++
+		b.transmit(bx.env, b.retxRNG)
+		bx.timer = b.clock.ScheduleCancelable(bx.ex.NextAt, func() { b.onRetxTimer(pair, bx) })
+		return
+	}
+	b.Faults.GiveUps++
+	b.finishExchange(pair, bx, true)
+}
+
+// finishExchange retires an exchange (resolved or given up), starts the
+// next backlogged exchange on the pair, and on failure notifies the
+// sender's FailureHandler. The backlog is dispatched first so a reentrant
+// Send from the failure handler sees the NSTART=1 invariant intact.
+func (b *Bus) finishExchange(pair [2]topology.NodeID, bx *busExchange, failed bool) {
+	delete(b.outstanding, pair)
+	bx.timer.Cancel()
 	b.inFlight--
-	if b.err != nil {
-		return // a previous delivery failed; drop the rest
+	if q := b.backlog[pair]; len(q) > 0 {
+		next := q[0]
+		if len(q) == 1 {
+			delete(b.backlog, pair)
+		} else {
+			b.backlog[pair] = q[1:]
+		}
+		b.startExchange(pair, next)
+	}
+	if failed {
+		if h, ok := b.handlers[pair[0]].(FailureHandler); ok {
+			if msg, err := coap.Decode(bx.env.wire); err == nil {
+				h.HandleSendFailure(pair[1], msg)
+			}
+		}
+	}
+}
+
+// sendAck emits the empty ACK for a received confirmable message. ACKs are
+// control traffic: unreliable, uncounted, but subject to the same channel
+// (latency, FIFO, faults) — a lost ACK is what forces a retransmission.
+func (b *Bus) sendAck(from, to topology.NodeID, mid uint16) {
+	ack := coap.EmptyAck(mid)
+	wire, err := ack.Encode()
+	if err != nil {
+		return
+	}
+	b.transmit(&envelope{from: from, to: to, wire: wire, mid: mid, control: true}, b.retxRNG)
+}
+
+// dedupFor returns (creating on demand) a receiver's Message-ID cache.
+func (b *Bus) dedupFor(id topology.NodeID) *coap.DedupCache {
+	c := b.dedup[id]
+	if c == nil {
+		c = coap.NewDedupCache(b.params.ExchangeLifetime())
+		b.dedup[id] = c
+	}
+	return c
+}
+
+// deliver is the clock event for one queued copy. primary marks the copy
+// Send/retransmit queued itself, as opposed to a duplication-fault copy.
+func (b *Bus) deliver(e *envelope, primary bool) {
+	if primary && !e.reliable && !e.control {
+		b.inFlight-- // unreliable messages settle at their delivery event
+	}
+	if b.crashed[e.to] {
+		b.Faults.CrashDropped++
+		return
+	}
+	if b.faultRNG != nil {
+		if b.faults.Drop > 0 && b.faultRNG.Float64() < b.faults.Drop {
+			b.Faults.Dropped++
+			return
+		}
+		if b.faults.Dup > 0 && primary && b.faultRNG.Float64() < b.faults.Dup {
+			b.Faults.Duplicated++
+			delay := b.faultRNG.Float64() * float64(b.slotsPerHop)
+			b.clock.Schedule(b.clock.Now()+delay, func() { b.deliver(e, false) })
+		}
 	}
 	msg, err := coap.Decode(e.wire)
 	if err != nil {
-		b.err = fmt.Errorf("transport: decoding message %d->%d: %w", e.from, e.to, err)
+		b.Faults.DecodeErrors++
+		b.errs = append(b.errs, fmt.Errorf("transport: decoding message %d->%d: %w", e.from, e.to, err))
 		return
+	}
+	if b.reliable {
+		switch msg.Type {
+		case coap.Acknowledgement:
+			b.Faults.AcksDelivered++
+			pair := [2]topology.NodeID{e.to, e.from} // the exchange the ACK settles
+			if bx, ok := b.outstanding[pair]; ok && bx.ex.Ack(msg.MessageID) {
+				b.finishExchange(pair, bx, false)
+			}
+			return
+		case coap.Confirmable:
+			// Acknowledge every copy (§4.2: retransmitted CONs are re-ACKed),
+			// then suppress duplicates before they reach the handler (§4.5).
+			b.sendAck(e.to, e.from, msg.MessageID)
+			if b.dedupFor(e.to).Observe(uint64(e.from), msg.MessageID, b.clock.Now()) {
+				b.Faults.DuplicatesSuppressed++
+				return
+			}
+		}
 	}
 	b.count(msg)
 	b.Participants[e.from] = true
@@ -198,7 +523,7 @@ func (b *Bus) deliver(e *envelope) {
 // clock (or the simulator) instead and check Err afterwards.
 func (b *Bus) Run() (float64, error) {
 	now := b.clock.Run()
-	return now, b.err
+	return now, b.Err()
 }
 
 func (b *Bus) count(msg coap.Message) {
@@ -211,11 +536,13 @@ func (b *Bus) Count(code coap.Code, path string) int {
 	return b.MessageCount[CountKey{Code: code, Path: path}]
 }
 
-// ResetCounters clears the message tallies (between experiment events).
+// ResetCounters clears the message and fault tallies (between experiment
+// events), so each adjustment's overhead is measured on its own.
 func (b *Bus) ResetCounters() {
 	b.MessageCount = make(map[CountKey]int)
 	b.Delivered = 0
 	b.Participants = make(map[topology.NodeID]bool)
+	b.Faults = FaultStats{}
 }
 
 // CountKeys returns the tally keys formatted as "METHOD path" and sorted,
@@ -229,9 +556,27 @@ func (b *Bus) CountKeys() []string {
 	return keys
 }
 
+// liveExKey identifies a Live exchange: unlike the bus, Live does not
+// serialise exchanges per pair, so the Message-ID is part of the key.
+type liveExKey struct {
+	from, to topology.NodeID
+	mid      uint16
+}
+
+// liveExchange is one outstanding confirmable exchange on the live
+// transport; timer is the pending real-time retransmission.
+type liveExchange struct {
+	env   envelope
+	ex    *coap.Exchange
+	timer *time.Timer
+}
+
 // Live is a goroutine-per-node channel transport. Each registered node gets
 // a dedicated delivery goroutine; Send never blocks the caller as long as
-// the node's inbox has room.
+// the node's inbox has room. EnableReliability adds the same CON/ACK
+// machinery as the bus, on real-time timers: an unresolved exchange holds
+// its in-flight slot, so WaitIdle cannot report idle while a confirmable
+// message still awaits its ACK or a retransmission is pending.
 type Live struct {
 	mu       sync.Mutex
 	inboxes  map[topology.NodeID]chan envelope
@@ -239,13 +584,24 @@ type Live struct {
 	wg       sync.WaitGroup
 	closed   bool
 
-	// inFlight counts accepted, not-yet-handled messages; idle is closed
+	// inFlight counts accepted, not-yet-settled messages; idle is closed
 	// whenever inFlight reaches zero and replaced when work starts, so
 	// WaitIdle blocks on a channel instead of polling. Both are guarded
 	// by mu. A Send inside a Handle increments before the handled
 	// message's decrement, so inFlight==0 is a true quiescent point.
 	inFlight int
 	idle     chan struct{}
+
+	// Reliability and fault state, guarded by mu. Time for the exchange
+	// state machines is seconds since epoch.
+	reliable bool
+	rparams  coap.ReliabilityParams
+	epoch    time.Time
+	drop     float64
+	rnd      *rand.Rand
+	lexch    map[liveExKey]*liveExchange
+	dedup    map[topology.NodeID]*coap.DedupCache
+	stats    FaultStats
 
 	// Delivered counts messages handled.
 	Delivered atomic.Int64
@@ -262,6 +618,47 @@ func NewLive() *Live {
 	}
 }
 
+// EnableReliability turns on confirmable-message reliability with real-time
+// retransmission timers. Unlike the bus, Live runs exchanges concurrently
+// (no NSTART gate): inbox channels already serialise per-receiver, and the
+// race tests exercise concurrency, not ordering.
+func (l *Live) EnableReliability(ackTimeout time.Duration, maxRetransmit int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reliable = true
+	l.rparams = coap.ReliabilityParams{
+		AckTimeout:    ackTimeout.Seconds(),
+		RandomFactor:  1.5,
+		MaxRetransmit: maxRetransmit,
+	}
+	if l.lexch == nil {
+		l.lexch = make(map[liveExKey]*liveExchange)
+		l.dedup = make(map[topology.NodeID]*coap.DedupCache)
+	}
+	if l.epoch.IsZero() {
+		l.epoch = time.Now() //harplint:allow determinism Live is the wall-clock transport
+	}
+	if l.rnd == nil {
+		l.rnd = rand.New(rand.NewSource(1))
+	}
+}
+
+// SetFaults configures Bernoulli delivery loss (data and ACK copies alike);
+// seed makes a run's draw sequence reproducible modulo goroutine order.
+func (l *Live) SetFaults(drop float64, seed int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.drop = drop
+	l.rnd = rand.New(rand.NewSource(seed))
+}
+
+// Stats returns a snapshot of the fault/reliability counters.
+func (l *Live) Stats() FaultStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
 // Register attaches a node and starts its delivery goroutine.
 func (l *Live) Register(id topology.NodeID, h Handler) {
 	l.mu.Lock()
@@ -276,14 +673,201 @@ func (l *Live) Register(id topology.NodeID, h Handler) {
 	go func() {
 		defer l.wg.Done()
 		for e := range inbox {
-			msg, err := coap.Decode(e.wire)
-			if err == nil {
-				h.Handle(e.from, msg)
-				l.Delivered.Add(1)
-			}
-			l.settle()
+			l.dispatch(e, h)
 		}
 	}()
+}
+
+// dispatch processes one delivered copy on the receiver's goroutine.
+func (l *Live) dispatch(e envelope, h Handler) {
+	// A plain (unreliable, non-control) message settles at this event
+	// whatever happens to it; confirmable messages settle with their
+	// exchange and control copies never held a slot.
+	settles := !e.reliable && !e.control
+	if l.dropDelivery() {
+		if settles {
+			l.settle()
+		}
+		return
+	}
+	msg, err := coap.Decode(e.wire)
+	if err != nil {
+		l.mu.Lock()
+		l.stats.DecodeErrors++
+		l.mu.Unlock()
+		if settles {
+			l.settle()
+		}
+		return
+	}
+	if l.isReliable() {
+		switch msg.Type {
+		case coap.Acknowledgement:
+			l.resolveExchange(e, msg.MessageID)
+			return
+		case coap.Confirmable:
+			l.postAck(e, msg.MessageID)
+			if l.duplicate(e.to, e.from, msg.MessageID) {
+				return
+			}
+		}
+	}
+	h.Handle(e.from, msg)
+	l.Delivered.Add(1)
+	if settles {
+		l.settle()
+	}
+}
+
+// dropDelivery draws the Bernoulli loss fault for one delivery.
+func (l *Live) dropDelivery() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.drop <= 0 || l.rnd == nil {
+		return false
+	}
+	if l.rnd.Float64() < l.drop {
+		l.stats.Dropped++
+		return true
+	}
+	return false
+}
+
+func (l *Live) isReliable() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reliable
+}
+
+// duplicate records a confirmable delivery in the receiver's dedup cache
+// and reports whether it was already applied.
+func (l *Live) duplicate(receiver, peer topology.NodeID, mid uint16) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.dedup[receiver]
+	if c == nil {
+		c = coap.NewDedupCache(l.rparams.ExchangeLifetime())
+		l.dedup[receiver] = c
+	}
+	//harplint:allow determinism Live is the wall-clock transport
+	if c.Observe(uint64(peer), mid, time.Since(l.epoch).Seconds()) {
+		l.stats.DuplicatesSuppressed++
+		return true
+	}
+	return false
+}
+
+// postAck queues the empty ACK for a confirmable delivery. Non-blocking:
+// if the sender's inbox is full the ACK is lost and the sender's
+// retransmission recovers.
+func (l *Live) postAck(e envelope, mid uint16) {
+	ack := coap.EmptyAck(mid)
+	wire, err := ack.Encode()
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	l.stats.AcksDelivered++
+	l.mu.Unlock()
+	l.post(envelope{from: e.to, to: e.from, wire: wire, mid: mid, control: true})
+}
+
+// resolveExchange settles the exchange an ACK belongs to.
+func (l *Live) resolveExchange(e envelope, mid uint16) {
+	key := liveExKey{from: e.to, to: e.from, mid: mid}
+	l.mu.Lock()
+	lx, ok := l.lexch[key]
+	if !ok || !lx.ex.Ack(mid) {
+		l.mu.Unlock()
+		return
+	}
+	lx.timer.Stop()
+	delete(l.lexch, key)
+	l.mu.Unlock()
+	l.settle()
+}
+
+// post queues one copy without blocking; a full inbox loses the copy (the
+// reliability layer's retransmissions recover). Sending under mu excludes
+// a concurrent Close of the channel.
+func (l *Live) post(e envelope) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	inbox, ok := l.inboxes[e.to]
+	if !ok {
+		return
+	}
+	select {
+	case inbox <- e:
+	default:
+	}
+}
+
+// startExchange registers the exchange for a confirmable send, arms its
+// retransmission timer, and posts the first copy.
+func (l *Live) startExchange(e envelope) {
+	key := liveExKey{from: e.from, to: e.to, mid: e.mid}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.settle()
+		return
+	}
+	now := time.Since(l.epoch).Seconds() //harplint:allow determinism Live is the wall-clock transport
+	lx := &liveExchange{env: e, ex: l.rparams.NewExchange(e.mid, now, l.rnd.Float64())}
+	replaced := l.lexch[key]
+	if replaced != nil {
+		replaced.timer.Stop() // Message-ID wrapped onto a live exchange
+	}
+	l.lexch[key] = lx
+	lx.timer = time.AfterFunc(l.after(lx.ex.NextAt, now), func() { l.onRetx(key) })
+	l.mu.Unlock()
+	if replaced != nil {
+		l.settle() // the superseded exchange's slot
+	}
+	l.post(e)
+}
+
+// after converts an absolute exchange time to a timer duration.
+func (l *Live) after(at, now float64) time.Duration {
+	d := time.Duration((at - now) * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// onRetx is an exchange's retransmission timer firing.
+func (l *Live) onRetx(key liveExKey) {
+	l.mu.Lock()
+	lx, ok := l.lexch[key]
+	if !ok || l.closed {
+		l.mu.Unlock()
+		return
+	}
+	now := time.Since(l.epoch).Seconds() //harplint:allow determinism Live is the wall-clock transport
+	if lx.ex.Retransmit(now) {
+		l.stats.Retransmissions++
+		lx.timer = time.AfterFunc(l.after(lx.ex.NextAt, now), func() { l.onRetx(key) })
+		env := lx.env
+		l.mu.Unlock()
+		l.post(env)
+		return
+	}
+	l.stats.GiveUps++
+	delete(l.lexch, key)
+	h := l.handlers[key.from]
+	env := lx.env
+	l.mu.Unlock()
+	if fh, ok := h.(FailureHandler); ok {
+		if msg, err := coap.Decode(env.wire); err == nil {
+			fh.HandleSendFailure(key.to, msg)
+		}
+	}
+	l.settle()
 }
 
 // settle retires one in-flight message and signals quiescence when it was
@@ -302,6 +886,10 @@ func (l *Live) Send(from, to topology.NodeID, msg coap.Message) error {
 	l.mu.Lock()
 	inbox, ok := l.inboxes[to]
 	closed := l.closed
+	reliable := l.reliable && msg.Type == coap.NonConfirmable && msg.Code.IsRequest()
+	if reliable {
+		msg.Type = coap.Confirmable
+	}
 	if !closed && ok {
 		if l.inFlight == 0 {
 			l.idle = make(chan struct{}) // going busy
@@ -320,14 +908,20 @@ func (l *Live) Send(from, to topology.NodeID, msg coap.Message) error {
 		l.settle() // the reserved slot never ships
 		return err
 	}
-	inbox <- envelope{from: from, to: to, wire: wire}
+	e := envelope{from: from, to: to, wire: wire, mid: msg.MessageID, reliable: reliable}
+	if reliable {
+		l.startExchange(e)
+		return nil
+	}
+	inbox <- e
 	return nil
 }
 
 // WaitIdle blocks until no messages are in flight or the timeout passes.
 // Returns true when the network went idle. Quiescence is signalled by the
 // delivery goroutines (a channel closed when the in-flight count hits
-// zero), not polled.
+// zero), not polled. With reliability on, an unresolved confirmable
+// exchange keeps the network busy until its ACK arrives or it gives up.
 func (l *Live) WaitIdle(timeout time.Duration) bool {
 	l.mu.Lock()
 	ch := l.idle
@@ -345,7 +939,7 @@ func (l *Live) WaitIdle(timeout time.Duration) bool {
 	}
 }
 
-// Close stops all delivery goroutines.
+// Close stops all delivery goroutines and pending retransmission timers.
 func (l *Live) Close() {
 	l.mu.Lock()
 	if l.closed {
@@ -353,6 +947,10 @@ func (l *Live) Close() {
 		return
 	}
 	l.closed = true
+	for key, lx := range l.lexch {
+		lx.timer.Stop()
+		delete(l.lexch, key)
+	}
 	for _, inbox := range l.inboxes {
 		close(inbox)
 	}

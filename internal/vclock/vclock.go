@@ -22,7 +22,9 @@ import (
 	"math/rand"
 )
 
-// event is one scheduled callback.
+// event is one scheduled callback. A cancelled event keeps its heap slot
+// (removal from the middle of a heap is O(n)) but carries a nil fn; the
+// pop path discards it without running anything or advancing time.
 type event struct {
 	at  float64
 	seq uint64
@@ -53,10 +55,28 @@ func (h *eventHeap) Pop() any {
 // Clock is a deterministic virtual-time scheduler. Time is measured in
 // slots (fractional between slot boundaries, as transport latencies are).
 type Clock struct {
-	now   float64
-	seq   uint64
-	queue eventHeap
-	rngs  map[string]*rand.Rand
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	cancelled int // cancelled events still occupying heap slots
+	rngs      map[string]*rand.Rand
+}
+
+// Handle identifies a cancelable scheduled event.
+type Handle struct {
+	c  *Clock
+	ev *event
+}
+
+// Cancel withdraws the event. The heap slot is reclaimed lazily when the
+// event's time comes up; the event's callback never runs. Cancelling an
+// already-run or already-cancelled event is a no-op.
+func (h *Handle) Cancel() {
+	if h == nil || h.ev == nil || h.ev.fn == nil {
+		return
+	}
+	h.ev.fn = nil
+	h.c.cancelled++
 }
 
 // New returns a clock at time zero with no pending events.
@@ -67,11 +87,21 @@ func New() *Clock {
 // Now returns the current virtual time in slots.
 func (c *Clock) Now() float64 { return c.now }
 
-// Pending returns the number of scheduled, not-yet-run events.
-func (c *Clock) Pending() int { return len(c.queue) }
+// Pending returns the number of scheduled, not-yet-run events (cancelled
+// events are excluded).
+func (c *Clock) Pending() int { return len(c.queue) - c.cancelled }
+
+// prune discards cancelled events sitting at the top of the heap.
+func (c *Clock) prune() {
+	for len(c.queue) > 0 && c.queue[0].fn == nil {
+		heap.Pop(&c.queue)
+		c.cancelled--
+	}
+}
 
 // NextAt returns the time of the earliest pending event.
 func (c *Clock) NextAt() (float64, bool) {
+	c.prune()
 	if len(c.queue) == 0 {
 		return 0, false
 	}
@@ -89,16 +119,37 @@ func (c *Clock) Schedule(at float64, fn func()) {
 	heap.Push(&c.queue, &event{at: at, seq: c.seq, fn: fn})
 }
 
+// ScheduleCancelable queues fn like Schedule and returns a Handle that can
+// withdraw the event before it runs — the retransmission timers of the
+// reliable transport cancel themselves when the awaited ACK arrives, so
+// resolved exchanges leave no stale events dragging the virtual time
+// forward.
+func (c *Clock) ScheduleCancelable(at float64, fn func()) *Handle {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	e := &event{at: at, seq: c.seq, fn: fn}
+	heap.Push(&c.queue, e)
+	return &Handle{c: c, ev: e}
+}
+
 // Step runs the earliest pending event, advancing Now to its time.
 // Returns false when no event is pending.
 func (c *Clock) Step() bool {
-	if len(c.queue) == 0 {
-		return false
+	for len(c.queue) > 0 {
+		e := heap.Pop(&c.queue).(*event)
+		if e.fn == nil {
+			c.cancelled--
+			continue
+		}
+		c.now = e.at
+		fn := e.fn
+		e.fn = nil // a Cancel after the event ran must be a no-op
+		fn()
+		return true
 	}
-	e := heap.Pop(&c.queue).(*event)
-	c.now = e.at
-	e.fn()
-	return true
+	return false
 }
 
 // Run drains the queue — including events scheduled by running events —
@@ -113,7 +164,7 @@ func (c *Clock) Run() float64 {
 // t (Now is left untouched if it is already past t). Events scheduled at
 // or before t by running events are run too.
 func (c *Clock) RunUntil(t float64) {
-	for len(c.queue) > 0 && c.queue[0].at <= t {
+	for c.prune(); len(c.queue) > 0 && c.queue[0].at <= t; c.prune() {
 		c.Step()
 	}
 	if t > c.now {
@@ -137,5 +188,5 @@ func (c *Clock) RNG(name string, seed int64) *rand.Rand {
 
 // String renders the clock state for debugging.
 func (c *Clock) String() string {
-	return fmt.Sprintf("vclock{now=%.4f pending=%d}", c.now, len(c.queue))
+	return fmt.Sprintf("vclock{now=%.4f pending=%d}", c.now, c.Pending())
 }

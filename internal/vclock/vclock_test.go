@@ -136,3 +136,53 @@ func TestRNGStreamsIndependentAndStable(t *testing.T) {
 		t.Errorf("stream perturbed by an unrelated consumer: %v != %v", got, first)
 	}
 }
+
+func TestCancelableEvents(t *testing.T) {
+	c := New()
+	var ran []string
+	c.Schedule(1, func() { ran = append(ran, "a") })
+	h := c.ScheduleCancelable(2, func() { ran = append(ran, "cancelled") })
+	c.ScheduleCancelable(3, func() { ran = append(ran, "kept") })
+	if c.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", c.Pending())
+	}
+	h.Cancel()
+	h.Cancel() // idempotent
+	if c.Pending() != 2 {
+		t.Fatalf("Pending after cancel = %d, want 2", c.Pending())
+	}
+	end := c.Run()
+	if end != 3 {
+		t.Errorf("Run ended at %v, want 3 (cancelled event must not set the end time)", end)
+	}
+	if len(ran) != 2 || ran[0] != "a" || ran[1] != "kept" {
+		t.Errorf("ran = %v", ran)
+	}
+}
+
+func TestCancelAllLeavesTimeUntouched(t *testing.T) {
+	// A queue holding only cancelled events is quiescent: Run must not
+	// advance Now to the stale timers' times.
+	c := New()
+	h1 := c.ScheduleCancelable(100, func() { t.Error("cancelled event ran") })
+	h2 := c.ScheduleCancelable(200, func() { t.Error("cancelled event ran") })
+	h1.Cancel()
+	h2.Cancel()
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", c.Pending())
+	}
+	if _, ok := c.NextAt(); ok {
+		t.Error("NextAt reported a cancelled event")
+	}
+	if end := c.Run(); end != 0 {
+		t.Errorf("Run advanced to %v over cancelled events", end)
+	}
+	// RunUntil skips cancelled events and still advances the boundary.
+	c2 := New()
+	h := c2.ScheduleCancelable(5, func() { t.Error("cancelled event ran") })
+	h.Cancel()
+	c2.RunUntil(10)
+	if c2.Now() != 10 {
+		t.Errorf("Now = %v, want 10", c2.Now())
+	}
+}

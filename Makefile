@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet fuzz determinism faultsoak check clean
+.PHONY: all build test race lint fmt vet fuzz determinism faultsoak trace-smoke check clean
 
 all: build
 
@@ -46,6 +46,9 @@ determinism:
 	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/harpbench_w1.json > /tmp/harpbench_w1.norm.json
 	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/harpbench_w4.json > /tmp/harpbench_w4.norm.json
 	diff -u /tmp/harpbench_w1.norm.json /tmp/harpbench_w4.norm.json
+	$(GO) run ./cmd/harpbench -quick -only fig10 -json /tmp/fig10_t1.json -workers 1 -trace /tmp/fig10_t1.jsonl
+	$(GO) run ./cmd/harpbench -quick -only fig10 -json /tmp/fig10_t4.json -workers 4 -trace /tmp/fig10_t4.jsonl
+	cmp /tmp/fig10_t1.jsonl /tmp/fig10_t4.jsonl
 
 # Fault-injection soak: the loss-tolerance test surface under the race
 # detector and the harpdebug invariant hooks, then the loss sweep at two
@@ -58,7 +61,19 @@ faultsoak:
 	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/losssweep_w4.json > /tmp/losssweep_w4.norm.json
 	diff -u /tmp/losssweep_w1.norm.json /tmp/losssweep_w4.norm.json
 
-check: fmt vet lint build test race
+# Trace smoke: a small co-simulation must reproduce the committed golden
+# trace byte-for-byte, and harptrace must digest it (summary, windows and
+# the Chrome/Perfetto conversion). Catches both schedule nondeterminism
+# and exporter format drift in one shot.
+trace-smoke:
+	$(GO) run ./cmd/harpsim -topology fig1 -cosim -slotframes 30 -trace /tmp/harptrace_smoke.jsonl > /dev/null
+	diff -u cmd/harptrace/testdata/smoke.jsonl /tmp/harptrace_smoke.jsonl
+	$(GO) run ./cmd/harptrace summary /tmp/harptrace_smoke.jsonl
+	$(GO) run ./cmd/harptrace windows /tmp/harptrace_smoke.jsonl
+	$(GO) run ./cmd/harptrace chrome -o /tmp/harptrace_smoke_chrome.json /tmp/harptrace_smoke.jsonl
+	jq -e '.traceEvents | length > 0' /tmp/harptrace_smoke_chrome.json > /dev/null
+
+check: fmt vet lint build test race trace-smoke
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,9 @@
 //	harpbench -quick          # reduced repetition counts for a fast pass
 //	harpbench -workers 1      # force the serial path (0 = GOMAXPROCS)
 //	harpbench -json out.json  # also write a machine-readable bench report
+//	harpbench -trace t.jsonl  # record the fig10 co-simulation's protocol trace
+//	harpbench -cpuprofile p   # write a pprof CPU profile of the run
+//	harpbench -memprofile p   # write a pprof heap profile at exit
 //
 // Output is the same rows/series the paper reports, as fixed-width text
 // tables on stdout. With -json, a BENCH_harpbench.json-style report (per-
@@ -22,10 +25,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
 	"github.com/harpnet/harp/internal/experiments"
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/parallel"
 	"github.com/harpnet/harp/internal/stats"
 )
@@ -66,11 +71,41 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced repetitions for a fast pass")
 	workers := flag.Int("workers", 0, "worker count for the parallel sweep engine (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write a machine-readable bench report to this path")
+	tracePath := flag.String("trace", "", "record the fig10 co-simulation's protocol trace to this JSONL path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
 	flag.Parse()
 
 	parallel.SetWorkers(*workers)
 
-	runner := &runner{quick: *quick}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "harpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "harpbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			//harplint:allow errcheck
+			_ = pprof.WriteHeapProfile(f)
+		}()
+	}
+
+	runner := &runner{quick: *quick, trace: *tracePath}
 	all := []struct {
 		name string
 		fn   func() (map[string]float64, error)
@@ -147,6 +182,9 @@ func writeReport(path string, rep report) error {
 
 type runner struct {
 	quick bool
+	// trace is the -trace output path; when set, fig10's measured
+	// co-simulation records its protocol trace there.
+	trace string
 }
 
 func (r *runner) table1() (map[string]float64, error) {
@@ -198,9 +236,17 @@ func (r *runner) fig10() (map[string]float64, error) {
 	// Measured co-simulation (the default path): the disruption window is
 	// the gap between the rate step and the slot the real CoAP exchange
 	// committed its schedule on the shared clock.
-	measured, err := experiments.Fig10(experiments.DefaultFig10())
+	mcfg := experiments.DefaultFig10()
+	mcfg.Trace = r.trace != ""
+	measured, err := experiments.Fig10(mcfg)
 	if err != nil {
 		return nil, err
+	}
+	if r.trace != "" {
+		if err := obs.WriteJSONLFile(r.trace, measured.Trace); err != nil {
+			return nil, err
+		}
+		fmt.Printf("protocol trace written to %s (%d events)\n\n", r.trace, len(measured.Trace))
 	}
 	fmt.Println("co-simulated (measured commit slots):")
 	printFig10Events(measured.Events)
@@ -225,6 +271,7 @@ func (r *runner) fig10() (map[string]float64, error) {
 	metrics := map[string]float64{
 		"max_latency_s":       analytic.MaxLatencySec,
 		"cosim_max_latency_s": measured.MaxLatencySec,
+		"cosim_swap_drops":    float64(measured.SwapDrops),
 	}
 	if n := len(analytic.Events); n > 0 {
 		metrics["last_event_msgs"] = float64(analytic.Events[n-1].Messages)

@@ -299,3 +299,56 @@ func TestHarplintCleanOnOwnModule(t *testing.T) {
 		t.Errorf("unexpected finding: %s", f)
 	}
 }
+
+func TestOutputFlagsTerminalPrints(t *testing.T) {
+	msgs := lintFixture(t, "output", map[string]string{
+		"internal/fx/fx.go": `// Package fx is a fixture.
+package fx
+
+import (
+	"fmt"
+	"log"
+)
+
+// Noisy is an output violation.
+func Noisy(v int) {
+	fmt.Printf("v=%d\n", v)
+	log.Println("v", v)
+}
+
+// Quiet builds a string without touching the terminal and is fine.
+func Quiet(v int) string { return fmt.Sprintf("v=%d", v) }
+
+// Fatalist is an output violation (kills deterministic replay too).
+func Fatalist() { log.Fatal("boom") }
+`,
+	})
+	wantFindings(t, msgs,
+		"fmt.Printf writes to the terminal from a runtime package",
+		"log.Println bypasses the obs registry",
+		"log.Fatal bypasses the obs registry",
+	)
+}
+
+func TestOutputExemptsCommandsAndAllows(t *testing.T) {
+	msgs := lintFixture(t, "output", map[string]string{
+		"cmd/fxtool/main.go": `// Command fxtool is a fixture command.
+package main
+
+import "fmt"
+
+func main() { fmt.Println("commands own their stdout") }
+`,
+		"internal/fy/fy.go": `// Package fy is a fixture with a suppressed print.
+package fy
+
+import "fmt"
+
+// Debug is suppressed in place.
+func Debug() {
+	fmt.Println("dbg") //harplint:allow output
+}
+`,
+	})
+	wantFindings(t, msgs)
+}

@@ -1,7 +1,7 @@
 // Command harplint is the HARP repo's project-specific static analyzer.
 // It type-checks the module with nothing but the standard library (go/ast,
 // go/parser, go/types and a custom module loader — no go/packages) and
-// runs four passes tuned to this codebase's correctness contract:
+// runs five passes tuned to this codebase's correctness contract:
 //
 //	determinism — no wall-clock reads, no global math/rand, no map
 //	              iteration order leaking into scheduling decisions;
@@ -10,7 +10,10 @@
 //	locks       — no copied sync locks, and mutex-guarded struct fields
 //	              only touched under the lock or behind an explicit
 //	              //harplint:locked caller-holds-lock annotation;
-//	docs        — every exported identifier documented.
+//	docs        — every exported identifier documented;
+//	output      — no fmt.Print*/log.Print* terminal output in runtime
+//	              (non-main) packages; observability goes through
+//	              internal/obs instead.
 //
 // Findings are suppressed in place with `//harplint:allow <pass>` on the
 // offending (or preceding) line, or `//harplint:file-allow <pass>` for a
@@ -18,7 +21,7 @@
 //
 // Usage:
 //
-//	harplint [-pass determinism,errcheck,locks,docs] [packages]
+//	harplint [-pass determinism,errcheck,locks,docs,output] [packages]
 //
 // Packages default to ./... relative to the enclosing module.
 package main
@@ -42,6 +45,7 @@ var allPasses = []pass{
 	{passErrcheck, runErrcheck},
 	{passLocks, runLocks},
 	{passDocs, runDocs},
+	{passOutput, runOutput},
 }
 
 func main() {

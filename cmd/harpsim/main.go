@@ -7,6 +7,7 @@
 //	harpsim -topology testbed50 -scheduler harp -slotframes 100
 //	harpsim -nodes 50 -layers 5 -scheduler msf -rate 3 -channels 8
 //	harpsim -topology-file net.json -scheduler ldsf -seed 7
+//	harpsim -topology fig1 -cosim -trace trace.jsonl  # record a protocol trace
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"github.com/harpnet/harp/internal/agent"
 	"github.com/harpnet/harp/internal/cosim"
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/schedulers"
 	"github.com/harpnet/harp/internal/sim"
@@ -44,10 +46,11 @@ func main() {
 		pdr        = flag.Float64("pdr", 1, "per-transmission delivery ratio")
 		seed       = flag.Int64("seed", 1, "random seed")
 		cosimFlag  = flag.Bool("cosim", false, "co-simulate the distributed HARP protocol with the MAC on one shared clock: agents build the schedule over real CoAP exchanges, and a mid-run traffic change measures the disruption window (ignores -scheduler)")
+		tracePath  = flag.String("trace", "", "with -cosim: record the protocol event trace to this JSONL path (analyse with harptrace)")
 	)
 	flag.Parse()
 	if err := run(*topoName, *topoFile, *nodes, *layers, *fanout, *schedName,
-		*rate, *perLink, *slots, *dataSlots, *channels, *slotframes, *pdr, *seed, *cosimFlag); err != nil {
+		*rate, *perLink, *slots, *dataSlots, *channels, *slotframes, *pdr, *seed, *cosimFlag, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "harpsim:", err)
 		os.Exit(1)
 	}
@@ -89,7 +92,7 @@ func pickTopology(name, file string, nodes, layers, fanout int, rng *rand.Rand) 
 }
 
 func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
-	rate float64, perLink bool, slots, dataSlots, channels, slotframes int, pdr float64, seed int64, cosimMode bool) error {
+	rate float64, perLink bool, slots, dataSlots, channels, slotframes int, pdr float64, seed int64, cosimMode bool, tracePath string) error {
 	rng := rand.New(rand.NewSource(seed))
 	tree, err := pickTopology(topoName, topoFile, nodes, layers, fanout, rng)
 	if err != nil {
@@ -115,7 +118,10 @@ func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
 	}
 
 	if cosimMode {
-		return runCoSim(tree, frame, tasks, demand, slotframes, pdr, seed)
+		return runCoSim(tree, frame, tasks, demand, slotframes, pdr, seed, tracePath)
+	}
+	if tracePath != "" {
+		return fmt.Errorf("-trace requires -cosim (only the protocol co-simulation is traced)")
 	}
 
 	sched, err := pickScheduler(schedName)
@@ -173,10 +179,10 @@ func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
 // window is the measured gap between the traffic change and the slot the
 // protocol commits the adjusted schedule.
 func runCoSim(tree *topology.Tree, frame schedule.Slotframe, tasks *traffic.Set,
-	demand *traffic.Demand, slotframes int, pdr float64, seed int64) error {
+	demand *traffic.Demand, slotframes int, pdr float64, seed int64, tracePath string) error {
 	cs, err := cosim.New(cosim.Config{
 		Tree: tree, Frame: frame, Tasks: tasks, Demand: demand,
-		PDR: pdr, Seed: seed,
+		PDR: pdr, Seed: seed, Trace: tracePath != "",
 	})
 	if err != nil {
 		return err
@@ -184,7 +190,7 @@ func runCoSim(tree *topology.Tree, frame schedule.Slotframe, tasks *traffic.Set,
 	fmt.Printf("topology: %d nodes, %d layers; distributed HARP fleet on a shared virtual clock\n",
 		tree.Len(), tree.MaxLayer())
 	fmt.Printf("static phase: %d protocol messages, converged at t=%.1f slots\n",
-		cs.Bus.Delivered, cs.Clock.Now())
+		cs.Bus.Delivered(), cs.Clock.Now())
 
 	// Pick the deepest node (lowest ID on ties) and raise its uplink
 	// demand mid-run, exercising the full escalation path.
@@ -234,6 +240,13 @@ func runCoSim(tree *topology.Tree, frame schedule.Slotframe, tasks *traffic.Set,
 	}
 	if !cs.Quiesced() {
 		fmt.Println("adjustment still in flight at run end")
+	}
+	if tracePath != "" {
+		events := cs.Tracer.Events()
+		if err := obs.WriteJSONLFile(tracePath, events); err != nil {
+			return err
+		}
+		fmt.Printf("protocol trace written to %s (%d events)\n", tracePath, len(events))
 	}
 	return nil
 }

@@ -1,0 +1,125 @@
+// Command harptrace analyses the virtual-time protocol traces recorded by
+// harpsim/harpbench -trace (JSONL, one obs.Event per line).
+//
+// Usage:
+//
+//	harptrace summary trace.jsonl             # per-kind event counts
+//	harptrace windows trace.jsonl             # disruption windows with per-layer phases
+//	harptrace chrome -o out.json trace.jsonl  # convert to Chrome trace format (Perfetto)
+//	harptrace cat [filters] trace.jsonl       # print matching events
+//
+// Filters (cat, summary, windows):
+//
+//	-node N      only events touching node N (either endpoint)
+//	-layer L     only events on hierarchy layer L
+//	-kind K      only kinds matching K exactly or by layer prefix ("coap");
+//	             repeatable as a comma-separated list
+//	-from/-to V  virtual-time window [from, to] in slots
+//
+// The windows subcommand reconstructs each dynamic adjustment from its
+// cosim.trigger/cosim.commit pair and reports the measured disruption
+// window in slots, seconds and slotframes — the same quantity the
+// committed cosim_disruption_s bench metric carries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"github.com/harpnet/harp/internal/obs"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: harptrace <summary|windows|chrome|cat> [flags] trace.jsonl\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet("harptrace "+cmd, flag.ExitOnError)
+	node := fs.Int("node", obs.None, "only events touching this node")
+	layer := fs.Int("layer", obs.None, "only events on this hierarchy layer")
+	kinds := fs.String("kind", "", "comma-separated kinds or layer prefixes to keep")
+	from := fs.Float64("from", math.Inf(-1), "minimum virtual time (slots)")
+	to := fs.Float64("to", math.Inf(1), "maximum virtual time (slots)")
+	out := fs.String("o", "", "output path (chrome; default stdout)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		usage()
+	}
+	events, err := obs.ReadJSONLFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harptrace: %v\n", err)
+		os.Exit(1)
+	}
+	meta, hasMeta := obs.TraceMeta(events)
+
+	f := obs.NewFilter()
+	f.Node = *node
+	f.Layer = *layer
+	f.MinVT = *from
+	f.MaxVT = *to
+	if *kinds != "" {
+		f.Kinds = strings.Split(*kinds, ",")
+	}
+	filtered := f.Apply(events)
+
+	switch cmd {
+	case "summary":
+		fmt.Printf("%d events (%d after filters)\n", len(events), len(filtered))
+		if hasMeta {
+			fmt.Printf("timebase: %d slots/frame, %gs/slot, %d nodes\n",
+				meta.SlotsPerFrame, meta.SlotSeconds, meta.Nodes)
+		}
+		for _, kc := range obs.Summarize(filtered) {
+			fmt.Printf("%8d  %s\n", kc.Count, kc.Kind)
+		}
+	case "windows":
+		wins := obs.Windows(filtered)
+		if len(wins) == 0 {
+			fmt.Println("no complete trigger/commit windows in trace")
+			return
+		}
+		for i, w := range wins {
+			fmt.Printf("window %d: trigger slot %d -> commit slot %d = %d slots",
+				i+1, w.TriggerSlot, w.CommitSlot, w.Slots)
+			if hasMeta {
+				fmt.Printf(" (%.2fs, %d slotframes)", w.Seconds(meta), w.Slotframes(meta))
+			}
+			fmt.Printf(", %d events\n", w.Events)
+			for _, p := range w.Phases {
+				fmt.Printf("  %-6s %5d events  vt %.1f .. %.1f\n", p.Layer, p.Count, p.FirstVT, p.LastVT)
+			}
+		}
+	case "chrome":
+		dst := os.Stdout
+		if *out != "" {
+			fd, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "harptrace: %v\n", err)
+				os.Exit(1)
+			}
+			defer fd.Close()
+			dst = fd
+		}
+		if err := obs.WriteChrome(dst, filtered); err != nil {
+			fmt.Fprintf(os.Stderr, "harptrace: %v\n", err)
+			os.Exit(1)
+		}
+	case "cat":
+		if err := obs.WriteJSONL(os.Stdout, filtered); err != nil {
+			fmt.Fprintf(os.Stderr, "harptrace: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}

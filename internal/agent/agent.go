@@ -17,6 +17,7 @@ import (
 
 	"github.com/harpnet/harp/internal/coap"
 	"github.com/harpnet/harp/internal/core"
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/proto"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/topology"
@@ -135,6 +136,12 @@ type Node struct {
 	// Rejections counts adjustment requests the node (as gateway) could not
 	// satisfy.
 	Rejections int
+
+	// tracer and metrics are the deployment's observability sinks
+	// (WithTracer, WithMetrics). Both are nil-safe: the zero value means
+	// disabled.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 //harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
@@ -153,6 +160,15 @@ func (n *Node) nextMsgID() uint16 {
 
 //harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) isGateway() bool { return n.parent == topology.None }
+
+// reject counts an adjustment the node could not satisfy, in both the
+// legacy field and the metrics registry.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
+func (n *Node) reject() {
+	n.Rejections++
+	n.metrics.Inc(obs.NodeKey(int(n.id), obs.MetricRejections))
+}
 
 // send builds and transmits a CoAP request carrying a HARP payload.
 //
@@ -213,8 +229,12 @@ func (n *Node) HandleSendFailure(to topology.NodeID, msg coap.Message) {
 	defer n.mu.Unlock()
 	switch {
 	case msg.Code == coap.PUT && msg.Path() == proto.PathInterface:
-		n.Rejections++
+		n.reject()
 		if m, err := proto.DecodeAdjustRequest(msg.Payload); err == nil {
+			if tr := n.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindAgentUnwind).WithNode(int(n.id)).WithPeer(int(to)).
+					WithLayer(m.Layer).WithDetail(m.Direction.String()))
+			}
 			st := n.dir(m.Direction)
 			if m.Layer == n.ownLayer {
 				// A dead own-layer escalation: the grant will never come,
@@ -235,7 +255,7 @@ func (n *Node) HandleSendFailure(to topology.NodeID, msg coap.Message) {
 			}
 		}
 	case msg.Code == coap.POST && msg.Path() == proto.PathInterface:
-		n.Rejections++ // interface report lost: the parent is unreachable
+		n.reject() // interface report lost: the parent is unreachable
 	}
 }
 
@@ -295,6 +315,12 @@ func (n *Node) computeAndForwardInterface() {
 		report.Down.OwnDemand = n.joinDemand[topology.Downlink]
 		n.joining = false
 	}
+	if tr := n.tracer; tr.Enabled() {
+		sp := tr.Emit(obs.Ev(obs.KindAgentReport).WithNode(int(n.id)).WithPeer(int(n.parent)).
+			WithLayer(n.ownLayer).WithDetail(fmt.Sprintf("join=%t", report.Join)))
+		tr.Push(sp)
+		defer tr.Pop()
+	}
 	n.send(n.parent, coap.POST, proto.PathInterface, proto.EncodeInterfaceReport(report))
 }
 
@@ -341,7 +367,7 @@ func (n *Node) allocateRoot() {
 	down := core.Interface{Owner: n.id, FirstLayer: n.dir(topology.Downlink).iface.FirstLayer, Comps: n.dir(topology.Downlink).iface.Comps}
 	alloc, err := core.AllocateRoot(up, down, n.frame, false, n.rootGap)
 	if err != nil {
-		n.Rejections++
+		n.reject()
 		return
 	}
 	for dl, region := range alloc.Partitions {
@@ -468,6 +494,10 @@ func (n *Node) assignOwn(d topology.Direction) {
 	}
 	for _, c := range n.children {
 		if !cellsEqual(st.assignment[c], next[c]) {
+			if tr := n.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindAgentAssign).WithNode(int(n.id)).WithPeer(int(c)).
+					WithLayer(n.ownLayer).WithDetail(fmt.Sprintf("%s cells=%d", d, len(next[c]))))
+			}
 			n.send(c, coap.POST, proto.PathSchedule, proto.EncodeScheduleNotice(proto.ScheduleNotice{
 				Direction: d, Cells: next[c],
 			}))
@@ -630,11 +660,22 @@ func (n *Node) applyChildDemand(child topology.NodeID, d topology.Direction, cel
 //
 //harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
 func (n *Node) escalate(d topology.Direction, layer int, comp core.Component) {
+	n.metrics.Inc(obs.LayerKey(int(n.id), layer, obs.MetricEscalations))
 	if n.isGateway() {
+		if tr := n.tracer; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.KindAgentEscalate).WithNode(int(n.id)).WithLayer(layer).
+				WithDetail(fmt.Sprintf("%s root-widen slots=%d ch=%d", d, comp.Slots, comp.Channels)))
+		}
 		if !n.rootWiden(d, layer, comp) {
-			n.Rejections++
+			n.reject()
 		}
 		return
+	}
+	if tr := n.tracer; tr.Enabled() {
+		sp := tr.Emit(obs.Ev(obs.KindAgentEscalate).WithNode(int(n.id)).WithPeer(int(n.parent)).
+			WithLayer(layer).WithDetail(fmt.Sprintf("%s slots=%d ch=%d", d, comp.Slots, comp.Channels)))
+		tr.Push(sp)
+		defer tr.Pop()
 	}
 	n.send(n.parent, coap.PUT, proto.PathInterface, proto.EncodeAdjustRequest(proto.AdjustRequest{
 		Origin: n.id, Direction: d, Layer: layer, Comp: comp,
@@ -728,7 +769,7 @@ func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, la
 	if n.isGateway() {
 		// End of the line: extend the layer partition in place.
 		if !n.rootHost(d, layer, from, comp) {
-			n.Rejections++
+			n.reject()
 		}
 		return
 	}
@@ -746,7 +787,7 @@ func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, la
 	}
 	grown, layout, ok := core.MinimalExtension(hostComp, st.layouts[layer], st.childComps[layer], from, comp, n.frame.Channels)
 	if !ok {
-		n.Rejections++
+		n.reject()
 		return
 	}
 	st.pendingComps[layer] = merged
@@ -763,6 +804,9 @@ func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, la
 func (n *Node) onChildLeave(from topology.NodeID) {
 	if !containsNode(n.children, from) {
 		return
+	}
+	if tr := n.tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindAgentLeave).WithNode(int(n.id)).WithPeer(int(from)))
 	}
 	n.children = removeNode(n.children, from)
 	n.nonLeaf = removeNode(n.nonLeaf, from)
@@ -795,6 +839,10 @@ func (n *Node) onChildJoin(m proto.InterfaceReport) {
 	// (a reparented node arrives unknown): after hosting it, re-send the
 	// state its reboot lost, which the send-dedup caches would suppress.
 	rejoining := containsNode(n.children, m.Owner)
+	if tr := n.tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindAgentJoin).WithNode(int(n.id)).WithPeer(int(m.Owner)).
+			WithDetail(fmt.Sprintf("rejoin=%t", rejoining)))
+	}
 	if !rejoining {
 		n.children = insertNode(n.children, m.Owner)
 	}
@@ -1030,11 +1078,19 @@ func (n *Node) onPartitionUpdate(m proto.PartitionUpdate) {
 func (n *Node) applyPartition(d topology.Direction, layer int, region schedule.Region) {
 	st := n.dir(d)
 	st.parts[layer] = region
+	if tr := n.tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindAgentGrant).WithNode(int(n.id)).WithLayer(layer).
+			WithDetail(fmt.Sprintf("%s slot=%d slots=%d ch=%d", d, region.Slot, region.Slots, region.Channels)))
+	}
 	if pl, ok := st.pendingLayouts[layer]; ok {
 		st.layouts[layer] = pl
 		st.childComps[layer] = st.pendingComps[layer]
 		delete(st.pendingLayouts, layer)
 		delete(st.pendingComps, layer)
+		n.metrics.Inc(obs.NodeKey(int(n.id), obs.MetricCommits))
+		if tr := n.tracer; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.KindAgentCommit).WithNode(int(n.id)).WithLayer(layer).WithDetail(d.String()))
+		}
 	}
 	if layer == n.ownLayer {
 		// The grant commits any provisionally raised link demands.

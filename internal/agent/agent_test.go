@@ -159,7 +159,7 @@ func TestDynamicLocalAdjustment(t *testing.T) {
 		t.Fatal(err)
 	}
 	if bus.Count(coap.PUT, "intf") != 0 || bus.Count(coap.PUT, "part") != 0 {
-		t.Errorf("local adjustment sent partition messages: %v", bus.MessageCount)
+		t.Errorf("local adjustment sent partition messages: %v", bus.CountKeys())
 	}
 	if bus.Count(coap.POST, "sched") == 0 {
 		t.Error("no schedule notifications after local adjustment")

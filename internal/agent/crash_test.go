@@ -99,8 +99,8 @@ func TestCrashedNodeRecoversViaRejoin(t *testing.T) {
 			if _, err := bus.Run(); err != nil {
 				t.Fatal(err)
 			}
-			if bus.Faults.GiveUps == 0 {
-				t.Fatalf("no give-ups sending into a crashed node: %+v", bus.Faults)
+			if bus.Faults().GiveUps == 0 {
+				t.Fatalf("no give-ups sending into a crashed node: %+v", bus.Faults())
 			}
 			if fleet.Rejections() <= before {
 				t.Fatalf("dead-parent escalation not counted as a rejection (rejections=%d)", fleet.Rejections())

@@ -104,7 +104,7 @@ func TestHandlersIdempotentUnderDuplicateDelivery(t *testing.T) {
 					t.Fatalf("step %d: %v", i, err)
 				}
 			}
-			if bus.Faults.Duplicated == 0 {
+			if bus.Faults().Duplicated == 0 {
 				t.Fatal("duplication faults never fired")
 			}
 		})
@@ -144,7 +144,7 @@ func TestReliabilitySuppressesDuplicatesFleetWide(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareToPlan(t, fleet, plan)
-	if bus.Faults.DuplicatesSuppressed == 0 {
+	if bus.Faults().DuplicatesSuppressed == 0 {
 		t.Error("dedup cache suppressed nothing on a duplicating channel")
 	}
 	if bus.Pending() != 0 {
@@ -184,14 +184,14 @@ func TestStaticPhaseConvergesUnderLoss(t *testing.T) {
 	if _, err := bus.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if bus.Faults.GiveUps > 0 {
-		t.Fatalf("give-ups at drop 0.1 seed 12: %+v", bus.Faults)
+	if bus.Faults().GiveUps > 0 {
+		t.Fatalf("give-ups at drop 0.1 seed 12: %+v", bus.Faults())
 	}
 	compareToPlan(t, fleet, plan)
 	if err := fleet.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if bus.Faults.Retransmissions == 0 {
+	if bus.Faults().Retransmissions == 0 {
 		t.Error("loss exercised no retransmissions")
 	}
 }

@@ -3,6 +3,7 @@ package agent
 import (
 	"fmt"
 
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/traffic"
@@ -23,6 +24,8 @@ type DeployOption func(*deployConfig)
 
 type deployConfig struct {
 	rootGap int
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // WithRootGap makes the gateway leave the given number of idle slots
@@ -30,6 +33,20 @@ type deployConfig struct {
 // without shifting (and re-signalling) its successors.
 func WithRootGap(slots int) DeployOption {
 	return func(c *deployConfig) { c.rootGap = slots }
+}
+
+// WithTracer attaches an observability tracer to every deployed agent.
+// Agents emit agent.* events for protocol transitions (reports, grants,
+// escalations, commits, joins). A nil tracer disables tracing.
+func WithTracer(t *obs.Tracer) DeployOption {
+	return func(c *deployConfig) { c.tracer = t }
+}
+
+// WithMetrics attaches a metrics registry to every deployed agent. Agents
+// count escalations, commits and rejections into it. A nil registry
+// disables the counters.
+func WithMetrics(r *obs.Registry) DeployOption {
+	return func(c *deployConfig) { c.metrics = r }
 }
 
 // Deploy builds the agents for every node of the tree, loads the link
@@ -81,6 +98,8 @@ func Deploy(tree *topology.Tree, frame schedule.Slotframe, demand *traffic.Deman
 			frame:    frame,
 			rootGap:  cfg.rootGap,
 			net:      net,
+			tracer:   cfg.tracer,
+			metrics:  cfg.metrics,
 			dirs:     [2]*dirState{newDirState(), newDirState()},
 		}
 		// Load the demands of the links between this node and its children.

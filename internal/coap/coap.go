@@ -130,6 +130,23 @@ func NewRequest(t Type, method Code, messageID uint16, path ...string) Message {
 	return m
 }
 
+// PathSegment returns the message's sole Uri-Path segment without
+// copying, and whether the message has exactly one segment (every
+// Table I message does). Callers must not retain or mutate the slice;
+// it aliases the option value. This is the transport's allocation-free
+// counting fast path — Path() allocates on every call.
+func (m Message) PathSegment() ([]byte, bool) {
+	var seg []byte
+	n := 0
+	for _, o := range m.Options {
+		if o.Number == OptionUriPath {
+			n++
+			seg = o.Value
+		}
+	}
+	return seg, n == 1
+}
+
 // Path returns the Uri-Path of the message joined with '/'.
 func (m Message) Path() string {
 	var segs []string

@@ -19,6 +19,7 @@ import (
 	"github.com/harpnet/harp/internal/agent"
 	"github.com/harpnet/harp/internal/coap"
 	"github.com/harpnet/harp/internal/invariant"
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/proto"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/sim"
@@ -68,6 +69,11 @@ type Config struct {
 	// CON exchange exhausts MAX_RETRANSMIT): New returns the co-sim with
 	// StaticConverged=false instead of an error.
 	TolerateStaticLoss bool
+
+	// Trace records a causal virtual-time event trace of the whole run
+	// (transport, agents, MAC, triggers and commits) on CoSim.Tracer.
+	// Off by default: the hot paths then pay one nil check per hook.
+	Trace bool
 }
 
 // Commit records one control-plane adjustment observed end to end: the
@@ -102,10 +108,13 @@ type CoSim struct {
 	Bus   *transport.Bus
 	Fleet *agent.Fleet
 	Sim   *sim.Simulator
+	// Tracer is the run's event tracer (nil unless Config.Trace).
+	Tracer *obs.Tracer
 
-	frame   schedule.Slotframe
-	pending bool // an adjustment awaits protocol quiescence
-	trigger int  // slot of the pending adjustment's injection
+	frame       schedule.Slotframe
+	pending     bool   // an adjustment awaits protocol quiescence
+	trigger     int    // slot of the pending adjustment's injection
+	triggerSpan uint64 // trace span of the pending trigger event
 	// Commits holds every committed adjustment in order.
 	Commits []Commit
 	// StaticConverged reports whether the static phase produced a valid
@@ -138,6 +147,16 @@ func New(cfg Config) (*CoSim, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tracer *obs.Tracer
+	if cfg.Trace {
+		tracer = obs.NewTracer(clock)
+		bus.SetTracer(tracer)
+		tracer.Emit(obs.Ev(obs.KindMeta).WithDetail(obs.Meta{
+			SlotsPerFrame: cfg.Frame.Slots,
+			SlotSeconds:   cfg.Frame.SlotDuration.Seconds(),
+			Nodes:         cfg.Tree.Len(),
+		}.Detail()))
+	}
 	if cfg.Reliable {
 		bus.EnableReliability(cfg.Seed)
 	}
@@ -154,7 +173,8 @@ func New(cfg Config) (*CoSim, error) {
 		}
 		bus.SetFaults(transport.FaultConfig{Drop: drop, Dup: cfg.ControlDup, Seed: cfg.ControlFaultSeed})
 	}
-	fleet, err := agent.Deploy(cfg.Tree, cfg.Frame, demand, bus, agent.WithRootGap(cfg.RootGap))
+	fleet, err := agent.Deploy(cfg.Tree, cfg.Frame, demand, bus,
+		agent.WithRootGap(cfg.RootGap), agent.WithTracer(tracer), agent.WithMetrics(bus.Metrics()))
 	if err != nil {
 		return nil, err
 	}
@@ -169,13 +189,13 @@ func New(cfg Config) (*CoSim, error) {
 		}
 		staticConverged = false
 	}
-	if staticConverged && bus.Faults.GiveUps > 0 {
+	if staticConverged && bus.Faults().GiveUps > 0 {
 		// Every schedule cell may be in place, but an abandoned exchange
 		// means some agent state was withdrawn mid-protocol: treat the run
 		// as non-converged for reporting.
 		staticConverged = false
 		if !cfg.TolerateStaticLoss {
-			return nil, fmt.Errorf("cosim: static phase gave up %d exchanges", bus.Faults.GiveUps)
+			return nil, fmt.Errorf("cosim: static phase gave up %d exchanges", bus.Faults().GiveUps)
 		}
 	}
 	if debugChecks && staticConverged {
@@ -207,12 +227,14 @@ func New(cfg Config) (*CoSim, error) {
 	if err != nil {
 		return nil, err
 	}
+	mac.SetTracer(tracer)
+	mac.SetMetrics(bus.Metrics())
 	mac.SetSchedule(sched)
 	if err := mac.BindClock(clock); err != nil {
 		return nil, err
 	}
 	cs := &CoSim{
-		Clock: clock, Bus: bus, Fleet: fleet, Sim: mac, frame: cfg.Frame,
+		Clock: clock, Bus: bus, Fleet: fleet, Sim: mac, Tracer: tracer, frame: cfg.Frame,
 		StaticConverged: staticConverged,
 		tolerateLoss:    cfg.TolerateStaticLoss,
 	}
@@ -248,14 +270,22 @@ func (cs *CoSim) observe() {
 		panic(fmt.Sprintf("cosim: building committed schedule: %v", err))
 	}
 	cs.Sim.SetSchedule(sched)
-	cs.Commits = append(cs.Commits, Commit{
+	cm := Commit{
 		TriggerSlot:      cs.trigger,
 		CommitSlot:       cs.Sim.Now(),
-		Messages:         cs.Bus.Delivered,
+		Messages:         cs.Bus.Delivered(),
 		Requests:         cs.Bus.Count(coap.PUT, proto.PathInterface),
 		ScheduleMessages: cs.Bus.Count(coap.POST, proto.PathSchedule),
-		Participants:     len(cs.Bus.Participants),
-	})
+		Participants:     cs.Bus.ParticipantCount(),
+	}
+	cs.Commits = append(cs.Commits, cm)
+	cs.Bus.Metrics().Observe(obs.Key(obs.MetricDisruptionSlots), float64(cm.CommitSlot-cm.TriggerSlot))
+	if tr := cs.Tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindCosimCommit).WithSlot(cm.CommitSlot, obs.None).
+			WithParent(cs.triggerSpan).
+			WithDetail(fmt.Sprintf("msgs=%d requests=%d sched=%d", cm.Messages, cm.Requests, cm.ScheduleMessages)))
+	}
+	cs.triggerSpan = 0
 }
 
 // Adjust injects a traffic change: message counters reset, fn issues the
@@ -269,6 +299,14 @@ func (cs *CoSim) Adjust(fn func(*agent.Fleet) error) error {
 	}
 	cs.Bus.ResetCounters()
 	cs.trigger = cs.Sim.Now()
+	if tr := cs.Tracer; tr.Enabled() {
+		// The trigger span parents everything the adjustment causes: the
+		// demand-request sends fn makes chain off it, and the eventual
+		// cosim.commit names it — the causal chain harptrace replays.
+		cs.triggerSpan = tr.Emit(obs.Ev(obs.KindCosimTrigger).WithSlot(cs.trigger, obs.None))
+		tr.Push(cs.triggerSpan)
+		defer tr.Pop()
+	}
 	if err := fn(cs.Fleet); err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"github.com/harpnet/harp/internal/agent"
 	"github.com/harpnet/harp/internal/core"
 	"github.com/harpnet/harp/internal/cosim"
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/sim"
 	"github.com/harpnet/harp/internal/stats"
@@ -30,6 +31,10 @@ type Fig10Config struct {
 	TotalSlotframes int
 	PDR             float64
 	Seed            int64
+	// Trace enables protocol tracing on the measured co-simulation; the
+	// causal event trace lands in Fig10Result.Trace. Ignored by the
+	// analytic ablation (there is no protocol exchange to trace).
+	Trace bool
 	// Analytic selects the ablation: instead of co-simulating the real
 	// protocol exchange, the adjustment runs on a centralized plan and the
 	// schedule swap is delayed by the §VI-A half-slotframe-per-message
@@ -78,6 +83,12 @@ type Fig10Result struct {
 	// MaxLatencySec is the worst packet latency observed (the spike of the
 	// second adjustment).
 	MaxLatencySec float64
+	// SwapDrops counts packets stranded by mid-run schedule swaps
+	// (measured mode only).
+	SwapDrops int
+	// Trace is the causal protocol event trace (measured mode with
+	// Fig10Config.Trace set; nil otherwise).
+	Trace []obs.Event
 }
 
 // fig10Provisioning returns the scenario's task set and provisioned
@@ -148,6 +159,7 @@ func fig10Measured(cfg Fig10Config, tree *topology.Tree, frame schedule.Slotfram
 		PDR:     cfg.PDR,
 		Seed:    cfg.Seed,
 		RootGap: 2,
+		Trace:   cfg.Trace,
 	})
 	if err != nil {
 		return Fig10Result{}, err
@@ -224,7 +236,10 @@ func fig10Measured(cfg Fig10Config, tree *topology.Tree, frame schedule.Slotfram
 		}
 		events = append(events, ev)
 	}
-	return fig10Trace(cfg, cs.Sim.Records(), frame, events), nil
+	res := fig10Trace(cfg, cs.Sim.Records(), frame, events)
+	res.SwapDrops = cs.Sim.SwapDrops
+	res.Trace = cs.Tracer.Events()
+	return res, nil
 }
 
 // fig10Analytic is the labelled ablation: the adjustment runs on a

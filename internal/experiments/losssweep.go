@@ -5,6 +5,7 @@ import (
 
 	"github.com/harpnet/harp/internal/agent"
 	"github.com/harpnet/harp/internal/cosim"
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/parallel"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/stats"
@@ -35,6 +36,10 @@ type LossSweepConfig struct {
 	// plane only, so the MAC stays clean by default).
 	DataPDR float64
 	Seed    int64
+	// Trace enables protocol tracing; per-point traces land in
+	// LossSweepResult.Trace concatenated in PDR order, so the bytes are
+	// independent of the worker count.
+	Trace bool
 }
 
 // DefaultLossSweep returns the committed baseline scenario.
@@ -84,16 +89,20 @@ type LossSweepPoint struct {
 type LossSweepResult struct {
 	Points []LossSweepPoint
 	Table  *stats.Table
+	// Trace is the concatenated per-point protocol trace (with
+	// LossSweepConfig.Trace set; nil otherwise). Points appear in PDR
+	// order regardless of the worker count.
+	Trace []obs.Event
 }
 
 // lossSweepRun drives one PDR point and returns the point plus the final
-// schedule for cross-point comparison.
-func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.Schedule, error) {
+// schedule for cross-point comparison, and the point's protocol trace.
+func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.Schedule, []obs.Event, error) {
 	tree := topology.Testbed50()
 	frame := TestbedSlotframe()
 	tasks, inflated, _, err := fig10Provisioning(tree, cfg.Node)
 	if err != nil {
-		return LossSweepPoint{}, nil, err
+		return LossSweepPoint{}, nil, nil, err
 	}
 	cs, err := cosim.New(cosim.Config{
 		Tree:               tree,
@@ -107,15 +116,17 @@ func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.S
 		ControlFaultSeed:   cfg.Seed + int64(pdr*1000),
 		Reliable:           true,
 		TolerateStaticLoss: true,
+		Trace:              cfg.Trace,
 	})
 	if err != nil {
-		return LossSweepPoint{}, nil, err
+		return LossSweepPoint{}, nil, nil, err
 	}
+	static := cs.Bus.Faults()
 	pt := LossSweepPoint{
 		PDR:                   pdr,
 		StaticConverged:       cs.StaticConverged,
-		StaticRetransmissions: cs.Bus.Faults.Retransmissions,
-		StaticDropped:         cs.Bus.Faults.Dropped,
+		StaticRetransmissions: static.Retransmissions,
+		StaticDropped:         static.Dropped,
 		ConvergenceSlotframes: -1,
 	}
 
@@ -145,14 +156,15 @@ func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.S
 		})
 	})
 	if err := cs.RunSlotframes(cfg.TotalSlotframes); err != nil {
-		return LossSweepPoint{}, nil, err
+		return LossSweepPoint{}, nil, nil, err
 	}
 
 	// Adjust reset the counters, so Faults now covers the adjustment alone.
-	pt.Retransmissions = cs.Bus.Faults.Retransmissions
-	pt.Dropped = cs.Bus.Faults.Dropped
-	pt.DuplicatesSuppressed = cs.Bus.Faults.DuplicatesSuppressed
-	pt.GiveUps = cs.Bus.Faults.GiveUps
+	dynamic := cs.Bus.Faults()
+	pt.Retransmissions = dynamic.Retransmissions
+	pt.Dropped = dynamic.Dropped
+	pt.DuplicatesSuppressed = dynamic.DuplicatesSuppressed
+	pt.GiveUps = dynamic.GiveUps
 	if len(cs.Commits) > 0 {
 		cm := cs.Commits[len(cs.Commits)-1]
 		pt.Committed = true
@@ -163,9 +175,9 @@ func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.S
 	if err != nil {
 		// A non-converged endpoint has no comparable schedule; the point
 		// still reports its loss counters.
-		return pt, nil, nil
+		return pt, nil, cs.Tracer.Events(), nil
 	}
-	return pt, sched, nil
+	return pt, sched, cs.Tracer.Events(), nil
 }
 
 // LossSweep runs the sweep, one co-simulation per PDR point (parallel over
@@ -178,10 +190,11 @@ func LossSweep(cfg LossSweepConfig) (LossSweepResult, error) {
 	type outcome struct {
 		pt    LossSweepPoint
 		sched *schedule.Schedule
+		trace []obs.Event
 	}
 	outs, err := parallel.Map(len(cfg.PDRs), func(i int) (outcome, error) {
-		pt, sched, err := lossSweepRun(cfg, cfg.PDRs[i])
-		return outcome{pt: pt, sched: sched}, err
+		pt, sched, trace, err := lossSweepRun(cfg, cfg.PDRs[i])
+		return outcome{pt: pt, sched: sched, trace: trace}, err
 	})
 	if err != nil {
 		return LossSweepResult{}, err
@@ -203,6 +216,7 @@ func LossSweep(cfg LossSweepConfig) (LossSweepResult, error) {
 		pt := o.pt
 		pt.MatchesLossless = ref != nil && o.sched != nil && schedulesEqual(o.sched, ref)
 		res.Points = append(res.Points, pt)
+		res.Trace = append(res.Trace, o.trace...)
 		table.AddRow(
 			fmt.Sprintf("%.2f", pt.PDR),
 			fmt.Sprintf("%t", pt.StaticConverged),

@@ -155,9 +155,9 @@ func TableII(cfg TableIIConfig) (TableIIResult, error) {
 		requests := bus.Count(coap.PUT, proto.PathInterface)
 		rows = append(rows, TableIIRow{
 			Event:            fmt.Sprintf("r(%v) -> %d", ev.Link, ev.NewDemand),
-			Nodes:            len(bus.Participants),
+			Nodes:            bus.ParticipantCount(),
 			Layers:           requests,
-			Messages:         bus.Delivered,
+			Messages:         bus.Delivered(),
 			ScheduleMessages: bus.Count(coap.POST, proto.PathSchedule),
 			TimeSec:          elapsed * frame.SlotDuration.Seconds(),
 			Slotframes:       int(math.Ceil(elapsed / float64(frame.Slots))),

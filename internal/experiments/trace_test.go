@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/harpnet/harp/internal/obs"
+)
+
+// TestLossSweepTraceWorkerIndependent is the tracing determinism contract:
+// the concatenated protocol trace of a parallel sweep must be byte-identical
+// between worker counts. Each point owns its clock and tracer; the sweep
+// concatenates per-point traces in PDR (index) order, so goroutine
+// interleaving cannot reorder events.
+func TestLossSweepTraceWorkerIndependent(t *testing.T) {
+	cfg := smallLossSweep()
+	cfg.TotalSlotframes = 60
+	cfg.Trace = true
+	var serial, parallel4 []obs.Event
+	withWorkers(t, 1, func() {
+		res, err := LossSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = res.Trace
+	})
+	withWorkers(t, 4, func() {
+		res, err := LossSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel4 = res.Trace
+	})
+	if len(serial) == 0 {
+		t.Fatal("trace-enabled sweep recorded no events")
+	}
+	var bufS, bufP bytes.Buffer
+	if err := obs.WriteJSONL(&bufS, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(&bufP, parallel4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufS.Bytes(), bufP.Bytes()) {
+		t.Errorf("trace bytes differ between worker counts: serial %d bytes, parallel %d bytes",
+			bufS.Len(), bufP.Len())
+	}
+}
+
+// TestFig10TraceReconstructsDisruptionWindow closes the observability loop:
+// the disruption windows reconstructed from the recorded trace alone must
+// match the co-simulation's own commit bookkeeping — the numbers behind the
+// committed cosim_disruption_s bench metric.
+func TestFig10TraceReconstructsDisruptionWindow(t *testing.T) {
+	cfg := DefaultFig10()
+	cfg.Trace = true
+	res, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace-enabled fig10 recorded no events")
+	}
+	meta, ok := obs.TraceMeta(res.Trace)
+	if !ok {
+		t.Fatal("trace has no trace.meta timebase event")
+	}
+	frame := TestbedSlotframe()
+	if meta.SlotsPerFrame != frame.Slots || meta.SlotSeconds != frame.SlotDuration.Seconds() {
+		t.Errorf("trace timebase %+v does not match the testbed slotframe", meta)
+	}
+	wins := obs.Windows(res.Trace)
+	var committed []Fig10Event
+	for _, ev := range res.Events {
+		if ev.Case != "uncommitted" {
+			committed = append(committed, ev)
+		}
+	}
+	if len(wins) != len(committed) {
+		t.Fatalf("reconstructed %d windows, co-simulation committed %d", len(wins), len(committed))
+	}
+	for i, w := range wins {
+		ev := committed[i]
+		if w.CommitSlot != ev.CommitSlot {
+			t.Errorf("window %d commit slot %d != event commit slot %d", i, w.CommitSlot, ev.CommitSlot)
+		}
+		if got, want := w.Seconds(meta), ev.DelaySec; got != want {
+			t.Errorf("window %d disruption %.4fs != event delay %.4fs", i, got, want)
+		}
+		if got, want := w.Slotframes(meta), ev.Slotframes; got != want {
+			t.Errorf("window %d slotframes %d != event slotframes %d", i, got, want)
+		}
+		if w.Events == 0 {
+			t.Errorf("window %d reconstructed with no protocol events inside", i)
+		}
+	}
+	// The adjustment replays as a causal chain: the escalated step's window
+	// must contain control-plane activity on more than one layer.
+	last := wins[len(wins)-1]
+	if len(last.Phases) < 2 {
+		t.Errorf("escalated adjustment window has %d phase(s), want >= 2 (got %+v)",
+			len(last.Phases), last.Phases)
+	}
+}
+
+// TestFig10TraceOffByDefault guards the zero-cost default: with Trace unset
+// the result carries no events and metric values match the traced run, so
+// the committed bench baselines cannot shift when tracing is enabled.
+func TestFig10TraceOffByDefault(t *testing.T) {
+	plain, err := Fig10(DefaultFig10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Errorf("untraced run recorded %d events", len(plain.Trace))
+	}
+	cfg := DefaultFig10()
+	cfg.Trace = true
+	traced, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MaxLatencySec != traced.MaxLatencySec || plain.SwapDrops != traced.SwapDrops {
+		t.Errorf("tracing changed results: plain (%v, %d) traced (%v, %d)",
+			plain.MaxLatencySec, plain.SwapDrops, traced.MaxLatencySec, traced.SwapDrops)
+	}
+	if len(plain.Events) != len(traced.Events) {
+		t.Fatalf("event count differs: %d != %d", len(plain.Events), len(traced.Events))
+	}
+	for i := range plain.Events {
+		if plain.Events[i] != traced.Events[i] {
+			t.Errorf("event %d differs: plain %+v traced %+v", i, plain.Events[i], traced.Events[i])
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Trace analysis: the helpers behind cmd/harptrace (filtering, per-kind
+// summaries, disruption-window reconstruction). They live here so tests
+// can assert the reconstructed Fig. 10 window against the co-simulation's
+// own commit bookkeeping.
+
+// Meta is the run timebase carried by the trace.meta event.
+type Meta struct {
+	// SlotsPerFrame is the slotframe length in slots.
+	SlotsPerFrame int
+	// SlotSeconds is one slot's duration in seconds.
+	SlotSeconds float64
+	// Nodes is the topology size.
+	Nodes int
+}
+
+// Detail renders the meta event's Detail string.
+func (m Meta) Detail() string {
+	return fmt.Sprintf("slots=%d slot_s=%g nodes=%d", m.SlotsPerFrame, m.SlotSeconds, m.Nodes)
+}
+
+// TraceMeta extracts the timebase from a trace's first trace.meta event.
+func TraceMeta(events []Event) (Meta, bool) {
+	for _, e := range events {
+		if e.Kind != KindMeta {
+			continue
+		}
+		var m Meta
+		if _, err := fmt.Sscanf(e.Detail, "slots=%d slot_s=%g nodes=%d",
+			&m.SlotsPerFrame, &m.SlotSeconds, &m.Nodes); err != nil {
+			return Meta{}, false
+		}
+		return m, true
+	}
+	return Meta{}, false
+}
+
+// Filter selects a subset of a trace. The zero value matches nothing
+// useful — build one with NewFilter, then tighten the fields.
+type Filter struct {
+	// Node keeps only events on this node (None: any). An event matches
+	// on either endpoint, so a node's filter shows both sides of its
+	// exchanges.
+	Node int
+	// Layer keeps only events on this hierarchy layer (None: any).
+	Layer int
+	// Kinds keeps only these kinds (empty: any). A bare layer prefix
+	// ("coap", "agent") matches every kind of that layer.
+	Kinds []string
+	// MinVT and MaxVT bound the virtual-time window, inclusive.
+	MinVT, MaxVT float64
+}
+
+// NewFilter returns the match-everything filter.
+func NewFilter() Filter {
+	return Filter{Node: None, Layer: None, MinVT: math.Inf(-1), MaxVT: math.Inf(1)}
+}
+
+// matchKind reports whether kind matches one of the filter's kinds.
+func (f Filter) matchKind(kind Kind) bool {
+	if len(f.Kinds) == 0 {
+		return true
+	}
+	s := string(kind)
+	for _, want := range f.Kinds {
+		if s == want || strings.HasPrefix(s, want+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Match reports whether the event passes the filter.
+func (f Filter) Match(e Event) bool {
+	if f.Node != None && e.Node != f.Node && e.Peer != f.Node {
+		return false
+	}
+	if f.Layer != None && e.Layer != f.Layer {
+		return false
+	}
+	if e.VT < f.MinVT || e.VT > f.MaxVT {
+		return false
+	}
+	return f.matchKind(e.Kind)
+}
+
+// Apply returns the events passing the filter, in trace order.
+func (f Filter) Apply(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if f.Match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// KindCount is one row of a per-kind summary.
+type KindCount struct {
+	// Kind is the event class.
+	Kind Kind
+	// Count is how many events of the class the trace holds.
+	Count int
+}
+
+// Summarize tallies a trace by kind, sorted by kind name.
+func Summarize(events []Event) []KindCount {
+	tally := make(map[Kind]int)
+	for _, e := range events {
+		tally[e.Kind]++
+	}
+	out := make([]KindCount, 0, len(tally))
+	for k, n := range tally {
+		out = append(out, KindCount{Kind: k, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Phase is one layer's share of a disruption window: every event whose
+// kind prefix (before the dot) matches, bounded in virtual time.
+type Phase struct {
+	// Layer is the kind prefix ("coap", "agent", "fault", "mac").
+	Layer string
+	// Count is the number of the layer's events inside the window.
+	Count int
+	// FirstVT and LastVT bound the layer's activity in the window.
+	FirstVT, LastVT float64
+}
+
+// Window is one reconstructed adjustment: a cosim.trigger event and the
+// cosim.commit that answers it, with the in-between events broken down
+// per layer. Slots is the measured disruption window — the quantity the
+// committed cosim_disruption_s bench metric reports in seconds.
+type Window struct {
+	// TriggerSpan is the trigger event's span ID.
+	TriggerSpan uint64
+	// TriggerVT and CommitVT are the endpoints in virtual time.
+	TriggerVT, CommitVT float64
+	// TriggerSlot and CommitSlot are the endpoints in whole slots.
+	TriggerSlot, CommitSlot int
+	// Slots is CommitSlot - TriggerSlot.
+	Slots int
+	// Events counts the trace events between trigger and commit.
+	Events int
+	// Phases is the per-layer latency breakdown, sorted by layer name.
+	Phases []Phase
+}
+
+// Seconds converts the window to seconds using the trace timebase.
+func (w Window) Seconds(m Meta) float64 { return float64(w.Slots) * m.SlotSeconds }
+
+// Slotframes converts the window to whole slotframes, rounding up.
+func (w Window) Slotframes(m Meta) int {
+	if m.SlotsPerFrame <= 0 {
+		return 0
+	}
+	return (w.Slots + m.SlotsPerFrame - 1) / m.SlotsPerFrame
+}
+
+// kindLayer returns the layer prefix of a kind ("coap.tx" -> "coap").
+func kindLayer(k Kind) string {
+	s := string(k)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Windows reconstructs the disruption windows of a trace: each
+// cosim.trigger opens a window and the next cosim.commit parented to it
+// (or, for robustness, the next commit at all) closes it.
+func Windows(events []Event) []Window {
+	var out []Window
+	open := -1 // index into events of the open trigger
+	for i, e := range events {
+		switch e.Kind {
+		case KindCosimTrigger:
+			open = i
+		case KindCosimCommit:
+			if open < 0 {
+				continue
+			}
+			trig := events[open]
+			if e.Parent != 0 && e.Parent != trig.Span {
+				continue
+			}
+			w := Window{
+				TriggerSpan: trig.Span,
+				TriggerVT:   trig.VT,
+				CommitVT:    e.VT,
+				TriggerSlot: trig.Slot,
+				CommitSlot:  e.Slot,
+				Slots:       e.Slot - trig.Slot,
+				Events:      i - open - 1,
+			}
+			phases := make(map[string]*Phase)
+			for _, ev := range events[open+1 : i] {
+				layer := kindLayer(ev.Kind)
+				p := phases[layer]
+				if p == nil {
+					p = &Phase{Layer: layer, FirstVT: ev.VT}
+					phases[layer] = p
+				}
+				p.Count++
+				p.LastVT = ev.VT
+			}
+			for _, p := range phases {
+				w.Phases = append(w.Phases, *p)
+			}
+			sort.Slice(w.Phases, func(a, b int) bool { return w.Phases[a].Layer < w.Phases[b].Layer })
+			out = append(out, w)
+			open = -1
+		}
+	}
+	return out
+}

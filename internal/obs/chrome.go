@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// The Chrome exporter renders a trace in the Chrome trace-event JSON
+// format (the Perfetto UI's legacy format): one process, one track
+// (thread) per node plus a "net" track for node-less events, an instant
+// event per trace record, and a flow arrow per causal parent edge — so
+// a Fig. 10 adjustment is visible as arrows from the cosim.trigger
+// through the CoAP exchanges to the cosim.commit. Like the JSONL
+// exporter the output bytes are hand-built and deterministic.
+
+// chromeTid maps an event's node to its track: node n is tid n+1 and
+// the node-less track is tid 0, keeping every tid non-negative.
+func chromeTid(node int) int {
+	if node == None {
+		return 0
+	}
+	return node + 1
+}
+
+// chromeTS converts a virtual time in slots to trace microseconds.
+func chromeTS(vt, slotSec float64) float64 { return vt * slotSec * 1e6 }
+
+// appendChromeCommon appends the shared `"pid":1,"tid":T,"ts":TS` tail
+// of one trace-event object.
+func appendChromeCommon(buf []byte, tid int, ts float64) []byte {
+	buf = append(buf, `"pid":1,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(tid), 10)
+	buf = append(buf, `,"ts":`...)
+	buf = strconv.AppendFloat(buf, ts, 'g', -1, 64)
+	return buf
+}
+
+// WriteChrome writes the trace in Chrome trace-event format. The slot
+// duration is taken from the trace.meta event when present (one slot
+// maps to one millisecond otherwise), so Perfetto's time axis reads in
+// real seconds.
+func WriteChrome(w io.Writer, events []Event) error {
+	slotSec := 0.001
+	if meta, ok := TraceMeta(events); ok && meta.SlotSeconds > 0 {
+		slotSec = meta.SlotSeconds
+	}
+
+	// Track metadata: one thread per node, in node order.
+	nodeSet := make(map[int]bool)
+	hasNetTrack := false
+	for _, e := range events {
+		if e.Node == None {
+			hasNetTrack = true
+		} else {
+			nodeSet[e.Node] = true
+		}
+	}
+	nodes := make([]int, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	// Span index for flow arrows: a child's arrow starts at its parent's
+	// (track, timestamp).
+	bySpan := make(map[uint64]Event, len(events))
+	for _, e := range events {
+		bySpan[e.Span] = e
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	first := true
+	emit := func(line []byte) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(line)
+		return err
+	}
+
+	threadName := func(tid int, name string) []byte {
+		b := append(buf[:0], `{"ph":"M","name":"thread_name",`...)
+		b = appendChromeCommon(b, tid, 0)
+		b = append(b, `,"args":{"name":`...)
+		b = strconv.AppendQuote(b, name)
+		b = append(b, `}}`...)
+		return b
+	}
+	if hasNetTrack {
+		if err := emit(threadName(0, "net")); err != nil {
+			return err
+		}
+	}
+	for _, n := range nodes {
+		name := "node " + strconv.Itoa(n)
+		if n == 0 {
+			name = "node 0 (gateway)"
+		}
+		if err := emit(threadName(chromeTid(n), name)); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range events {
+		tid, ts := chromeTid(e.Node), chromeTS(e.VT, slotSec)
+		b := append(buf[:0], `{"ph":"i","s":"t","name":`...)
+		b = strconv.AppendQuote(b, string(e.Kind))
+		b = append(b, ',')
+		b = appendChromeCommon(b, tid, ts)
+		b = append(b, `,"args":{"span":`...)
+		b = strconv.AppendUint(b, e.Span, 10)
+		if e.Parent != 0 {
+			b = append(b, `,"parent":`...)
+			b = strconv.AppendUint(b, e.Parent, 10)
+		}
+		if e.Peer != None {
+			b = append(b, `,"peer":`...)
+			b = strconv.AppendInt(b, int64(e.Peer), 10)
+		}
+		if e.Layer != None {
+			b = append(b, `,"layer":`...)
+			b = strconv.AppendInt(b, int64(e.Layer), 10)
+		}
+		if e.Slot != None {
+			b = append(b, `,"slot":`...)
+			b = strconv.AppendInt(b, int64(e.Slot), 10)
+		}
+		if e.Channel != None {
+			b = append(b, `,"ch":`...)
+			b = strconv.AppendInt(b, int64(e.Channel), 10)
+		}
+		if e.Detail != "" {
+			b = append(b, `,"detail":`...)
+			b = strconv.AppendQuote(b, e.Detail)
+		}
+		b = append(b, `}}`...)
+		if err := emit(b); err != nil {
+			return err
+		}
+
+		parent, ok := bySpan[e.Parent]
+		if e.Parent == 0 || !ok {
+			continue
+		}
+		// Flow arrow parent -> child, id'd by the child span.
+		b = append(buf[:0], `{"ph":"s","cat":"flow","name":"causes","id":`...)
+		b = strconv.AppendUint(b, e.Span, 10)
+		b = append(b, ',')
+		b = appendChromeCommon(b, chromeTid(parent.Node), chromeTS(parent.VT, slotSec))
+		b = append(b, '}')
+		if err := emit(b); err != nil {
+			return err
+		}
+		b = append(buf[:0], `{"ph":"f","bp":"e","cat":"flow","name":"causes","id":`...)
+		b = strconv.AppendUint(b, e.Span, 10)
+		b = append(b, ',')
+		b = appendChromeCommon(b, tid, ts)
+		b = append(b, '}')
+		if err := emit(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome-format trace to path.
+func WriteChromeFile(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChrome(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

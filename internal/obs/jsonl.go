@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// The JSONL exporter writes one event per line with a fixed field order
+// and fixed number formatting, hand-built rather than reflected, so the
+// byte stream — not just the decoded values — is deterministic. The
+// trace-determinism CI job diffs these bytes across worker counts, and
+// the trace-smoke job diffs them against a committed golden file.
+
+// appendJSONL appends one event's JSONL line (with trailing newline).
+// Fields holding their unset sentinel (Parent 0, dimension None, empty
+// Detail) are omitted.
+func appendJSONL(buf []byte, e Event) []byte {
+	buf = append(buf, `{"vt":`...)
+	buf = strconv.AppendFloat(buf, e.VT, 'g', -1, 64)
+	buf = append(buf, `,"span":`...)
+	buf = strconv.AppendUint(buf, e.Span, 10)
+	if e.Parent != 0 {
+		buf = append(buf, `,"parent":`...)
+		buf = strconv.AppendUint(buf, e.Parent, 10)
+	}
+	buf = append(buf, `,"kind":`...)
+	buf = strconv.AppendQuote(buf, string(e.Kind))
+	if e.Node != None {
+		buf = append(buf, `,"node":`...)
+		buf = strconv.AppendInt(buf, int64(e.Node), 10)
+	}
+	if e.Peer != None {
+		buf = append(buf, `,"peer":`...)
+		buf = strconv.AppendInt(buf, int64(e.Peer), 10)
+	}
+	if e.Layer != None {
+		buf = append(buf, `,"layer":`...)
+		buf = strconv.AppendInt(buf, int64(e.Layer), 10)
+	}
+	if e.Slot != None {
+		buf = append(buf, `,"slot":`...)
+		buf = strconv.AppendInt(buf, int64(e.Slot), 10)
+	}
+	if e.Channel != None {
+		buf = append(buf, `,"ch":`...)
+		buf = strconv.AppendInt(buf, int64(e.Channel), 10)
+	}
+	if e.Detail != "" {
+		buf = append(buf, `,"detail":`...)
+		buf = strconv.AppendQuote(buf, e.Detail)
+	}
+	buf = append(buf, "}\n"...)
+	return buf
+}
+
+// WriteJSONL writes the events to w, one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, e := range events {
+		buf = appendJSONL(buf[:0], e)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONLFile writes the events to path, creating or truncating it.
+func WriteJSONLFile(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONL parses a JSONL trace back into events. Absent fields decode
+// to their unset sentinels, so WriteJSONL followed by ReadJSONL is the
+// identity.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		e := Ev("")
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// ReadJSONLFile parses the JSONL trace at path.
+func ReadJSONLFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

@@ -1,0 +1,257 @@
+package obs
+
+import "sort"
+
+// MetricKey identifies one metric series: the node and hierarchy layer
+// the value is attributed to (None for channel- or run-global series)
+// plus a dotted kind string naming what is counted.
+type MetricKey struct {
+	// Node is the owning node ID, or None for a global series.
+	Node int
+	// Layer is the hierarchy layer, or None when not layer-scoped.
+	Layer int
+	// Kind names the series ("transport.dropped", "agent.escalations").
+	Kind string
+}
+
+// Key returns the run-global series key for kind.
+func Key(kind string) MetricKey { return MetricKey{Node: None, Layer: None, Kind: kind} }
+
+// NodeKey returns the per-node series key for kind.
+func NodeKey(node int, kind string) MetricKey {
+	return MetricKey{Node: node, Layer: None, Kind: kind}
+}
+
+// LayerKey returns the per-(node, layer) series key for kind.
+func LayerKey(node, layer int, kind string) MetricKey {
+	return MetricKey{Node: node, Layer: layer, Kind: kind}
+}
+
+// Metric kinds maintained by the runtime packages. The transport series
+// subsume the legacy Bus counters (FaultStats, Delivered, Participants);
+// the Bus accessors are now views over these.
+const (
+	// MetricDelivered counts delivered application messages (ACKs are
+	// control traffic and excluded), the legacy Bus.Delivered.
+	MetricDelivered = "coap.delivered"
+	// MetricNodeTx counts messages a node put on the channel; with
+	// MetricNodeRx it defines the Table II participant set.
+	MetricNodeTx = "coap.node_tx"
+	// MetricNodeRx counts messages delivered to a node.
+	MetricNodeRx = "coap.node_rx"
+	// MetricClassPrefix prefixes the per-class delivery tallies; the full
+	// kind is the prefix plus the "METHOD path" class name.
+	MetricClassPrefix = "coap.rx "
+
+	// MetricDropped counts deliveries lost to injected Bernoulli loss.
+	MetricDropped = "transport.dropped"
+	// MetricDuplicated counts extra copies injected by duplication faults.
+	MetricDuplicated = "transport.duplicated"
+	// MetricCrashDropped counts deliveries and sends discarded because
+	// the node was crashed.
+	MetricCrashDropped = "transport.crash_dropped"
+	// MetricRetransmissions counts CON copies retransmitted after an ACK
+	// timeout.
+	MetricRetransmissions = "transport.retransmissions"
+	// MetricDupSuppressed counts confirmable deliveries suppressed by the
+	// receiver's Message-ID dedup cache.
+	MetricDupSuppressed = "transport.dup_suppressed"
+	// MetricAcksDelivered counts ACK deliveries (control traffic).
+	MetricAcksDelivered = "transport.acks_delivered"
+	// MetricGiveUps counts exchanges abandoned after MAX_RETRANSMIT.
+	MetricGiveUps = "transport.give_ups"
+	// MetricDecodeErrors counts deliveries whose payload failed to decode.
+	MetricDecodeErrors = "transport.decode_errors"
+
+	// MetricSwapDrops counts packets drained at a schedule hot-swap
+	// because the new schedule has no cell for their link (sim.SwapDrops,
+	// surfaced per run in the harpbench report).
+	MetricSwapDrops = "mac.swap_drops"
+	// MetricEscalations counts demand escalations per (node, layer).
+	MetricEscalations = "agent.escalations"
+	// MetricCommits counts committed partition layouts per (node, layer).
+	MetricCommits = "agent.commits"
+	// MetricRejections counts demands rejected back to their requester
+	// after a give-up or an explicit parent rejection.
+	MetricRejections = "agent.rejections"
+	// MetricDisruptionSlots is the histogram of measured adjustment
+	// disruption windows, in slots (one observation per commit).
+	MetricDisruptionSlots = "cosim.disruption_slots"
+)
+
+// HistStat summarises one histogram series.
+type HistStat struct {
+	// Count is the number of observations.
+	Count int64
+	// Sum is the total of all observed values.
+	Sum float64
+	// Min and Max bound the observations (zero when Count is zero).
+	Min, Max float64
+}
+
+// observe folds one value into the summary.
+func (h *HistStat) observe(v float64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Registry is the unified metrics store: counters, gauges and histograms
+// keyed by MetricKey. Like the tracer it is single-goroutine (all
+// writers run on one virtual clock) and nil-safe: every method is a
+// no-op (or zero) on the nil receiver, so optional consumers need no
+// guards.
+type Registry struct {
+	counters map[MetricKey]int64
+	gauges   map[MetricKey]float64
+	hists    map[MetricKey]*HistStat
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[MetricKey]int64),
+		gauges:   make(map[MetricKey]float64),
+		hists:    make(map[MetricKey]*HistStat),
+	}
+}
+
+// Inc adds one to a counter.
+func (r *Registry) Inc(k MetricKey) { r.Add(k, 1) }
+
+// Add adds delta to a counter.
+func (r *Registry) Add(k MetricKey, delta int64) {
+	if r == nil {
+		return
+	}
+	r.counters[k] += delta
+}
+
+// Counter returns a counter's value (zero if never written).
+func (r *Registry) Counter(k MetricKey) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[k]
+}
+
+// SetGauge records a gauge's current value.
+func (r *Registry) SetGauge(k MetricKey, v float64) {
+	if r == nil {
+		return
+	}
+	r.gauges[k] = v
+}
+
+// Gauge returns a gauge's value (zero if never set).
+func (r *Registry) Gauge(k MetricKey) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[k]
+}
+
+// Observe folds a value into a histogram series.
+func (r *Registry) Observe(k MetricKey, v float64) {
+	if r == nil {
+		return
+	}
+	h := r.hists[k]
+	if h == nil {
+		h = &HistStat{}
+		r.hists[k] = h
+	}
+	h.observe(v)
+}
+
+// Hist returns a histogram's summary and whether it has observations.
+func (r *Registry) Hist(k MetricKey) (HistStat, bool) {
+	if r == nil {
+		return HistStat{}, false
+	}
+	h, ok := r.hists[k]
+	if !ok {
+		return HistStat{}, false
+	}
+	return *h, true
+}
+
+// Reset clears every series. The co-simulation calls this at a trigger
+// so each adjustment's overhead is measured on its own — note it clears
+// the whole registry (transport, agent and MAC series alike), exactly as
+// the legacy Bus.ResetCounters cleared all its tallies.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	clear(r.counters)
+	clear(r.gauges)
+	clear(r.hists)
+}
+
+// CounterKeys returns every counter key with a non-zero value, sorted by
+// (Kind, Node, Layer) for deterministic reporting.
+func (r *Registry) CounterKeys() []MetricKey {
+	if r == nil {
+		return nil
+	}
+	keys := make([]MetricKey, 0, len(r.counters))
+	for k, v := range r.counters {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Kind != keys[j].Kind {
+			return keys[i].Kind < keys[j].Kind
+		}
+		if keys[i].Node != keys[j].Node {
+			return keys[i].Node < keys[j].Node
+		}
+		return keys[i].Layer < keys[j].Layer
+	})
+	return keys
+}
+
+// SumKind sums every counter of the given kind across nodes and layers.
+func (r *Registry) SumKind(kind string) int64 {
+	if r == nil {
+		return 0
+	}
+	var total int64
+	for k, v := range r.counters {
+		if k.Kind == kind {
+			total += v
+		}
+	}
+	return total
+}
+
+// Nodes returns the distinct node IDs holding a non-zero counter of any
+// of the given kinds, sorted ascending.
+func (r *Registry) Nodes(kinds ...string) []int {
+	if r == nil {
+		return nil
+	}
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	seen := make(map[int]bool)
+	for k, v := range r.counters {
+		if v != 0 && k.Node != None && want[k.Kind] {
+			seen[k.Node] = true
+		}
+	}
+	nodes := make([]int, 0, len(seen))
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes
+}

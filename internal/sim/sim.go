@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/traffic"
@@ -121,6 +122,12 @@ type Simulator struct {
 	// co-simulations use to commit a quiesced control-plane adjustment so
 	// it takes effect in the very slot it was detected.
 	eachSlot []func(*Simulator)
+
+	// tracer records MAC slot events (nil: disabled, one pointer check on
+	// the transmit hot path); metrics mirrors the swap-drop counter into
+	// the run's unified registry.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 
 	// Drops counts queue-overflow losses.
 	Drops int
@@ -240,6 +247,17 @@ func (s *Simulator) BindClock(c *vclock.Clock) error {
 // Frame returns the slotframe configuration.
 func (s *Simulator) Frame() schedule.Slotframe { return s.frame }
 
+// SetTracer attaches a MAC-event tracer (nil detaches). In co-simulation
+// it is the same tracer the transport and the agents emit to, bound to
+// the shared clock, so slot events interleave with protocol events on
+// one timeline.
+func (s *Simulator) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// SetMetrics attaches the unified metrics registry the simulator mirrors
+// its swap-drop tally into (nil detaches; the public counter fields are
+// maintained either way).
+func (s *Simulator) SetMetrics(m *obs.Registry) { s.metrics = m }
+
 // SetSchedule installs (or replaces) the active cell schedule. Queued
 // packets are retained and continue over the new cells — except packets on
 // a link the new schedule no longer serves at all, which are drained and
@@ -267,13 +285,34 @@ func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
 			return cells[i].link.Child < cells[j].link.Child
 		})
 	}
+	// Drain packets stranded on links the new schedule no longer serves,
+	// in sorted link order so the emitted trace events are deterministic
+	// (map traversal order is not).
+	var stranded []topology.Link
 	for l, q := range s.queues {
-		if len(q) == 0 || served[l] {
-			continue
+		if len(q) > 0 && !served[l] {
+			stranded = append(stranded, l)
 		}
-		for _, p := range q {
+	}
+	sort.Slice(stranded, func(i, j int) bool {
+		if stranded[i].Child != stranded[j].Child {
+			return stranded[i].Child < stranded[j].Child
+		}
+		return stranded[i].Direction < stranded[j].Direction
+	})
+	if tr := s.tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindMacSwap).WithSlot(s.now, obs.None).
+			WithDetail(fmt.Sprintf("cells=%d stranded=%d", len(sched.Transmissions()), len(stranded))))
+	}
+	for _, l := range stranded {
+		for _, p := range s.queues[l] {
 			s.SwapDrops++
+			s.metrics.Inc(obs.Key(obs.MetricSwapDrops))
 			s.records[p.rec].Dropped = true
+			if tr := s.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindMacSwapDrop).WithNode(int(l.Child)).WithSlot(s.now, obs.None).
+					WithDetail(fmt.Sprintf("task %d", p.task)))
+			}
 		}
 		delete(s.queues, l)
 	}
@@ -511,23 +550,39 @@ func (s *Simulator) transmit() error {
 	for _, sc := range attempts {
 		if users[sc.cell] > 1 {
 			s.Collisions++
+			if tr := s.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindMacCollision).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
+					WithSlot(s.now, sc.cell.Channel))
+			}
 			s.failAttempt(sc.link)
 			continue // stays queued (unless retries exhausted)
 		}
 		rc, listening := commit[sc.receiver]
 		if !listening || rc.tx || cells[rc.idx].cell != sc.cell {
 			s.ReceiverMisses++
+			if tr := s.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindMacMiss).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
+					WithSlot(s.now, sc.cell.Channel))
+			}
 			s.failAttempt(sc.link)
 			continue
 		}
 		if s.cfg.PDR < 1 && s.rng.Float64() > s.cfg.PDR {
 			s.LossFailures++
+			if tr := s.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindMacLoss).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
+					WithSlot(s.now, sc.cell.Channel))
+			}
 			s.failAttempt(sc.link)
 			continue
 		}
 		q := s.queues[sc.link]
 		if len(q) == 0 {
 			continue
+		}
+		if tr := s.tracer; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.KindMacTx).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
+				WithSlot(s.now, sc.cell.Channel).WithDetail(fmt.Sprintf("task %d", q[0].task)))
 		}
 		s.advance(sc.link, q[0])
 	}

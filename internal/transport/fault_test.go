@@ -62,15 +62,15 @@ func TestBusReliableCleanChannel(t *testing.T) {
 	if bus.Pending() != 0 {
 		t.Errorf("Pending = %d after drain, want 0", bus.Pending())
 	}
-	f := bus.Faults
+	f := bus.Faults()
 	if f.Retransmissions != 0 || f.DuplicatesSuppressed != 0 || f.GiveUps != 0 {
 		t.Errorf("clean channel did reliability work: %+v", f)
 	}
 	if f.AcksDelivered != 5 {
 		t.Errorf("AcksDelivered = %d, want 5", f.AcksDelivered)
 	}
-	if bus.Delivered != 5 {
-		t.Errorf("Delivered = %d, want 5 (ACKs must not be tallied)", bus.Delivered)
+	if bus.Delivered() != 5 {
+		t.Errorf("Delivered = %d, want 5 (ACKs must not be tallied)", bus.Delivered())
 	}
 }
 
@@ -96,7 +96,7 @@ func TestBusReliableRecoversFromLoss(t *testing.T) {
 	if _, err := bus.Run(); err != nil {
 		t.Fatal(err)
 	}
-	f := bus.Faults
+	f := bus.Faults()
 	if f.GiveUps > 0 {
 		t.Fatalf("unexpected give-ups at drop 0.3: %+v", f)
 	}
@@ -140,12 +140,12 @@ func TestBusReliableSuppressesDuplicates(t *testing.T) {
 	if got := len(b.msgs); got != n {
 		t.Fatalf("handler ran %d times, want %d", got, n)
 	}
-	f := bus.Faults
+	f := bus.Faults()
 	if f.Duplicated == 0 || f.DuplicatesSuppressed == 0 {
 		t.Errorf("duplication faults not exercised: %+v", f)
 	}
-	if bus.Delivered != n {
-		t.Errorf("Delivered = %d, want %d", bus.Delivered, n)
+	if bus.Delivered() != n {
+		t.Errorf("Delivered = %d, want %d", bus.Delivered(), n)
 	}
 }
 
@@ -197,7 +197,7 @@ func TestBusCrashGiveUpAndRestart(t *testing.T) {
 	if len(b.msgs) != 0 {
 		t.Fatalf("crashed node handled %d messages", len(b.msgs))
 	}
-	f := bus.Faults
+	f := bus.Faults()
 	if f.GiveUps != 1 {
 		t.Fatalf("GiveUps = %d, want 1 (faults: %+v)", f.GiveUps, f)
 	}
@@ -279,8 +279,8 @@ func TestBusDecodeErrorDoesNotBlackholeRun(t *testing.T) {
 	if len(b.msgs) != 1 || b.msgs[0].MessageID != 9 {
 		t.Fatalf("later delivery lost after decode error: got %v", b.msgs)
 	}
-	if bus.Faults.DecodeErrors != 1 {
-		t.Errorf("DecodeErrors = %d, want 1", bus.Faults.DecodeErrors)
+	if bus.Faults().DecodeErrors != 1 {
+		t.Errorf("DecodeErrors = %d, want 1", bus.Faults().DecodeErrors)
 	}
 	if len(bus.Errors()) != 1 {
 		t.Errorf("Errors() returned %d entries, want 1", len(bus.Errors()))

@@ -29,8 +29,18 @@
 // backoff on the virtual clock, and deduplicated by Message-ID at the
 // receiver. One exchange is outstanding per ordered node pair (NSTART = 1,
 // §4.7), which also preserves the per-pair FIFO ordering the agents rely
-// on. ACKs are control traffic: they are not tallied in MessageCount or
-// Delivered, so protocol-overhead counts stay comparable with the paper's.
+// on. ACKs are control traffic: they are not tallied in the delivery
+// counters (Delivered/Count), so protocol-overhead counts stay comparable
+// with the paper's.
+//
+// # Observability
+//
+// All counters live in a unified internal/obs registry (Metrics); the
+// legacy accessors are views over it. SetTracer attaches a virtual-time
+// event tracer that records every tx/rx/ACK/retransmission/fault with a
+// causal parent span — see the obs package and DESIGN.md's Observability
+// section. With no tracer attached the hook sites cost one nil check and
+// zero allocations.
 package transport
 
 import (
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"github.com/harpnet/harp/internal/coap"
+	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/vclock"
 )
@@ -79,6 +90,10 @@ type envelope struct {
 	from, to topology.NodeID
 	wire     []byte
 	mid      uint16
+	// span is the coap.tx trace span the message was sent under (0 when
+	// tracing is off); every later event of the message — delivery,
+	// fault, retransmission, ACK — is parented to it.
+	span uint64
 	// reliable marks a confirmable application message owned by an
 	// exchange: its in-flight slot is retired when the exchange resolves,
 	// not when a copy is delivered.
@@ -192,16 +207,21 @@ type Bus struct {
 	// dedup is each receiver's Message-ID cache.
 	dedup map[topology.NodeID]*coap.DedupCache
 
-	// MessageCount tallies delivered messages by (method, path); use
-	// Count for lookups and CountKeys for deterministic reporting.
-	MessageCount map[CountKey]int
-	// Delivered is the total number of delivered messages.
-	Delivered int
-	// Participants records every node that sent or received a message
-	// since the last ResetCounters — the "Nodes" column of Table II.
-	Participants map[topology.NodeID]bool
-	// Faults counts channel faults and reliability-layer work.
-	Faults FaultStats
+	// metrics is the unified counter registry (internal/obs); the legacy
+	// accessors — Count, CountKeys, Delivered, ParticipantCount, Faults —
+	// are thin views over it, and co-simulation layers (agents, MAC)
+	// share it so one registry holds a run's whole tally.
+	metrics *obs.Registry
+	// tracer records protocol events; nil (the default) is disabled and
+	// costs one pointer check per hook site.
+	tracer *obs.Tracer
+	// classKinds caches each delivered message class's registry kind
+	// string, keeping the per-delivery tally off the allocator.
+	classKinds map[CountKey]string
+	// classFast indexes the same kinds by (code, single path segment) so
+	// the per-delivery lookup needs no Path() string build: a map index
+	// on string(bytes) does not allocate.
+	classFast map[coap.Code]map[string]string
 }
 
 // NewBus builds a virtual-time bus on a private clock. slotframeSlots sets
@@ -227,11 +247,22 @@ func NewBusOnClock(c *vclock.Clock, slotframeSlots int, seed int64) (*Bus, error
 		rng:          c.RNG("transport.bus", seed),
 		slotsPerHop:  slotframeSlots,
 		crashed:      make(map[topology.NodeID]bool),
-		MessageCount: make(map[CountKey]int),
-		Participants: make(map[topology.NodeID]bool),
+		metrics:      obs.NewRegistry(),
+		classKinds:   make(map[CountKey]string),
+		classFast:    make(map[coap.Code]map[string]string),
 		lastDelivery: make(map[[2]topology.NodeID]float64),
 	}, nil
 }
+
+// SetTracer attaches a protocol-event tracer (nil detaches). The tracer
+// must be bound to the bus's clock so event timestamps share its virtual
+// timeline.
+func (b *Bus) SetTracer(t *obs.Tracer) { b.tracer = t }
+
+// Metrics returns the bus's registry. Co-simulation layers share it so
+// agent and MAC series land next to the transport's, and ResetCounters
+// clears them all together.
+func (b *Bus) Metrics() *obs.Registry { return b.metrics }
 
 // Register attaches a node's handler.
 func (b *Bus) Register(id topology.NodeID, h Handler) {
@@ -313,6 +344,9 @@ func (b *Bus) Crash(id topology.NodeID) {
 		return
 	}
 	b.crashed[id] = true
+	if tr := b.tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindNodeCrash).WithNode(int(id)))
+	}
 	for pair, bx := range b.outstanding {
 		if pair[0] == id {
 			bx.timer.Cancel()
@@ -336,6 +370,9 @@ func (b *Bus) Restart(id topology.NodeID) {
 	if b.dedup != nil {
 		delete(b.dedup, id)
 	}
+	if tr := b.tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindNodeRestart).WithNode(int(id)))
+	}
 }
 
 // Crashed reports whether the node is currently down.
@@ -350,7 +387,10 @@ func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
 	if b.crashed[from] {
-		b.Faults.CrashDropped++
+		b.metrics.Inc(obs.Key(obs.MetricCrashDropped))
+		if tr := b.tracer; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.KindFaultCrash).WithNode(int(from)).WithPeer(int(to)))
+		}
 		return nil
 	}
 	if b.reliable && msg.Type == coap.NonConfirmable && msg.Code.IsRequest() {
@@ -361,6 +401,10 @@ func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
 		return err
 	}
 	e := &envelope{from: from, to: to, wire: wire, mid: msg.MessageID}
+	if tr := b.tracer; tr.Enabled() {
+		e.span = tr.Emit(obs.Ev(obs.KindCoapTx).WithNode(int(from)).WithPeer(int(to)).
+			WithDetail(msg.Code.String() + " " + msg.Path()))
+	}
 	b.inFlight++
 	if b.reliable && msg.Type == coap.Confirmable {
 		e.reliable = true
@@ -405,12 +449,24 @@ func (b *Bus) onRetxTimer(pair [2]topology.NodeID, bx *busExchange) {
 		return // resolved or superseded; timer was stale
 	}
 	if bx.ex.Retransmit(b.clock.Now()) {
-		b.Faults.Retransmissions++
+		b.metrics.Inc(obs.Key(obs.MetricRetransmissions))
+		if tr := b.tracer; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.KindCoapRetx).WithNode(int(pair[0])).WithPeer(int(pair[1])).
+				WithParent(bx.env.span))
+		}
 		b.transmit(bx.env, b.retxRNG)
 		bx.timer = b.clock.ScheduleCancelable(bx.ex.NextAt, func() { b.onRetxTimer(pair, bx) })
 		return
 	}
-	b.Faults.GiveUps++
+	b.metrics.Inc(obs.Key(obs.MetricGiveUps))
+	if tr := b.tracer; tr.Enabled() {
+		// The give-up span is pushed so the failure handler's unwind (and
+		// any sends it makes) chains off it causally.
+		span := tr.Emit(obs.Ev(obs.KindCoapGiveUp).WithNode(int(pair[0])).WithPeer(int(pair[1])).
+			WithParent(bx.env.span))
+		tr.Push(span)
+		defer tr.Pop()
+	}
 	b.finishExchange(pair, bx, true)
 }
 
@@ -469,32 +525,52 @@ func (b *Bus) deliver(e *envelope, primary bool) {
 		b.inFlight-- // unreliable messages settle at their delivery event
 	}
 	if b.crashed[e.to] {
-		b.Faults.CrashDropped++
+		b.metrics.Inc(obs.Key(obs.MetricCrashDropped))
+		if tr := b.tracer; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.KindFaultCrash).WithNode(int(e.to)).WithPeer(int(e.from)).
+				WithParent(e.span))
+		}
 		return
 	}
 	if b.faultRNG != nil {
 		if b.faults.Drop > 0 && b.faultRNG.Float64() < b.faults.Drop {
-			b.Faults.Dropped++
+			b.metrics.Inc(obs.Key(obs.MetricDropped))
+			if tr := b.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindFaultDrop).WithNode(int(e.to)).WithPeer(int(e.from)).
+					WithParent(e.span))
+			}
 			return
 		}
 		if b.faults.Dup > 0 && primary && b.faultRNG.Float64() < b.faults.Dup {
-			b.Faults.Duplicated++
+			b.metrics.Inc(obs.Key(obs.MetricDuplicated))
+			if tr := b.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindFaultDup).WithNode(int(e.to)).WithPeer(int(e.from)).
+					WithParent(e.span))
+			}
 			delay := b.faultRNG.Float64() * float64(b.slotsPerHop)
 			b.clock.Schedule(b.clock.Now()+delay, func() { b.deliver(e, false) })
 		}
 	}
 	msg, err := coap.Decode(e.wire)
 	if err != nil {
-		b.Faults.DecodeErrors++
+		b.metrics.Inc(obs.Key(obs.MetricDecodeErrors))
+		if tr := b.tracer; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.KindCoapErr).WithNode(int(e.to)).WithPeer(int(e.from)).
+				WithParent(e.span))
+		}
 		b.errs = append(b.errs, fmt.Errorf("transport: decoding message %d->%d: %w", e.from, e.to, err))
 		return
 	}
 	if b.reliable {
 		switch msg.Type {
 		case coap.Acknowledgement:
-			b.Faults.AcksDelivered++
+			b.metrics.Inc(obs.Key(obs.MetricAcksDelivered))
 			pair := [2]topology.NodeID{e.to, e.from} // the exchange the ACK settles
 			if bx, ok := b.outstanding[pair]; ok && bx.ex.Ack(msg.MessageID) {
+				if tr := b.tracer; tr.Enabled() {
+					tr.Emit(obs.Ev(obs.KindCoapAck).WithNode(int(e.to)).WithPeer(int(e.from)).
+						WithParent(bx.env.span))
+				}
 				b.finishExchange(pair, bx, false)
 			}
 			return
@@ -503,14 +579,25 @@ func (b *Bus) deliver(e *envelope, primary bool) {
 			// then suppress duplicates before they reach the handler (§4.5).
 			b.sendAck(e.to, e.from, msg.MessageID)
 			if b.dedupFor(e.to).Observe(uint64(e.from), msg.MessageID, b.clock.Now()) {
-				b.Faults.DuplicatesSuppressed++
+				b.metrics.Inc(obs.Key(obs.MetricDupSuppressed))
+				if tr := b.tracer; tr.Enabled() {
+					tr.Emit(obs.Ev(obs.KindCoapDup).WithNode(int(e.to)).WithPeer(int(e.from)).
+						WithParent(e.span))
+				}
 				return
 			}
 		}
 	}
-	b.count(msg)
-	b.Participants[e.from] = true
-	b.Participants[e.to] = true
+	b.count(msg, e.from, e.to)
+	if tr := b.tracer; tr.Enabled() {
+		// The rx span stays current while the handler runs, so every
+		// event the receiving agent emits — state transitions, further
+		// sends — is parented to this delivery.
+		span := tr.Emit(obs.Ev(obs.KindCoapRx).WithNode(int(e.to)).WithPeer(int(e.from)).
+			WithParent(e.span).WithDetail(msg.Code.String() + " " + msg.Path()))
+		tr.Push(span)
+		defer tr.Pop()
+	}
 	if h := b.handlers[e.to]; h != nil {
 		h.Handle(e.from, msg)
 	}
@@ -526,31 +613,97 @@ func (b *Bus) Run() (float64, error) {
 	return now, b.Err()
 }
 
-func (b *Bus) count(msg coap.Message) {
-	b.Delivered++
-	b.MessageCount[CountKey{Code: msg.Code, Path: msg.Path()}]++
+// count tallies one delivered message in the registry: the global total,
+// the message class, and the per-node endpoints that define the Table II
+// participant set. The class kind string is cached per CountKey so the
+// per-delivery path formats nothing.
+func (b *Bus) count(msg coap.Message, from, to topology.NodeID) {
+	b.metrics.Inc(obs.Key(obs.MetricDelivered))
+	b.metrics.Inc(obs.Key(b.classKind(msg)))
+	b.metrics.Inc(obs.NodeKey(int(from), obs.MetricNodeTx))
+	b.metrics.Inc(obs.NodeKey(int(to), obs.MetricNodeRx))
 }
 
-// Count returns the delivered tally of one message class.
+// classKind resolves the message class's cached registry kind. Warm
+// single-segment classes (every Table I message) resolve through the
+// byte-keyed fast map without allocating; the slow path formats the kind
+// once and primes both caches.
+func (b *Bus) classKind(msg coap.Message) string {
+	if seg, ok := msg.PathSegment(); ok {
+		if kind, ok := b.classFast[msg.Code][string(seg)]; ok {
+			return kind
+		}
+	}
+	path := msg.Path()
+	ck := CountKey{Code: msg.Code, Path: path}
+	kind, ok := b.classKinds[ck]
+	if !ok {
+		kind = obs.MetricClassPrefix + ck.String()
+		b.classKinds[ck] = kind
+	}
+	if _, single := msg.PathSegment(); single {
+		if b.classFast[msg.Code] == nil {
+			b.classFast[msg.Code] = make(map[string]string)
+		}
+		b.classFast[msg.Code][path] = kind
+	}
+	return kind
+}
+
+// Count returns the delivered tally of one message class — a view over
+// the registry's per-class counter.
 func (b *Bus) Count(code coap.Code, path string) int {
-	return b.MessageCount[CountKey{Code: code, Path: path}]
+	kind, ok := b.classKinds[CountKey{Code: code, Path: path}]
+	if !ok {
+		return 0
+	}
+	return int(b.metrics.Counter(obs.Key(kind)))
 }
 
-// ResetCounters clears the message and fault tallies (between experiment
-// events), so each adjustment's overhead is measured on its own.
+// Delivered returns the total number of delivered application messages
+// (ACKs excluded) since the last ResetCounters.
+func (b *Bus) Delivered() int {
+	return int(b.metrics.Counter(obs.Key(obs.MetricDelivered)))
+}
+
+// ParticipantCount returns how many distinct nodes sent or received a
+// message since the last ResetCounters — the "Nodes" column of Table II.
+func (b *Bus) ParticipantCount() int {
+	return len(b.metrics.Nodes(obs.MetricNodeTx, obs.MetricNodeRx))
+}
+
+// Faults returns a snapshot of the channel-fault and reliability-layer
+// counters — a view over the registry's transport series.
+func (b *Bus) Faults() FaultStats {
+	m := b.metrics
+	return FaultStats{
+		Dropped:              int(m.Counter(obs.Key(obs.MetricDropped))),
+		Duplicated:           int(m.Counter(obs.Key(obs.MetricDuplicated))),
+		CrashDropped:         int(m.Counter(obs.Key(obs.MetricCrashDropped))),
+		Retransmissions:      int(m.Counter(obs.Key(obs.MetricRetransmissions))),
+		DuplicatesSuppressed: int(m.Counter(obs.Key(obs.MetricDupSuppressed))),
+		AcksDelivered:        int(m.Counter(obs.Key(obs.MetricAcksDelivered))),
+		GiveUps:              int(m.Counter(obs.Key(obs.MetricGiveUps))),
+		DecodeErrors:         int(m.Counter(obs.Key(obs.MetricDecodeErrors))),
+	}
+}
+
+// ResetCounters clears the registry (between experiment events), so each
+// adjustment's overhead is measured on its own. Because co-simulation
+// layers share the registry, this clears their series too — the same
+// all-or-nothing semantics the legacy per-field reset had.
 func (b *Bus) ResetCounters() {
-	b.MessageCount = make(map[CountKey]int)
-	b.Delivered = 0
-	b.Participants = make(map[topology.NodeID]bool)
-	b.Faults = FaultStats{}
+	b.metrics.Reset()
 }
 
-// CountKeys returns the tally keys formatted as "METHOD path" and sorted,
-// for deterministic reporting.
+// CountKeys returns the delivered class keys formatted as "METHOD path"
+// and sorted, for deterministic reporting.
 func (b *Bus) CountKeys() []string {
-	keys := make([]string, 0, len(b.MessageCount))
-	for k := range b.MessageCount {
-		keys = append(keys, k.String())
+	keys := make([]string, 0, len(b.classKinds))
+	for k, kind := range b.classKinds {
+		if b.metrics.Counter(obs.Key(kind)) > 0 {
+			keys = append(keys, k.String())
+		}
 	}
 	sort.Strings(keys)
 	return keys

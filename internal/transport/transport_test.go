@@ -69,18 +69,18 @@ func TestBusDeliversInOrderAndCounts(t *testing.T) {
 	if b.msgs[0].Path() != "intf" || string(b.msgs[0].Payload) != "x" {
 		t.Errorf("message corrupted in flight: %+v", b.msgs[0])
 	}
-	if bus.Delivered != 2 {
-		t.Errorf("Delivered = %d, want 2", bus.Delivered)
+	if bus.Delivered() != 2 {
+		t.Errorf("Delivered = %d, want 2", bus.Delivered())
 	}
 	if bus.Count(coap.POST, "intf") != 1 || bus.Count(coap.PUT, "part") != 1 {
-		t.Errorf("counts = %v", bus.MessageCount)
+		t.Errorf("counts = %v", bus.CountKeys())
 	}
 	keys := bus.CountKeys()
 	if len(keys) != 2 || keys[0] != "POST intf" {
 		t.Errorf("CountKeys = %v", keys)
 	}
 	bus.ResetCounters()
-	if bus.Delivered != 0 || len(bus.MessageCount) != 0 {
+	if bus.Delivered() != 0 || len(bus.CountKeys()) != 0 {
 		t.Error("ResetCounters failed")
 	}
 }

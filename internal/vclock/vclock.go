@@ -60,6 +60,10 @@ type Clock struct {
 	queue     eventHeap
 	cancelled int // cancelled events still occupying heap slots
 	rngs      map[string]*rand.Rand
+	// stepHook, if set, observes every dispatch: it runs after Now has
+	// advanced to the event's time and before the event's callback. The
+	// observability tracer uses it to reset per-event causal context.
+	stepHook func(at float64, seq uint64)
 }
 
 // Handle identifies a cancelable scheduled event.
@@ -146,6 +150,9 @@ func (c *Clock) Step() bool {
 		c.now = e.at
 		fn := e.fn
 		e.fn = nil // a Cancel after the event ran must be a no-op
+		if c.stepHook != nil {
+			c.stepHook(e.at, e.seq)
+		}
 		fn()
 		return true
 	}
@@ -171,6 +178,12 @@ func (c *Clock) RunUntil(t float64) {
 		c.now = t
 	}
 }
+
+// SetStepHook installs (or, with nil, removes) the per-dispatch observer.
+// The hook runs once per dispatched event, after Now has advanced and
+// before the event's callback — the order the observability layer needs
+// to stamp everything the callback emits with the right virtual time.
+func (c *Clock) SetStepHook(fn func(at float64, seq uint64)) { c.stepHook = fn }
 
 // RNG returns the named consumer's random stream, creating it from seed on
 // first use. Each consumer owning a distinct name gets an independent

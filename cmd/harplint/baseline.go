@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file holds the machine-facing output plumbing: JSON findings,
+// GitHub Actions error annotations, and the committed-baseline mode that
+// lets a new pass land strict on new code while pre-existing findings are
+// burned down in-PR.
+
+// jsonFinding is the serialized shape of one finding. File paths are
+// module-relative so the output (and the baseline) is machine-independent.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line,omitempty"`
+	Column  int    `json:"column,omitempty"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+// baseline is a committed set of accepted findings. Entries are matched by
+// (file, pass, message) — deliberately without line numbers, so unrelated
+// edits to a file do not invalidate the baseline — and every entry must
+// still fire: a stale entry is itself a finding, which is the rot guard.
+type baseline struct {
+	Findings []jsonFinding `json:"findings"`
+}
+
+// loadBaseline reads and parses a baseline file.
+func loadBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bl baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &bl, nil
+}
+
+// apply filters findings covered by the baseline and appends one synthetic
+// finding per stale baseline entry.
+func (bl *baseline) apply(root string, findings []Finding) []Finding {
+	type key struct{ file, pass, message string }
+	accepted := make(map[key]int, len(bl.Findings))
+	for _, e := range bl.Findings {
+		accepted[key{e.File, e.Pass, e.Message}]++
+	}
+	matched := make(map[key]bool, len(accepted))
+
+	var out []Finding
+	for _, f := range findings {
+		k := key{moduleRel(root, f.Pos.Filename), f.Pass, f.Message}
+		if accepted[k] > 0 {
+			matched[k] = true
+			continue
+		}
+		out = append(out, f)
+	}
+	for _, e := range bl.Findings {
+		k := key{e.File, e.Pass, e.Message}
+		if matched[k] {
+			continue
+		}
+		matched[k] = true // report each stale entry once
+		out = append(out, Finding{
+			Pass: "baseline",
+			Message: fmt.Sprintf("stale baseline entry no longer fires: %s [%s] %s — remove it from the baseline",
+				e.File, e.Pass, e.Message),
+		})
+	}
+	sortFindings(out)
+	return out
+}
+
+// writeFindings renders the findings in the requested format.
+func writeFindings(w *os.File, format, root string, findings []Finding) error {
+	switch format {
+	case "json":
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:    moduleRel(root, f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Pass:    f.Pass,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(baseline{Findings: out})
+	case "github":
+		for _, f := range findings {
+			// https://docs.github.com/actions/reference/workflow-commands —
+			// commas and colons in properties and newlines in the message
+			// must be escaped.
+			msg := githubEscape(fmt.Sprintf("[%s] %s", f.Pass, f.Message))
+			if f.Pos.Filename == "" {
+				fmt.Fprintf(w, "::error::%s\n", msg)
+				continue
+			}
+			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s\n",
+				githubEscapeProp(moduleRel(root, f.Pos.Filename)), f.Pos.Line, f.Pos.Column, msg)
+		}
+		return nil
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+		return nil
+	}
+}
+
+// moduleRel rewrites an absolute path relative to the module root with
+// forward slashes; paths outside the root are returned unchanged.
+func moduleRel(root, path string) string {
+	if root == "" || path == "" {
+		return path
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}
+
+// githubEscape escapes a workflow-command message value.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// githubEscapeProp escapes a workflow-command property value.
+func githubEscapeProp(s string) string {
+	s = githubEscape(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

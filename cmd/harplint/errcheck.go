@@ -6,28 +6,18 @@ import (
 	"strings"
 )
 
-// The errcheck pass forbids silently discarded error returns in the
-// protocol-critical packages (core planner, agent fleet, transport): a
-// dropped error there means a plan/fleet divergence that surfaces only as
-// a mysterious schedule mismatch much later. Both implicit discards
+// The errcheck pass forbids silently discarded error returns anywhere
+// under internal/: a dropped error means a plan/fleet divergence that
+// surfaces only as a mysterious schedule mismatch much later. Both implicit discards
 // (calling a function for its side effect) and explicit `_ =` discards are
 // flagged — an intentional discard must carry a //harplint:allow errcheck
 // directive stating why it is safe.
 const passErrcheck = "errcheck"
 
-// errcheckScope lists the import-path suffixes the pass applies to.
-var errcheckScope = []string{"internal/core", "internal/agent", "internal/transport"}
-
-// runErrcheck applies the errcheck pass to one unit.
+// runErrcheck applies the errcheck pass to one unit. Commands are out of
+// scope: a CLI printing to stderr and exiting is its error handling.
 func runErrcheck(u *Unit, report func(Finding)) {
-	inScope := false
-	for _, s := range errcheckScope {
-		if strings.HasSuffix(u.ImportPath, s) {
-			inScope = true
-			break
-		}
-	}
-	if !inScope {
+	if !strings.Contains(u.ImportPath, "/internal/") {
 		return
 	}
 	for _, file := range u.Files {

@@ -1,27 +1,41 @@
 // Command harplint is the HARP repo's project-specific static analyzer.
 // It type-checks the module with nothing but the standard library (go/ast,
-// go/parser, go/types and a custom module loader — no go/packages) and
-// runs five passes tuned to this codebase's correctness contract:
+// go/parser, go/types and a custom module loader — no go/packages), builds
+// a conservative whole-module call graph, and runs eight passes tuned to
+// this codebase's correctness contract:
 //
 //	determinism — no wall-clock reads, no global math/rand, no map
 //	              iteration order leaking into scheduling decisions;
-//	errcheck    — no discarded error returns in internal/core,
-//	              internal/agent, internal/transport;
+//	errcheck    — no discarded error returns anywhere under internal/;
 //	locks       — no copied sync locks, and mutex-guarded struct fields
 //	              only touched under the lock or behind an explicit
 //	              //harplint:locked caller-holds-lock annotation;
 //	docs        — every exported identifier documented;
 //	output      — no fmt.Print*/log.Print* terminal output in runtime
 //	              (non-main) packages; observability goes through
-//	              internal/obs instead.
+//	              internal/obs instead;
+//	vtime       — no runtime-package function transitively reaches the
+//	              wall clock (time.Now/Sleep/NewTimer/...), at any call
+//	              depth, unless annotated //harplint:realtime;
+//	rngstream   — rand generators are constructed only inside
+//	              internal/vclock, stream names are registry constants,
+//	              and no runtime function transitively consumes the
+//	              global math/rand source;
+//	hotpath     — functions annotated //harplint:hotpath, and everything
+//	              they transitively call, are free of locally-provable
+//	              heap allocations.
 //
 // Findings are suppressed in place with `//harplint:allow <pass>` on the
 // offending (or preceding) line, or `//harplint:file-allow <pass>` for a
-// whole file. Exit status is 1 if any finding survives, 0 otherwise.
+// whole file. Pre-existing findings can instead be parked in a committed
+// baseline (-baseline harplint.baseline.json) and burned down over time;
+// baseline entries that no longer fire fail the run so the file cannot
+// rot. Exit status is 1 if any finding survives, 0 otherwise.
 //
 // Usage:
 //
-//	harplint [-pass determinism,errcheck,locks,docs,output] [packages]
+//	harplint [-pass determinism,...] [-format text|json|github]
+//	         [-baseline harplint.baseline.json] [packages]
 //
 // Packages default to ./... relative to the enclosing module.
 package main
@@ -33,19 +47,25 @@ import (
 	"strings"
 )
 
-// pass couples a pass name with its implementation.
+// pass couples a pass name with its implementation. Per-unit passes set
+// run; interprocedural passes set global and receive every unit plus the
+// module call graph.
 type pass struct {
-	name string
-	run  func(*Unit, func(Finding))
+	name   string
+	run    func(*Unit, func(Finding))
+	global func([]*Unit, *CallGraph, func(Finding))
 }
 
 // allPasses is the registry, in report order.
 var allPasses = []pass{
-	{passDeterminism, runDeterminism},
-	{passErrcheck, runErrcheck},
-	{passLocks, runLocks},
-	{passDocs, runDocs},
-	{passOutput, runOutput},
+	{name: passDeterminism, run: runDeterminism},
+	{name: passErrcheck, run: runErrcheck},
+	{name: passLocks, run: runLocks},
+	{name: passDocs, run: runDocs},
+	{name: passOutput, run: runOutput},
+	{name: passVtime, global: runVtime},
+	{name: passRngstream, global: runRngstream},
+	{name: passHotpath, global: runHotpath},
 }
 
 func main() {
@@ -57,7 +77,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("harplint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	passList := fs.String("pass", "", "comma-separated subset of passes to run (default: all)")
+	format := fs.String("format", "text", "findings output format: text, json, or github")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings (JSON); stale entries fail the run")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" && *format != "github" {
+		fmt.Fprintf(stderr, "harplint: unknown format %q\n", *format)
 		return 2
 	}
 
@@ -83,6 +109,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "harplint:", err)
 		return 2
 	}
+	root, _, err := moduleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	units, err := Load(cwd, fs.Args())
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -90,8 +121,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	findings := Lint(units, selected)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *baselinePath != "" {
+		bl, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "harplint:", err)
+			return 2
+		}
+		findings = bl.apply(root, findings)
+	}
+	if err := writeFindings(stdout, *format, root, findings); err != nil {
+		fmt.Fprintln(stderr, "harplint:", err)
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "harplint: %d finding(s)\n", len(findings))
@@ -101,17 +141,43 @@ func run(args []string, stdout, stderr *os.File) int {
 }
 
 // Lint runs the selected passes over the units and returns the surviving
-// (non-suppressed) findings in stable order.
+// (non-suppressed) findings in stable order. The call graph is built once
+// and shared by all interprocedural passes; suppression directives from
+// every unit apply to every pass, so an interprocedural finding is
+// silenced by an allow comment in the file it points at.
 func Lint(units []*Unit, passes []pass) []Finding {
-	var findings []Finding
+	perUnit := make(map[*Unit]*directiveIndex, len(units))
 	for _, u := range units {
-		idx := collectDirectives(u)
-		for _, p := range passes {
-			p.run(u, func(f Finding) {
-				if !idx.allows(f.Pass, f.Pos) {
-					findings = append(findings, f)
-				}
-			})
+		perUnit[u] = collectDirectives(u)
+	}
+	allows := func(pass string, f Finding) bool {
+		for _, idx := range perUnit {
+			if idx.allows(pass, f.Pos) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var findings []Finding
+	var graph *CallGraph
+	for _, p := range passes {
+		p := p
+		report := func(f Finding) {
+			if !allows(p.name, f) {
+				findings = append(findings, f)
+			}
+		}
+		switch {
+		case p.run != nil:
+			for _, u := range units {
+				p.run(u, report)
+			}
+		case p.global != nil:
+			if graph == nil {
+				graph = buildCallGraph(units)
+			}
+			p.global(units, graph, report)
 		}
 	}
 	sortFindings(findings)

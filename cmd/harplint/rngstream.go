@@ -1,0 +1,218 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The rngstream pass enforces the module's randomness discipline: all
+// randomness flows through internal/vclock's named, seeded streams, so a
+// run is a pure function of its seeds and adding a consumer never
+// perturbs another's draws. Three rules, the third interprocedural:
+//
+//  1. rand.New / rand.NewSource (and the v2 generators) may only be
+//     constructed inside internal/vclock — everywhere else in runtime
+//     code a generator must come from vclock.NewStream or Clock.RNG;
+//  2. the stream-name argument of vclock.NewStream / Clock.RNG must be a
+//     constant declared in internal/vclock, the single registry of stream
+//     names — a string literal at the call site is an unregistered
+//     stream;
+//  3. no runtime function may reach the process-seeded global math/rand
+//     source at any call depth. The determinism pass flags the direct
+//     call; this pass walks the call graph and flags every call site
+//     whose callee transitively consumes the global source.
+//
+// Commands (package main) are exempt from rules 1 and 3 — their job is
+// wiring — but rule 2 applies everywhere: the registry is only
+// authoritative if nothing bypasses it.
+const passRngstream = "rngstream"
+
+// randCtorFuncs are the generator constructors that must live in vclock.
+var randCtorFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// vclockStreamFuncs are the blessed stream accessors whose first argument
+// is a registered stream name.
+var vclockStreamFuncs = map[string]bool{"NewStream": true, "RNG": true}
+
+// isVclockUnit reports whether the unit is internal/vclock itself — the
+// one place generator construction is allowed.
+func isVclockUnit(u *Unit) bool {
+	return strings.HasSuffix(u.ImportPath, "internal/vclock")
+}
+
+// isVclockPkg reports whether a types package is internal/vclock.
+func isVclockPkg(p *types.Package) bool {
+	return p != nil && strings.HasSuffix(p.Path(), "internal/vclock")
+}
+
+// runRngstream applies the rngstream pass over the whole module.
+func runRngstream(units []*Unit, g *CallGraph, report func(Finding)) {
+	// Rules 1 and 2: per-call-site checks.
+	for _, u := range units {
+		for _, file := range u.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkRandConstructor(u, call, report)
+				checkStreamName(u, call, report)
+				return true
+			})
+		}
+	}
+
+	// Rule 3: transitive reach of the global math/rand source.
+	sinks := make(map[*types.Func]string)
+	for _, n := range g.order {
+		if n.decl == nil {
+			continue
+		}
+		if name, ok := firstGlobalRandCall(n.unit, n.decl); ok {
+			sinks[n.fn] = name
+		}
+	}
+	state := propagateTaint(g, nil, func(fn *types.Func) (string, bool) {
+		name, ok := sinks[fn]
+		return name, ok
+	})
+	for _, n := range g.order {
+		if n.decl == nil || !isRuntimeUnit(n.unit) {
+			continue
+		}
+		for _, e := range n.out {
+			st := state[e.callee]
+			if st == nil || !st.tainted {
+				continue
+			}
+			// The direct call inside the callee is the determinism pass's
+			// finding; this pass owns the edges above it.
+			report(Finding{
+				Pos:  n.unit.Fset.Position(e.pos),
+				Pass: passRngstream,
+				Message: "call to " + funcDisplayName(e.callee) + " transitively consumes the global math/rand source (" +
+					taintChain(state, e.callee, 8) + "); thread a vclock stream through the chain instead",
+			})
+		}
+	}
+}
+
+// checkRandConstructor flags generator construction outside vclock in
+// runtime packages (rule 1).
+func checkRandConstructor(u *Unit, call *ast.CallExpr, report func(Finding)) {
+	if !isRuntimeUnit(u) || isVclockUnit(u) {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := u.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+		if randCtorFuncs[sel.Sel.Name] {
+			report(Finding{
+				Pos:  u.Fset.Position(call.Pos()),
+				Pass: passRngstream,
+				Message: "rand." + sel.Sel.Name + " constructs a generator outside internal/vclock; " +
+					"take a stream from vclock.NewStream or Clock.RNG with a registered name",
+			})
+		}
+	}
+}
+
+// checkStreamName enforces rule 2: the name argument of NewStream /
+// Clock.RNG resolves to a constant declared in internal/vclock.
+func checkStreamName(u *Unit, call *ast.CallExpr, report func(Finding)) {
+	if isVclockUnit(u) {
+		return // the registry package plumbs names through parameters
+	}
+	var fnObj *types.Func
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fnObj, _ = u.Info.Uses[f.Sel].(*types.Func)
+	case *ast.Ident:
+		fnObj, _ = u.Info.Uses[f].(*types.Func)
+	}
+	if fnObj == nil || !isVclockPkg(fnObj.Pkg()) || !vclockStreamFuncs[fnObj.Name()] || len(call.Args) == 0 {
+		return
+	}
+	if streamNameIsRegistered(u, call.Args[0]) {
+		return
+	}
+	report(Finding{
+		Pos:  u.Fset.Position(call.Args[0].Pos()),
+		Pass: passRngstream,
+		Message: "stream name passed to vclock." + fnObj.Name() + " is not a constant from the " +
+			"internal/vclock registry; declare a vclock.Stream constant and use it",
+	})
+}
+
+// streamNameIsRegistered reports whether the expression is (or trivially
+// wraps) a constant declared in internal/vclock.
+func streamNameIsRegistered(u *Unit, e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	var id *ast.Ident
+	switch v := e.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return false
+	}
+	c, ok := u.Info.Uses[id].(*types.Const)
+	return ok && isVclockPkg(c.Pkg())
+}
+
+// firstGlobalRandCall reports whether the declaration calls a package-level
+// math/rand function that consumes the process-global source.
+func firstGlobalRandCall(u *Unit, fn *ast.FuncDecl) (string, bool) {
+	var name string
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := u.Info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "math/rand", "math/rand/v2":
+			if !globalRandExempt[sel.Sel.Name] && !randCtorFuncs[sel.Sel.Name] {
+				name = "math/rand." + sel.Sel.Name
+				return false
+			}
+		}
+		return true
+	})
+	return name, name != ""
+}

@@ -1,0 +1,3 @@
+module hotfx
+
+go 1.22

@@ -1,0 +1,45 @@
+// Package hot exercises the hotpath pass: an annotated root, a
+// transitive allocation two calls down, the Enabled-guard exemption, and
+// the reused-storage append rule.
+package hot
+
+// Sink accumulates results; its buf field is reused storage.
+type Sink struct {
+	buf []int
+	on  bool
+}
+
+// Enabled reports whether the sink records.
+func (s *Sink) Enabled() bool { return s.on }
+
+// Process is the annotated hot root. The append into the field is fine;
+// the escaping composite literal is a direct finding.
+//
+//harplint:hotpath
+func (s *Sink) Process(v int) *Sink {
+	s.buf = append(s.buf, v)
+	if s.Enabled() {
+		// Guarded block: allocations here are exempt (tracing-on path).
+		s.buf = append([]int{}, s.buf...)
+	}
+	other := &Sink{} // escaping composite literal: a direct finding
+	mid(s)
+	return other
+}
+
+// Suppressed demonstrates the allow directive on a hot function.
+//
+//harplint:hotpath
+func (s *Sink) Suppressed() []int {
+	return make([]int, 4) //harplint:allow hotpath fixture demonstrates suppression
+}
+
+// mid is one call from the root and clean itself.
+func mid(s *Sink) { leaf(s) }
+
+// leaf is two calls from the root: its allocation is the finding only the
+// call graph can attribute to the hot path.
+func leaf(s *Sink) {
+	scratch := make([]int, 8)
+	copy(scratch, s.buf)
+}

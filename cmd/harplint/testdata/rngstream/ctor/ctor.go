@@ -1,0 +1,24 @@
+// Package ctor exercises rules 1 and 2: generator construction outside
+// vclock, and stream names that are not registry constants.
+package ctor
+
+import (
+	"math/rand"
+
+	"rngfx/internal/vclock"
+)
+
+// Raw constructs a generator outside vclock: a rule-1 violation.
+func Raw(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Unregistered passes a string literal as the stream name: a rule-2
+// violation.
+func Unregistered(seed int64) *rand.Rand { return vclock.NewStream("ad-hoc", seed) }
+
+// Registered uses the registry constant and is clean.
+func Registered(seed int64) *rand.Rand { return vclock.NewStream(vclock.StreamGood, seed) }
+
+// Suppressed demonstrates the allow directive.
+func Suppressed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) //harplint:allow rngstream fixture demonstrates suppression
+}

@@ -1,0 +1,16 @@
+// Package deep reaches the global math/rand source two calls down — the
+// violation only the call graph can see (no rand import in Shuffle's
+// file-level neighbourhood would be needed at all).
+package deep
+
+import "math/rand"
+
+// roll consumes the process-global source (the determinism pass owns this
+// direct finding; rngstream owns the edges above it).
+func roll() int { return rand.Intn(6) } //harplint:allow determinism fixture sink
+
+// pick is one call away from the global source.
+func pick() int { return roll() }
+
+// Shuffle is two calls away: the interprocedural finding.
+func Shuffle() int { return pick() }

@@ -1,0 +1,3 @@
+module rngfx
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package vclock mirrors the real stream registry: the one sanctioned
+// construction site for generators, and the constants naming them.
+package vclock
+
+import "math/rand"
+
+// Stream names one source of randomness.
+type Stream string
+
+// StreamGood is the registered fixture stream.
+const StreamGood Stream = "fixture.good"
+
+// NewStream constructs a generator for a registered stream.
+func NewStream(name Stream, seed int64) *rand.Rand {
+	_ = name
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,19 @@
+// Package app holds the violations only interprocedural analysis can see:
+// the wall clock is two calls away, or behind a spawned goroutine.
+package app
+
+import "vtimefx/middle"
+
+// Tick reaches the wall clock two calls deep — no time import here, so a
+// per-function pass sees nothing.
+func Tick() float64 { return middle.Sample() }
+
+// Spawn leaks the wall clock through a goroutine.
+func Spawn() {
+	go middle.Sample()
+}
+
+// Suppressed demonstrates the allow directive on a transitive finding.
+func Suppressed() float64 {
+	return middle.Sample() //harplint:allow vtime fixture demonstrates suppression
+}

@@ -1,0 +1,13 @@
+// Package boundary demonstrates the realtime annotation: an annotated
+// function may touch the wall clock and does not taint its callers.
+package boundary
+
+import "time"
+
+// Elapsed is an audited wall-clock boundary.
+//
+//harplint:realtime
+func Elapsed(since time.Time) float64 { return time.Since(since).Seconds() }
+
+// Report calls an annotated boundary and stays clean.
+func Report(since time.Time) float64 { return Elapsed(since) }

@@ -1,0 +1,7 @@
+// Package clockutil holds the direct wall-clock sink of the vtime fixture.
+package clockutil
+
+import "time"
+
+// Stamp reads the wall clock directly: the depth-0 violation.
+func Stamp() float64 { return float64(time.Now().UnixNano()) }

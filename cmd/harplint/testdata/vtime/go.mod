@@ -1,0 +1,3 @@
+module vtimefx
+
+go 1.22

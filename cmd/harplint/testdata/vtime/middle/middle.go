@@ -1,0 +1,7 @@
+// Package middle sits one call away from the wall clock.
+package middle
+
+import "vtimefx/clockutil"
+
+// Sample reaches the wall clock through one hop.
+func Sample() float64 { return clockutil.Stamp() }

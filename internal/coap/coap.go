@@ -10,7 +10,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -174,20 +173,38 @@ func (m Message) Response(code Code, payload []byte) Message {
 	}
 }
 
-// Encode serialises the message to the RFC 7252 wire format.
+// Encode serialises the message to the RFC 7252 wire format into a fresh
+// buffer. Hot paths that reuse a scratch buffer call AppendTo directly.
 func (m Message) Encode() ([]byte, error) {
+	//harplint:allow hotpath callers without a scratch buffer accept one allocation
+	buf := make([]byte, 0, 8+len(m.Token)+len(m.Payload)+4*len(m.Options))
+	return m.AppendTo(buf)
+}
+
+// AppendTo serialises the message to the RFC 7252 wire format, appending to
+// dst and returning the extended buffer. With a pre-sized dst it performs
+// no allocations when the options are already in ascending number order —
+// the order every encoder in this module produces.
+//
+//harplint:hotpath
+func (m Message) AppendTo(dst []byte) ([]byte, error) {
 	if len(m.Token) > 8 {
 		return nil, ErrBadToken
 	}
-	buf := make([]byte, 0, 8+len(m.Token)+len(m.Payload)+4*len(m.Options))
-	buf = append(buf, byte(Version<<6)|byte(m.Type)<<4|byte(len(m.Token)))
+	buf := append(dst, byte(Version<<6)|byte(m.Type)<<4|byte(len(m.Token)))
 	buf = append(buf, byte(m.Code))
 	buf = binary.BigEndian.AppendUint16(buf, m.MessageID)
 	buf = append(buf, m.Token...)
 
-	opts := make([]Option, len(m.Options))
-	copy(opts, m.Options)
-	sort.SliceStable(opts, func(i, j int) bool { return opts[i].Number < opts[j].Number })
+	opts := m.Options
+	if !optionsSorted(opts) {
+		// Cold path: out-of-order options are copied and insertion-sorted
+		// (stable) so the caller's slice is left untouched.
+		sorted := make([]Option, len(opts)) //harplint:allow hotpath out-of-order options are a cold path
+		copy(sorted, opts)
+		sortOptions(sorted)
+		opts = sorted
+	}
 	prev := uint16(0)
 	for _, o := range opts {
 		delta := o.Number - prev
@@ -206,35 +223,67 @@ func (m Message) Encode() ([]byte, error) {
 	return buf, nil
 }
 
+// optionsSorted reports whether the options are already in ascending
+// number order.
+func optionsSorted(opts []Option) bool {
+	for i := 1; i < len(opts); i++ {
+		if opts[i].Number < opts[i-1].Number {
+			return false
+		}
+	}
+	return true
+}
+
+// sortOptions stable-sorts options by number (insertion sort: option lists
+// are short, and it avoids sort.SliceStable's closure allocation).
+func sortOptions(opts []Option) {
+	for i := 1; i < len(opts); i++ {
+		for j := i; j > 0 && opts[j].Number < opts[j-1].Number; j-- {
+			opts[j], opts[j-1] = opts[j-1], opts[j]
+		}
+	}
+}
+
 // appendOptionHeader writes the option delta/length nibbles with the
 // extended encodings of RFC 7252 §3.1.
 func appendOptionHeader(buf []byte, delta uint16, length int) ([]byte, error) {
 	if length > 0xFFFF {
 		return nil, ErrBadOption
 	}
-	dn, dext := nibble(uint32(delta))
-	ln, lext := nibble(uint32(length))
+	dn := nibbleField(uint32(delta))
+	ln := nibbleField(uint32(length))
 	buf = append(buf, dn<<4|ln)
-	buf = append(buf, dext...)
-	buf = append(buf, lext...)
+	buf = appendNibbleExt(buf, dn, uint32(delta))
+	buf = appendNibbleExt(buf, ln, uint32(length))
 	return buf, nil
 }
 
-// nibble returns the 4-bit field and extension bytes for a delta or length.
-func nibble(v uint32) (byte, []byte) {
+// nibbleField returns the 4-bit field for a delta or length.
+func nibbleField(v uint32) byte {
 	switch {
 	case v < 13:
-		return byte(v), nil
+		return byte(v)
 	case v < 269:
-		return 13, []byte{byte(v - 13)}
+		return 13
 	default:
-		ext := make([]byte, 2)
-		binary.BigEndian.PutUint16(ext, uint16(v-269))
-		return 14, ext
+		return 14
 	}
 }
 
+// appendNibbleExt appends the extension bytes matching a nibble field.
+func appendNibbleExt(buf []byte, n byte, v uint32) []byte {
+	switch n {
+	case 13:
+		return append(buf, byte(v-13))
+	case 14:
+		return binary.BigEndian.AppendUint16(buf, uint16(v-269))
+	}
+	return buf
+}
+
 // Decode parses a wire-format message.
+//
+//harplint:hotpath
 func Decode(data []byte) (Message, error) {
 	if len(data) < 4 {
 		return Message{}, ErrTruncated
@@ -255,7 +304,7 @@ func Decode(data []byte) (Message, error) {
 		return Message{}, ErrTruncated
 	}
 	if tkl > 0 {
-		m.Token = append([]byte(nil), rest[:tkl]...)
+		m.Token = append([]byte(nil), rest[:tkl]...) //harplint:allow hotpath the decoded message owns its bytes; callers reuse the input buffer
 	}
 	rest = rest[tkl:]
 
@@ -265,7 +314,7 @@ func Decode(data []byte) (Message, error) {
 			if len(rest) == 1 {
 				return Message{}, ErrTruncated // payload marker with no payload
 			}
-			m.Payload = append([]byte(nil), rest[1:]...)
+			m.Payload = append([]byte(nil), rest[1:]...) //harplint:allow hotpath the decoded message owns its bytes; callers reuse the input buffer
 			return m, nil
 		}
 		dn := rest[0] >> 4
@@ -285,6 +334,7 @@ func Decode(data []byte) (Message, error) {
 			return Message{}, ErrTruncated
 		}
 		prev += uint16(delta)
+		//harplint:allow hotpath the decoded message owns its bytes; callers reuse the input buffer
 		m.Options = append(m.Options, Option{Number: prev, Value: append([]byte(nil), rest[:length]...)})
 		rest = rest[length:]
 	}

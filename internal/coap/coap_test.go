@@ -236,3 +236,43 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAppendToAllocFree pins the //harplint:hotpath contract on the
+// encoder: serialising into a reused scratch buffer with in-order options
+// allocates nothing.
+func TestAppendToAllocFree(t *testing.T) {
+	m := Message{
+		Type:      Confirmable,
+		Code:      POST,
+		MessageID: 0x1234,
+		Token:     []byte{0xAA, 0xBB},
+		Options: []Option{
+			{Number: OptionUriPath, Value: []byte("partition")},
+			{Number: OptionContentFormat, Value: []byte{42}},
+		},
+		Payload: []byte(`{"cells":3}`),
+	}
+	buf := make([]byte, 0, 128)
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, err := m.AppendTo(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	})
+	if allocs != 0 {
+		t.Errorf("AppendTo into scratch buffer allocates %.2f times, want 0", allocs)
+	}
+	// The reused-buffer encoding must match the allocating Encode path.
+	want, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("AppendTo = %x, Encode = %x", got, want)
+	}
+}

@@ -18,6 +18,8 @@ package experiments
 
 import (
 	"math/rand"
+
+	"github.com/harpnet/harp/internal/vclock"
 	"time"
 
 	"github.com/harpnet/harp/internal/schedule"
@@ -41,5 +43,5 @@ func TestbedSlotframe() schedule.Slotframe { return schedule.Testbed() }
 // rngFor derives a child rng deterministically from a seed and stream id,
 // so per-topology randomness is independent of evaluation order.
 func rngFor(seed int64, stream int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed*1_000_003 + stream))
+	return vclock.NewStream(vclock.StreamSweep, seed*1_000_003+stream)
 }

@@ -82,10 +82,11 @@ func Fig7d() (Fig7dResult, error) {
 		}
 	}
 	var b strings.Builder
+	//harplint:allow errcheck strings.Builder writes cannot fail
 	fmt.Fprintf(&b, "slotframe %d slots x %d channels (data sub-frame %d slots; uplink layers as digits, downlink as letters, '.' = management)\n",
 		frame.Slots, frame.Channels, frame.DataSlots)
 	for ch := frame.Channels - 1; ch >= 0; ch-- {
-		fmt.Fprintf(&b, "ch%2d |%s|\n", ch, string(grid[ch]))
+		fmt.Fprintf(&b, "ch%2d |%s|\n", ch, string(grid[ch])) //harplint:allow errcheck strings.Builder writes cannot fail
 	}
 	return Fig7dResult{Plan: plan, Table: table, Map: b.String(), Static: plan.Static}, nil
 }

@@ -132,7 +132,7 @@ func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.S
 
 	provisioned := inflated
 	cs.At(cfg.StepAt*frame.Slots, func(c *cosim.CoSim) {
-		_ = c.Sim.SetTaskRate(traffic.TaskID(cfg.Node), cfg.StepRate)
+		_ = c.Sim.SetTaskRate(traffic.TaskID(cfg.Node), cfg.StepRate) //harplint:allow errcheck rate steps target the sim best-effort; the checked SetRate below is authoritative
 		if err := tasks.SetRate(traffic.TaskID(cfg.Node), cfg.StepRate); err != nil {
 			return
 		}
@@ -140,7 +140,7 @@ func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.S
 		if err != nil {
 			return
 		}
-		_ = c.Adjust(func(f *agent.Fleet) error {
+		_ = c.Adjust(func(f *agent.Fleet) error { //harplint:allow errcheck a rejected adjustment keeps the old partition; convergence metrics expose it
 			for _, l := range newDemand.Links() {
 				needed := newDemand.Cells(l)
 				if needed <= provisioned[l] {

@@ -183,7 +183,7 @@ func WriteChromeFile(path string, events []Event) error {
 		return err
 	}
 	if err := WriteChrome(f, events); err != nil {
-		f.Close()
+		f.Close() //harplint:allow errcheck the write error takes precedence over close-on-error
 		return err
 	}
 	return f.Close()

@@ -78,7 +78,7 @@ func WriteJSONLFile(path string, events []Event) error {
 		return err
 	}
 	if err := WriteJSONL(f, events); err != nil {
-		f.Close()
+		f.Close() //harplint:allow errcheck the write error takes precedence over close-on-error
 		return err
 	}
 	return f.Close()
@@ -116,6 +116,6 @@ func ReadJSONLFile(path string) ([]Event, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //harplint:allow errcheck file opened read-only
 	return ReadJSONL(f)
 }

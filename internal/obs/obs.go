@@ -228,6 +228,8 @@ func (t *Tracer) Enabled() bool { return t != nil }
 // Emit records the event, stamping its virtual time and span ID. An
 // event with no explicit parent is parented to the current span-stack
 // top (0, a root, when the stack is empty). Returns the new span ID.
+//
+//harplint:hotpath
 func (t *Tracer) Emit(e Event) uint64 {
 	t.nextSpan++
 	e.Span = t.nextSpan

@@ -125,6 +125,8 @@ func NewRegistry() *Registry {
 func (r *Registry) Inc(k MetricKey) { r.Add(k, 1) }
 
 // Add adds delta to a counter.
+//
+//harplint:hotpath
 func (r *Registry) Add(k MetricKey, delta int64) {
 	if r == nil {
 		return

@@ -107,6 +107,17 @@ type Simulator struct {
 
 	records []PacketRecord
 
+	// Route caches: the tree is immutable for the simulator's lifetime, so
+	// per-packet routes are computed once per task endpoint at construction
+	// and shared between packets. advance only reslices p.route, never
+	// writes through it, which is what makes the sharing safe.
+	upRoutes   map[topology.NodeID][]topology.NodeID
+	downRoutes map[topology.NodeID][]topology.NodeID
+
+	// pool recycles delivered and dropped packets so steady-state traffic
+	// allocates nothing per packet.
+	pool []*packet
+
 	// Scratch buffers reused by transmit every slot, so the hot path does
 	// not allocate. commitBuf/usersBuf are cleared (not reallocated) per
 	// slot; attemptsBuf is truncated.
@@ -207,7 +218,7 @@ func New(cfg Config) (*Simulator, error) {
 		tree:        cfg.Tree,
 		frame:       cfg.Frame,
 		clock:       vclock.New(),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         vclock.NewStream(vclock.StreamSimMAC, cfg.Seed),
 		cellsBySlot: make(map[int][]scheduledCell),
 		queues:      make(map[topology.Link][]*packet),
 		maxQueue:    maxQueue,
@@ -219,9 +230,61 @@ func New(cfg Config) (*Simulator, error) {
 	for _, t := range cfg.Tasks.Tasks() { // Tasks() is sorted by ID
 		s.taskState[t.ID] = &taskGen{task: t, nextRelease: 0}
 		s.taskOrder = append(s.taskOrder, t.ID)
+		if err := s.cacheRoutes(t); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
+
+// cacheRoutes precomputes the task's uplink and downlink hop sequences.
+// The task set is fixed at construction, so these two maps cover every
+// packet the run can release.
+func (s *Simulator) cacheRoutes(t traffic.Task) error {
+	if s.upRoutes == nil {
+		s.upRoutes = make(map[topology.NodeID][]topology.NodeID)
+		s.downRoutes = make(map[topology.NodeID][]topology.NodeID)
+	}
+	if t.Source != topology.GatewayID {
+		if _, ok := s.upRoutes[t.Source]; !ok {
+			path, err := s.tree.PathToGateway(t.Source)
+			if err != nil {
+				return err
+			}
+			s.upRoutes[t.Source] = path[1:] // next hops: parent ... gateway
+		}
+	}
+	if t.Actuator != topology.GatewayID {
+		if _, ok := s.downRoutes[t.Actuator]; !ok {
+			path, err := s.tree.PathToGateway(t.Actuator)
+			if err != nil {
+				return err
+			}
+			// Reverse to gateway->...->actuator, dropping the gateway itself.
+			route := make([]topology.NodeID, 0, len(path)-1)
+			for i := len(path) - 2; i >= 0; i-- {
+				route = append(route, path[i])
+			}
+			s.downRoutes[t.Actuator] = route
+		}
+	}
+	return nil
+}
+
+// newPacket takes a zeroed packet from the free list, allocating only when
+// the pool is empty.
+func (s *Simulator) newPacket() *packet {
+	if n := len(s.pool); n > 0 {
+		p := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		*p = packet{}
+		return p
+	}
+	return &packet{} //harplint:allow hotpath pool refill; amortized to zero across a steady-state run
+}
+
+// freePacket returns a delivered or dropped packet to the free list.
+func (s *Simulator) freePacket(p *packet) { s.pool = append(s.pool, p) }
 
 // Now returns the current absolute slot index.
 func (s *Simulator) Now() int { return s.now }
@@ -387,13 +450,14 @@ func (s *Simulator) RunSlotframes(n int) error {
 	return s.Run(n * s.frame.Slots)
 }
 
+//harplint:hotpath
 func (s *Simulator) step() error {
 	for _, fn := range s.events[s.now] {
-		fn(s)
+		fn(s) //harplint:allow hotpath scripted scenario callbacks fire on a handful of slots
 	}
 	delete(s.events, s.now)
 	for _, fn := range s.eachSlot {
-		fn(s)
+		fn(s) //harplint:allow hotpath co-simulation observation hook; audited by the cosim allocation tests
 	}
 	s.generate()
 	if err := s.transmit(); err != nil {
@@ -424,21 +488,22 @@ func (s *Simulator) release(t traffic.Task) {
 
 	if t.Source == topology.GatewayID {
 		// Degenerate task: only the downlink leg exists.
-		s.startDownlink(&packet{task: t.ID, createdAt: s.now, rec: idx}, t.Actuator)
+		p := s.newPacket()
+		p.task, p.createdAt, p.rec = t.ID, s.now, idx
+		s.startDownlink(p, t.Actuator)
 		return
 	}
-	path, err := s.tree.PathToGateway(t.Source)
-	if err != nil {
+	route, ok := s.upRoutes[t.Source]
+	if !ok {
 		return
 	}
-	p := &packet{
-		task:      t.ID,
-		createdAt: s.now,
-		route:     path[1:], // next hops: parent ... gateway
-		dir:       topology.Uplink,
-		echo:      true,
-		rec:       idx,
-	}
+	p := s.newPacket()
+	p.task = t.ID
+	p.createdAt = s.now
+	p.route = route
+	p.dir = topology.Uplink
+	p.echo = true
+	p.rec = idx
 	s.enqueue(topology.Link{Child: t.Source, Direction: topology.Uplink}, p)
 }
 
@@ -448,14 +513,10 @@ func (s *Simulator) startDownlink(p *packet, actuator topology.NodeID) {
 		s.deliver(p)
 		return
 	}
-	path, err := s.tree.PathToGateway(actuator)
-	if err != nil {
+	route, ok := s.downRoutes[actuator]
+	if !ok {
+		s.freePacket(p)
 		return
-	}
-	// Reverse to gateway->...->actuator, dropping the gateway itself.
-	route := make([]topology.NodeID, 0, len(path)-1)
-	for i := len(path) - 2; i >= 0; i-- {
-		route = append(route, path[i])
 	}
 	p.route = route
 	p.dir = topology.Downlink
@@ -463,11 +524,22 @@ func (s *Simulator) startDownlink(p *packet, actuator topology.NodeID) {
 	s.enqueue(topology.Link{Child: route[0], Direction: topology.Downlink}, p)
 }
 
+// popHead removes the queue head by shifting in place. Reslicing (q[1:])
+// would creep through the backing array and force a fresh allocation every
+// few appends; shifting keeps one backing array per link for the whole
+// run. Queues are bounded by maxQueue, so the copy is a few words.
+func popHead(q []*packet) []*packet {
+	copy(q, q[1:])
+	q[len(q)-1] = nil // release the reference for the pool
+	return q[:len(q)-1]
+}
+
 func (s *Simulator) enqueue(l topology.Link, p *packet) {
 	q := s.queues[l]
 	if len(q) >= s.maxQueue {
 		s.Drops++
 		s.records[p.rec].Dropped = true
+		s.freePacket(p)
 		return
 	}
 	s.queues[l] = append(q, p)
@@ -478,6 +550,7 @@ func (s *Simulator) deliver(p *packet) {
 	rec.Delivered = true
 	rec.DeliveredAt = s.now
 	rec.Hops = p.hops
+	s.freePacket(p)
 }
 
 // linkNodes returns the two endpoints of a link.
@@ -509,6 +582,8 @@ func (s *Simulator) endpointsOf(l topology.Link) (topology.NodeID, topology.Node
 // the Bernoulli channel lets it through. Nothing here assumes a
 // collision-free schedule — baselines with conflicting schedules observe
 // collisions and receiver misses, exactly the pathology Fig. 11 measures.
+//
+//harplint:hotpath
 func (s *Simulator) transmit() error {
 	slotInFrame := s.now % s.frame.Slots
 	cells := s.cellsBySlot[slotInFrame]
@@ -602,9 +677,10 @@ func (s *Simulator) failAttempt(l topology.Link) {
 	p := q[0]
 	p.attempts++
 	if p.attempts > s.cfg.MaxRetries {
-		s.queues[l] = q[1:]
+		s.queues[l] = popHead(q)
 		s.Expired++
 		s.records[p.rec].Dropped = true
+		s.freePacket(p)
 	}
 }
 
@@ -615,7 +691,7 @@ func (s *Simulator) advance(l topology.Link, p *packet) {
 	if len(q) == 0 || q[0] != p {
 		return // defensive: queue mutated
 	}
-	s.queues[l] = q[1:]
+	s.queues[l] = popHead(q)
 	p.hops++
 	p.attempts = 0
 	arrived := p.route[0]

@@ -567,3 +567,30 @@ func TestRunOnSharedClockInterleaves(t *testing.T) {
 		t.Errorf("EachSlot ran %d times over 5 slots", ticks)
 	}
 }
+
+// TestSteadyStateStepAllocFree pins the //harplint:hotpath contract on the
+// slot loop: once routes are cached, the packet pool is warm, and the
+// records slice has grown its capacity, simulating a slot allocates
+// nothing.
+func TestSteadyStateStepAllocFree(t *testing.T) {
+	tree, tasks := chainNet(t, 1)
+	f := frame()
+	sim, err := New(Config{Tree: tree, Frame: f, Tasks: tasks, PDR: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetSchedule(harpSchedule(t, tree, tasks, f))
+	// Warm up: fill the packet pool and grow records past the measurement
+	// window's needs (append doubling leaves ample headroom).
+	if err := sim.RunSlotframes(200); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := sim.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state step allocates %.2f times per slot, want 0", allocs)
+	}
+}

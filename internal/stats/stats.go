@@ -162,16 +162,16 @@ func (t *Table) String() string {
 	}
 	var b strings.Builder
 	if t.Title != "" {
-		fmt.Fprintf(&b, "%s\n", t.Title)
+		fmt.Fprintf(&b, "%s\n", t.Title) //harplint:allow errcheck strings.Builder writes cannot fail
 	}
 	writeRow := func(cells []string) {
 		for i, cell := range cells {
 			if i > 0 {
-				b.WriteString("  ")
+				b.WriteString("  ") //harplint:allow errcheck strings.Builder writes cannot fail
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			fmt.Fprintf(&b, "%-*s", widths[i], cell) //harplint:allow errcheck strings.Builder writes cannot fail
 		}
-		b.WriteByte('\n')
+		b.WriteByte('\n') //harplint:allow errcheck strings.Builder writes cannot fail
 	}
 	writeRow(t.Headers)
 	rule := make([]string, len(t.Headers))

@@ -55,7 +55,7 @@ func Generate(spec GenSpec, rng *rand.Rand) (*Tree, error) {
 	for int(next) < spec.Nodes {
 		candidates := make([]NodeID, 0, t.Len())
 		for _, id := range t.Nodes() {
-			d, _ := t.Depth(id)
+			d, _ := t.Depth(id) //harplint:allow errcheck id comes from t.Nodes() and is always present
 			if d >= spec.Layers {
 				continue // a child would exceed the layer budget
 			}

@@ -413,7 +413,7 @@ func (t *Tree) String() string {
 	var b strings.Builder
 	var walk func(id NodeID, indent int)
 	walk = func(id NodeID, indent int) {
-		fmt.Fprintf(&b, "%s%d\n", strings.Repeat("  ", indent), id)
+		fmt.Fprintf(&b, "%s%d\n", strings.Repeat("  ", indent), id) //harplint:allow errcheck strings.Builder writes cannot fail
 		for _, c := range t.Children(id) {
 			walk(c, indent+1)
 		}

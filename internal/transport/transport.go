@@ -244,7 +244,7 @@ func NewBusOnClock(c *vclock.Clock, slotframeSlots int, seed int64) (*Bus, error
 	return &Bus{
 		clock:        c,
 		handlers:     make(map[topology.NodeID]Handler),
-		rng:          c.RNG("transport.bus", seed),
+		rng:          c.RNG(vclock.StreamBus, seed),
 		slotsPerHop:  slotframeSlots,
 		crashed:      make(map[topology.NodeID]bool),
 		metrics:      obs.NewRegistry(),
@@ -303,7 +303,7 @@ func (b *Bus) Errors() []error {
 func (b *Bus) SetFaults(cfg FaultConfig) {
 	b.faults = cfg
 	if cfg.Drop > 0 || cfg.Dup > 0 {
-		b.faultRNG = b.clock.RNG("transport.fault", cfg.Seed)
+		b.faultRNG = b.clock.RNG(vclock.StreamFault, cfg.Seed)
 	} else {
 		b.faultRNG = nil
 	}
@@ -324,7 +324,7 @@ func (b *Bus) EnableReliability(seed int64) {
 func (b *Bus) EnableReliabilityWith(p coap.ReliabilityParams, seed int64) {
 	b.reliable = true
 	b.params = p
-	b.retxRNG = b.clock.RNG("transport.retx", seed)
+	b.retxRNG = b.clock.RNG(vclock.StreamRetx, seed)
 	if b.outstanding == nil {
 		b.outstanding = make(map[[2]topology.NodeID]*busExchange)
 		b.backlog = make(map[[2]topology.NodeID][]*envelope)
@@ -775,6 +775,8 @@ func NewLive() *Live {
 // retransmission timers. Unlike the bus, Live runs exchanges concurrently
 // (no NSTART gate): inbox channels already serialise per-receiver, and the
 // race tests exercise concurrency, not ordering.
+//
+//harplint:realtime
 func (l *Live) EnableReliability(ackTimeout time.Duration, maxRetransmit int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -792,7 +794,7 @@ func (l *Live) EnableReliability(ackTimeout time.Duration, maxRetransmit int) {
 		l.epoch = time.Now() //harplint:allow determinism Live is the wall-clock transport
 	}
 	if l.rnd == nil {
-		l.rnd = rand.New(rand.NewSource(1))
+		l.rnd = vclock.NewStream(vclock.StreamLiveJitter, 1)
 	}
 }
 
@@ -802,7 +804,7 @@ func (l *Live) SetFaults(drop float64, seed int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.drop = drop
-	l.rnd = rand.New(rand.NewSource(seed))
+	l.rnd = vclock.NewStream(vclock.StreamLiveJitter, seed)
 }
 
 // Stats returns a snapshot of the fault/reliability counters.
@@ -894,6 +896,8 @@ func (l *Live) isReliable() bool {
 
 // duplicate records a confirmable delivery in the receiver's dedup cache
 // and reports whether it was already applied.
+//
+//harplint:realtime
 func (l *Live) duplicate(receiver, peer topology.NodeID, mid uint16) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -961,6 +965,8 @@ func (l *Live) post(e envelope) {
 
 // startExchange registers the exchange for a confirmable send, arms its
 // retransmission timer, and posts the first copy.
+//
+//harplint:realtime
 func (l *Live) startExchange(e envelope) {
 	key := liveExKey{from: e.from, to: e.to, mid: e.mid}
 	l.mu.Lock()
@@ -994,6 +1000,8 @@ func (l *Live) after(at, now float64) time.Duration {
 }
 
 // onRetx is an exchange's retransmission timer firing.
+//
+//harplint:realtime
 func (l *Live) onRetx(key liveExKey) {
 	l.mu.Lock()
 	lx, ok := l.lexch[key]
@@ -1075,6 +1083,8 @@ func (l *Live) Send(from, to topology.NodeID, msg coap.Message) error {
 // delivery goroutines (a channel closed when the in-flight count hits
 // zero), not polled. With reliability on, an unresolved confirmable
 // exchange keeps the network busy until its ACK arrives or it gives up.
+//
+//harplint:realtime
 func (l *Live) WaitIdle(timeout time.Duration) bool {
 	l.mu.Lock()
 	ch := l.idle

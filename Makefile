@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-json fmt vet fuzz determinism faultsoak trace-smoke check clean
+.PHONY: all build test race lint lint-json fmt vet fuzz determinism benchgate faultsoak trace-smoke check clean
 
 all: build
 
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/coap/
 	$(GO) test -run=^$$ -fuzz=FuzzPackStrip -fuzztime=$(FUZZTIME) ./internal/packing/
 	$(GO) test -run=^$$ -fuzz=FuzzGridPack  -fuzztime=$(FUZZTIME) ./internal/packing/
+	$(GO) test -run=^$$ -fuzz=FuzzGridBitset -fuzztime=$(FUZZTIME) ./internal/packing/
 	$(GO) test -run=^$$ -fuzz=FuzzConExchange -fuzztime=$(FUZZTIME) ./internal/coap/
 
 # Benchmark output must be a pure function of the seeds: run the quick
@@ -54,6 +55,15 @@ determinism:
 	$(GO) run ./cmd/harpbench -quick -only fig10 -json /tmp/fig10_t1.json -workers 1 -trace /tmp/fig10_t1.jsonl
 	$(GO) run ./cmd/harpbench -quick -only fig10 -json /tmp/fig10_t4.json -workers 4 -trace /tmp/fig10_t4.jsonl
 	cmp /tmp/fig10_t1.jsonl /tmp/fig10_t4.jsonl
+
+# Bench-regression gate: the committed BENCH_harpbench.json is a baseline,
+# not just a trajectory record. Metrics are seed-deterministic, so any drift
+# at any worker count fails; wall times fail only beyond -gate-wall-tol.
+# After an intentional behaviour or performance change, refresh with:
+#   $(GO) run ./cmd/harpbench -quick -workers 1 -json BENCH_harpbench.json
+benchgate:
+	$(GO) run ./cmd/harpbench -quick -workers 1 -gate BENCH_harpbench.json
+	$(GO) run ./cmd/harpbench -quick -workers 4 -gate BENCH_harpbench.json
 
 # Fault-injection soak: the loss-tolerance test surface under the race
 # detector and the harpdebug invariant hooks, then the loss sweep at two

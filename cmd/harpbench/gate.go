@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The bench-regression gate compares a fresh run against a committed
+// BENCH_harpbench.json baseline. Metrics are seed-deterministic, so any
+// numeric drift is a behaviour change and fails the gate outright; wall
+// times are hardware-dependent, so they only fail beyond a generous
+// multiplier. The gate is how "don't regress the simulator" becomes a CI
+// property instead of a review habit.
+
+// defaultGateWallTol is the wall-time multiplier the gate tolerates before
+// calling a slowdown a regression. Bench runners (CI containers especially)
+// jitter by well over 2x, so this errs on the side of catching only order-of-
+// magnitude regressions; tighten per-invocation with -gate-wall-tol.
+const defaultGateWallTol = 3.0
+
+// gateWallFloorSec exempts experiments whose current wall time is below this
+// from the wall check: multiplying microsecond-scale timings by a tolerance
+// only measures scheduler noise.
+const gateWallFloorSec = 0.05
+
+// gateFinding is one baseline violation.
+type gateFinding struct {
+	Experiment string
+	Kind       string // "metric-drift" | "missing-metric" | "missing-experiment" | "wall-regression"
+	Message    string
+}
+
+func (f gateFinding) String() string {
+	return fmt.Sprintf("benchgate: %s: [%s] %s", f.Experiment, f.Kind, f.Message)
+}
+
+// loadBaseline reads a committed harpbench -json report.
+func loadBaseline(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rep.Schema != reportSchema {
+		return rep, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, reportSchema)
+	}
+	return rep, nil
+}
+
+// gateCompare diffs current against baseline. requireAll demands every
+// baseline experiment be present (a full run); a -only run compares just the
+// intersection. Metric keys present in the baseline must exist with exactly
+// equal values — the suite is deterministic, so equality is ==, not a
+// tolerance. Extra metrics in current are allowed (new instrumentation is
+// not a regression). Wall times fail only beyond wallTol x baseline and the
+// absolute floor.
+func gateCompare(baseline, current report, wallTol float64, requireAll bool) []gateFinding {
+	var findings []gateFinding
+	cur := make(map[string]expRecord, len(current.Experiments))
+	for _, e := range current.Experiments {
+		cur[e.Name] = e
+	}
+	for _, base := range baseline.Experiments {
+		got, ok := cur[base.Name]
+		if !ok {
+			if requireAll {
+				findings = append(findings, gateFinding{
+					Experiment: base.Name,
+					Kind:       "missing-experiment",
+					Message:    "experiment in baseline but absent from this run",
+				})
+			}
+			continue
+		}
+		keys := make([]string, 0, len(base.Metrics))
+		for k := range base.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			want := base.Metrics[k]
+			v, ok := got.Metrics[k]
+			switch {
+			case !ok:
+				findings = append(findings, gateFinding{
+					Experiment: base.Name,
+					Kind:       "missing-metric",
+					Message:    fmt.Sprintf("metric %q in baseline but not reported", k),
+				})
+			case v != want:
+				findings = append(findings, gateFinding{
+					Experiment: base.Name,
+					Kind:       "metric-drift",
+					Message:    fmt.Sprintf("metric %q = %v, baseline %v", k, v, want),
+				})
+			}
+		}
+		if got.WallSec >= gateWallFloorSec && base.WallSec > 0 && got.WallSec > wallTol*base.WallSec {
+			findings = append(findings, gateFinding{
+				Experiment: base.Name,
+				Kind:       "wall-regression",
+				Message: fmt.Sprintf("wall %.4fs > %.1fx baseline %.4fs",
+					got.WallSec, wallTol, base.WallSec),
+			})
+		}
+	}
+	return findings
+}
+
+// writeGateFindings renders findings in "text" or "github" format — the
+// latter emits ::error workflow commands, matching harplint's CI surface.
+func writeGateFindings(w io.Writer, format string, findings []gateFinding) {
+	for _, f := range findings {
+		if format == "github" {
+			msg := fmt.Sprintf("[benchgate/%s] %s: %s", f.Kind, f.Experiment, f.Message)
+			msg = strings.ReplaceAll(msg, "%", "%25")
+			msg = strings.ReplaceAll(msg, "\r", "%0D")
+			msg = strings.ReplaceAll(msg, "\n", "%0A")
+			fmt.Fprintf(w, "::error::%s\n", msg)
+			continue
+		}
+		fmt.Fprintln(w, f)
+	}
+}
+
+// runGate loads the baseline, compares, reports, and returns whether the run
+// passed.
+func runGate(baselinePath, format string, current report, wallTol float64, requireAll bool) bool {
+	baseline, err := loadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harpbench: gate: %v\n", err)
+		return false
+	}
+	findings := gateCompare(baseline, current, wallTol, requireAll)
+	if len(findings) > 0 {
+		writeGateFindings(os.Stderr, format, findings)
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL (%d finding(s) vs %s)\n", len(findings), baselinePath)
+		return false
+	}
+	fmt.Printf("benchgate: OK (%d experiment(s) vs %s)\n", len(current.Experiments), baselinePath)
+	return true
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateReport(walls map[string]float64, metrics map[string]map[string]float64) report {
+	rep := report{Schema: reportSchema}
+	// Deterministic experiment order keeps finding order stable.
+	for _, name := range []string{"fig9", "fig10", "losssweep"} {
+		w, ok := walls[name]
+		if !ok {
+			continue
+		}
+		rep.Experiments = append(rep.Experiments, expRecord{
+			Name: name, WallSec: w, Metrics: metrics[name],
+		})
+	}
+	return rep
+}
+
+func baseReport() report {
+	return gateReport(
+		map[string]float64{"fig9": 0.4, "fig10": 0.6, "losssweep": 1.5},
+		map[string]map[string]float64{
+			"fig9":      {"worst_mean_latency_s": 1.8},
+			"fig10":     {"cosim_max_latency_s": 5.07, "cosim_swap_drops": 0},
+			"losssweep": {"loss_pdr90_giveups": 0},
+		})
+}
+
+func kinds(findings []gateFinding) []string {
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.Kind
+	}
+	return out
+}
+
+func TestGateIdenticalRunPasses(t *testing.T) {
+	if fs := gateCompare(baseReport(), baseReport(), defaultGateWallTol, true); len(fs) != 0 {
+		t.Fatalf("identical reports produced findings: %v", fs)
+	}
+}
+
+func TestGateMetricDriftFails(t *testing.T) {
+	cur := baseReport()
+	cur.Experiments[1].Metrics = map[string]float64{"cosim_max_latency_s": 5.08, "cosim_swap_drops": 0}
+	fs := gateCompare(baseReport(), cur, defaultGateWallTol, true)
+	if len(fs) != 1 || fs[0].Kind != "metric-drift" || fs[0].Experiment != "fig10" {
+		t.Fatalf("want one fig10 metric-drift finding, got %v", fs)
+	}
+}
+
+func TestGateMissingMetricFails(t *testing.T) {
+	cur := baseReport()
+	cur.Experiments[1].Metrics = map[string]float64{"cosim_max_latency_s": 5.07}
+	fs := gateCompare(baseReport(), cur, defaultGateWallTol, true)
+	if len(fs) != 1 || fs[0].Kind != "missing-metric" {
+		t.Fatalf("want one missing-metric finding, got %v", fs)
+	}
+}
+
+func TestGateExtraMetricAllowed(t *testing.T) {
+	cur := baseReport()
+	cur.Experiments[0].Metrics = map[string]float64{"worst_mean_latency_s": 1.8, "new_key": 7}
+	if fs := gateCompare(baseReport(), cur, defaultGateWallTol, true); len(fs) != 0 {
+		t.Fatalf("extra metric flagged: %v", fs)
+	}
+}
+
+func TestGateWallRegression(t *testing.T) {
+	cur := baseReport()
+	cur.Experiments[2].WallSec = 10 // > 3x the 1.5s baseline
+	fs := gateCompare(baseReport(), cur, defaultGateWallTol, true)
+	if len(fs) != 1 || fs[0].Kind != "wall-regression" || fs[0].Experiment != "losssweep" {
+		t.Fatalf("want one losssweep wall-regression finding, got %v", fs)
+	}
+	// Below the absolute floor, wall jitter is exempt however large the ratio.
+	cur = baseReport()
+	cur.Experiments[0].WallSec = 0.04
+	base := baseReport()
+	base.Experiments[0].WallSec = 0.0001
+	if fs := gateCompare(base, cur, defaultGateWallTol, true); len(fs) != 0 {
+		t.Fatalf("sub-floor wall time flagged: %v", fs)
+	}
+}
+
+func TestGateMissingExperiment(t *testing.T) {
+	cur := gateReport(
+		map[string]float64{"fig9": 0.4, "losssweep": 1.5},
+		map[string]map[string]float64{
+			"fig9":      {"worst_mean_latency_s": 1.8},
+			"losssweep": {"loss_pdr90_giveups": 0},
+		})
+	fs := gateCompare(baseReport(), cur, defaultGateWallTol, true)
+	if len(fs) != 1 || fs[0].Kind != "missing-experiment" || fs[0].Experiment != "fig10" {
+		t.Fatalf("want one fig10 missing-experiment finding, got %v", fs)
+	}
+	// A -only run compares the intersection instead.
+	if fs := gateCompare(baseReport(), cur, defaultGateWallTol, false); len(fs) != 0 {
+		t.Fatalf("intersection comparison produced findings: %v", fs)
+	}
+}
+
+func TestGateGithubFormat(t *testing.T) {
+	var sb strings.Builder
+	writeGateFindings(&sb, "github", []gateFinding{{
+		Experiment: "fig10",
+		Kind:       "metric-drift",
+		Message:    "metric \"x\" = 2, baseline 1\nwith 100% drift",
+	}})
+	out := sb.String()
+	if !strings.HasPrefix(out, "::error::[benchgate/metric-drift] fig10:") {
+		t.Fatalf("github format output %q lacks ::error prefix", out)
+	}
+	if strings.Count(out, "\n") != 1 || !strings.Contains(out, "%0A") || !strings.Contains(out, "%25") {
+		t.Fatalf("github format output %q must escape newlines and percents", out)
+	}
+}
+
+func TestLoadBaselineRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(path); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file not rejected")
+	}
+}

@@ -8,6 +8,7 @@
 //	harpbench -quick          # reduced repetition counts for a fast pass
 //	harpbench -workers 1      # force the serial path (0 = GOMAXPROCS)
 //	harpbench -json out.json  # also write a machine-readable bench report
+//	harpbench -gate BENCH_harpbench.json  # fail on metric drift / wall regression vs a baseline
 //	harpbench -trace t.jsonl  # record the fig10 co-simulation's protocol trace
 //	harpbench -cpuprofile p   # write a pprof CPU profile of the run
 //	harpbench -memprofile p   # write a pprof heap profile at exit
@@ -71,6 +72,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced repetitions for a fast pass")
 	workers := flag.Int("workers", 0, "worker count for the parallel sweep engine (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write a machine-readable bench report to this path")
+	gatePath := flag.String("gate", "", "compare this run against a baseline bench report and fail on regression")
+	gateWallTol := flag.Float64("gate-wall-tol", defaultGateWallTol, "gate: tolerated wall-time multiplier over the baseline")
+	gateFormat := flag.String("gate-format", "text", "gate finding format: text or github (::error annotations)")
 	tracePath := flag.String("trace", "", "record the fig10 co-simulation's protocol trace to this JSONL path")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
@@ -167,6 +171,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("bench report written to %s\n", *jsonPath)
+	}
+	if *gatePath != "" {
+		// -only runs gate just the experiments that ran; full runs must
+		// cover every baseline experiment.
+		if !runGate(*gatePath, *gateFormat, rep, *gateWallTol, *only == "") {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,194 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/harpnet/harp/internal/vclock"
+)
+
+// ref is the naive []bool model the word-level implementation must match.
+type ref struct {
+	bits []bool
+}
+
+func newRef(n int) *ref { return &ref{bits: make([]bool, n)} }
+
+func (r *ref) setRange(lo, hi int)   { r.each(lo, hi, func(i int) { r.bits[i] = true }) }
+func (r *ref) clearRange(lo, hi int) { r.each(lo, hi, func(i int) { r.bits[i] = false }) }
+
+func (r *ref) each(lo, hi int, fn func(int)) {
+	for i := lo; i < hi; i++ {
+		fn(i)
+	}
+}
+
+func (r *ref) anyInRange(lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		if r.bits[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *ref) onesCount() int {
+	n := 0
+	for _, b := range r.bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *ref) nextSet(n, from int) (int, bool) {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < n; i++ {
+		if r.bits[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (r *ref) firstFreeRun(n, w int) (int, bool) {
+	for x := 0; x+w <= n; x++ {
+		free := true
+		for i := x; i < x+w; i++ {
+			if r.bits[i] {
+				free = false
+				break
+			}
+		}
+		if free {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+func TestMaskEdges(t *testing.T) {
+	if got := mask(0, 64); got != ^uint64(0) {
+		t.Fatalf("mask(0,64) = %x", got)
+	}
+	if got := mask(63, 64); got != 1<<63 {
+		t.Fatalf("mask(63,64) = %x", got)
+	}
+	if got := mask(0, 1); got != 1 {
+		t.Fatalf("mask(0,1) = %x", got)
+	}
+}
+
+// TestAgainstReference drives random range/point operations through both the
+// word-level implementation and the []bool model and demands identical
+// observable state after every step — including the word-boundary cases a
+// handwritten table would miss (ranges ending exactly at bit 64, crossing
+// three words, single-bit ranges at position 63).
+func TestAgainstReference(t *testing.T) {
+	rng := vclock.NewStream(vclock.StreamSweep, 7)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		s := make([]uint64, Words(n))
+		m := newRef(n)
+		for op := 0; op < 60; op++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo+1)
+			switch rng.Intn(5) {
+			case 0:
+				SetRange(s, lo, hi)
+				m.setRange(lo, hi)
+			case 1:
+				ClearRange(s, lo, hi)
+				m.clearRange(lo, hi)
+			case 2:
+				Set(s, lo)
+				m.bits[lo] = true
+			case 3:
+				Clear(s, lo)
+				m.bits[lo] = false
+			case 4:
+				if got, want := AnyInRange(s, lo, hi), m.anyInRange(lo, hi); got != want {
+					t.Fatalf("trial %d: AnyInRange(%d,%d) = %v, want %v", trial, lo, hi, got, want)
+				}
+			}
+			if got, want := OnesCount(s), m.onesCount(); got != want {
+				t.Fatalf("trial %d: OnesCount = %d, want %d", trial, got, want)
+			}
+			for i := 0; i < n; i++ {
+				if Get(s, i) != m.bits[i] {
+					t.Fatalf("trial %d: bit %d: Get=%v ref=%v", trial, i, Get(s, i), m.bits[i])
+				}
+			}
+			from := rng.Intn(n)
+			gi, gok := NextSet(s, n, from)
+			wi, wok := m.nextSet(n, from)
+			if gok != wok || (gok && gi != wi) {
+				t.Fatalf("trial %d: NextSet(from=%d) = (%d,%v), want (%d,%v)", trial, from, gi, gok, wi, wok)
+			}
+			w := 1 + rng.Intn(n)
+			gi, gok = FirstFreeRun(s, n, w)
+			wi, wok = m.firstFreeRun(n, w)
+			if gok != wok || (gok && gi != wi) {
+				t.Fatalf("trial %d: FirstFreeRun(w=%d) = (%d,%v), want (%d,%v)", trial, w, gi, gok, wi, wok)
+			}
+		}
+	}
+}
+
+func TestNextSetWrap(t *testing.T) {
+	n := 130
+	s := make([]uint64, Words(n))
+	if _, ok := NextSetWrap(s, n, 40); ok {
+		t.Fatal("empty vector: expected no set bit")
+	}
+	Set(s, 10)
+	if i, ok := NextSetWrap(s, n, 40); !ok || i != 10 {
+		t.Fatalf("wrap: got (%d,%v), want (10,true)", i, ok)
+	}
+	if i, ok := NextSetWrap(s, n, 10); !ok || i != 10 {
+		t.Fatalf("at from: got (%d,%v), want (10,true)", i, ok)
+	}
+	Set(s, 129)
+	if i, ok := NextSetWrap(s, n, 40); !ok || i != 129 {
+		t.Fatalf("forward first: got (%d,%v), want (129,true)", i, ok)
+	}
+}
+
+func TestOr(t *testing.T) {
+	a := []uint64{0b1010, 1}
+	b := []uint64{0b0101, 2}
+	Or(a, b)
+	if a[0] != 0b1111 || a[1] != 3 {
+		t.Fatalf("Or: got %b %b", a[0], a[1])
+	}
+}
+
+// TestSetRangeKeepsPaddingZero pins the invariant grid rows rely on: range
+// fills never touch bits outside [lo, hi), so padding bits beyond a row's
+// logical width stay zero and OnesCount over the raw words stays exact.
+func TestSetRangeKeepsPaddingZero(t *testing.T) {
+	err := quick.Check(func(loRaw, spanRaw uint8) bool {
+		n := 100
+		lo := int(loRaw) % n
+		hi := lo + int(spanRaw)%(n-lo) + 1
+		s := make([]uint64, Words(128))
+		SetRange(s, lo, hi)
+		for i := hi; i < 128; i++ {
+			if Get(s, i) {
+				return false
+			}
+		}
+		for i := 0; i < lo; i++ {
+			if Get(s, i) {
+				return false
+			}
+		}
+		return OnesCount(s) == hi-lo
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

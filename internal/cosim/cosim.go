@@ -238,7 +238,16 @@ func New(cfg Config) (*CoSim, error) {
 		StaticConverged: staticConverged,
 		tolerateLoss:    cfg.TolerateStaticLoss,
 	}
-	mac.EachSlot(func(*sim.Simulator) { cs.observe() })
+	// Demand-driven slot hook: while an adjustment is in flight the commit
+	// must land at the first slot boundary after the control plane
+	// quiesces, so every slot is demanded; once quiesced observe is a
+	// no-op and demands nothing, letting the MAC skip idle slots. pending
+	// only changes inside slot callbacks (Adjust runs under At) or between
+	// Run calls, which is what EachSlotDemand requires.
+	mac.EachSlotDemand(
+		func(*sim.Simulator) { cs.observe() },
+		func(next int) (int, bool) { return next, cs.pending },
+	)
 	return cs, nil
 }
 

@@ -1,0 +1,35 @@
+package cosim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/harpnet/harp/internal/sim"
+)
+
+// TestSkipEquivalenceAdjustScenario pins the co-simulation contract of the
+// event-driven stepper: with the protocol side demanding slots only while an
+// adjustment is in flight, the skipping MAC must reproduce the serial run
+// exactly — same commits, same packet records, same counters — while
+// executing strictly fewer slots.
+func TestSkipEquivalenceAdjustScenario(t *testing.T) {
+	run := func(serial bool) *CoSim {
+		prev := sim.SetSerialSteppingDefault(serial)
+		defer sim.SetSerialSteppingDefault(prev)
+		return runAdjustScenario(t, 9)
+	}
+	ser := run(true)
+	skip := run(false)
+	if got, want := skip.Sim.ExecutedSlots(), ser.Sim.ExecutedSlots(); got >= want {
+		t.Errorf("skipping stepper executed %d slots, serial %d — no slots were skipped", got, want)
+	}
+	if !reflect.DeepEqual(ser.Commits, skip.Commits) {
+		t.Errorf("commits diverge:\nserial: %+v\nskip:   %+v", ser.Commits, skip.Commits)
+	}
+	if !reflect.DeepEqual(ser.Sim.Records(), skip.Sim.Records()) {
+		t.Errorf("packet records diverge between serial and skipping co-simulation")
+	}
+	if !ser.Quiesced() || !skip.Quiesced() {
+		t.Errorf("runs did not quiesce: serial %v, skip %v", ser.Quiesced(), skip.Quiesced())
+	}
+}

@@ -1,6 +1,10 @@
 package packing
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/harpnet/harp/internal/bitset"
+)
 
 // Grid is an exact occupancy bitmap over a small width x height region. HARP
 // partitions live inside a slotframe of at most a few hundred slots and 16
@@ -9,10 +13,19 @@ import "fmt"
 // area *around* partitions that stay in place — a variant of rectangle
 // packing with obstacles that the skyline heuristic cannot express.
 //
+// Rows are stored as bit words (rowWords uint64s per row), so the placement
+// scan tests a whole candidate window with a few word operations instead of a
+// bool per cell: canPlace is a per-row range test, and PlaceBottomLeft ORs
+// the candidate rows together once per y and jumps straight to the first
+// free run. Bits at or beyond the width are never set, keeping popcounts
+// exact.
+//
 // The zero value is unusable; construct with NewGrid.
 type Grid struct {
-	w, h int
-	occ  []bool // row-major: occ[y*w+x]
+	w, h     int
+	rowWords int
+	occ      []uint64 // row y: occ[y*rowWords : (y+1)*rowWords]
+	scratch  []uint64 // row union buffer for PlaceBottomLeft
 }
 
 // NewGrid returns an empty grid of the given dimensions.
@@ -20,7 +33,12 @@ func NewGrid(width, height int) (*Grid, error) {
 	if width <= 0 || height <= 0 {
 		return nil, ErrBadInput
 	}
-	return &Grid{w: width, h: height, occ: make([]bool, width*height)}, nil
+	rw := bitset.Words(width)
+	return &Grid{
+		w: width, h: height, rowWords: rw,
+		occ:     make([]uint64, height*rw),
+		scratch: make([]uint64, rw),
+	}, nil
 }
 
 // Width returns the grid width.
@@ -29,12 +47,19 @@ func (g *Grid) Width() int { return g.w }
 // Height returns the grid height.
 func (g *Grid) Height() int { return g.h }
 
+// row returns row y's words.
+func (g *Grid) row(y int) []uint64 { return g.occ[y*g.rowWords : (y+1)*g.rowWords] }
+
 // Clone returns a deep copy, used for speculative packing during feasibility
 // probing.
 func (g *Grid) Clone() *Grid {
-	occ := make([]bool, len(g.occ))
+	occ := make([]uint64, len(g.occ))
 	copy(occ, g.occ)
-	return &Grid{w: g.w, h: g.h, occ: occ}
+	return &Grid{
+		w: g.w, h: g.h, rowWords: g.rowWords,
+		occ:     occ,
+		scratch: make([]uint64, g.rowWords),
+	}
 }
 
 // Occupied reports whether cell (x, y) is occupied. Out-of-range coordinates
@@ -43,18 +68,12 @@ func (g *Grid) Occupied(x, y int) bool {
 	if x < 0 || y < 0 || x >= g.w || y >= g.h {
 		return true
 	}
-	return g.occ[y*g.w+x]
+	return bitset.Get(g.row(y), x)
 }
 
 // FreeCells returns the number of unoccupied cells.
 func (g *Grid) FreeCells() int {
-	n := 0
-	for _, o := range g.occ {
-		if !o {
-			n++
-		}
-	}
-	return n
+	return g.w*g.h - bitset.OnesCount(g.occ)
 }
 
 // canPlace reports whether a w x h rectangle fits with bottom-left at (x, y).
@@ -63,11 +82,8 @@ func (g *Grid) canPlace(x, y, w, h int) bool {
 		return false
 	}
 	for yy := y; yy < y+h; yy++ {
-		row := g.occ[yy*g.w:]
-		for xx := x; xx < x+w; xx++ {
-			if row[xx] {
-				return false
-			}
+		if bitset.AnyInRange(g.row(yy), x, x+w) {
+			return false
 		}
 	}
 	return true
@@ -75,9 +91,10 @@ func (g *Grid) canPlace(x, y, w, h int) bool {
 
 func (g *Grid) fill(x, y, w, h int, v bool) {
 	for yy := y; yy < y+h; yy++ {
-		row := g.occ[yy*g.w:]
-		for xx := x; xx < x+w; xx++ {
-			row[xx] = v
+		if v {
+			bitset.SetRange(g.row(yy), x, x+w)
+		} else {
+			bitset.ClearRange(g.row(yy), x, x+w)
 		}
 	}
 }
@@ -106,15 +123,19 @@ func (g *Grid) RemoveObstacle(x, y, w, h int) {
 // rectangle — scanning rows upward and columns leftward — occupies it and
 // returns the position. ok is false when no position exists.
 func (g *Grid) PlaceBottomLeft(w, h int) (x, y int, ok bool) {
-	if w <= 0 || h <= 0 {
+	if w <= 0 || h <= 0 || w > g.w || h > g.h {
 		return 0, 0, false
 	}
 	for yy := 0; yy+h <= g.h; yy++ {
-		for xx := 0; xx+w <= g.w; xx++ {
-			if g.canPlace(xx, yy, w, h) {
-				g.fill(xx, yy, w, h, true)
-				return xx, yy, true
-			}
+		// A rectangle fits at x iff the OR of its h candidate rows has a
+		// free w-run at x, so one union scan replaces the per-x rescans.
+		copy(g.scratch, g.row(yy))
+		for r := yy + 1; r < yy+h; r++ {
+			bitset.Or(g.scratch, g.row(r))
+		}
+		if x, ok := bitset.FirstFreeRun(g.scratch, g.w, w); ok {
+			g.fill(x, yy, w, h, true)
+			return x, yy, true
 		}
 	}
 	return 0, 0, false

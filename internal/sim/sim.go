@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/harpnet/harp/internal/bitset"
 	"github.com/harpnet/harp/internal/obs"
 	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/topology"
@@ -66,14 +67,67 @@ type packet struct {
 	createdAt int
 	hops      int
 	attempts  int // failed transmission attempts at the current hop
-	// route is the remaining node sequence (next hop first, final
-	// destination last); empty means delivered.
+	// route is the node sequence of the current leg (next hop first, final
+	// destination last) and linkQ the parallel queue-index sequence:
+	// linkQ[hop] is the queue the packet sits in now. Both slices are the
+	// immutable per-endpoint cached arrays; only the hop cursor moves per
+	// hop — rewriting the slice headers would pay two GC write barriers on
+	// every hop of every packet.
 	route []topology.NodeID
+	linkQ []int
+	hop   int
 	// dir is the current traversal direction.
 	dir topology.Direction
-	// echo indicates a downlink leg follows the uplink leg.
-	echo bool
-	rec  int // index into records
+	// echo indicates a downlink leg follows the uplink leg; actuator is the
+	// downlink destination, carried in the packet so the turnaround at the
+	// gateway needs no task lookup.
+	echo     bool
+	actuator topology.NodeID
+	rec      int // index into records
+}
+
+// linkQueue is one link's FIFO of queued packets, popped by advancing a head
+// index instead of shifting: a []*packet copy pays a GC write barrier per
+// element per pop, which the transmit profile shows dwarfing the simulation
+// itself. The buffer compacts when the dead prefix dominates, so the cost of
+// moving pointers is amortized to O(1/compactAfter) per pop.
+type linkQueue struct {
+	buf  []*packet
+	head int
+}
+
+// compactAfter is the dead-prefix length that triggers compaction.
+const compactAfter = 32
+
+func (q *linkQueue) depth() int     { return len(q.buf) - q.head }
+func (q *linkQueue) front() *packet { return q.buf[q.head] }
+func (q *linkQueue) push(p *packet) { q.buf = append(q.buf, p) }
+func (q *linkQueue) pop() *packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil // release the reference for the pool
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= compactAfter {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// reset drops every queued packet (without pooling them — callers own the
+// records they strand).
+func (q *linkQueue) reset() {
+	for i := range q.buf {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
 }
 
 // Simulator holds the mutable simulation state. Not safe for concurrent
@@ -91,48 +145,104 @@ type Simulator struct {
 	// runs at origin + n.
 	clock  *vclock.Clock
 	origin float64
-	runErr error
 
 	now int // absolute slot index
 
-	// cellsBySlot indexes the active schedule: slot-in-frame -> cells.
-	cellsBySlot map[int][]scheduledCell
-	queues      map[topology.Link][]*packet
+	// cellsBySlot indexes the active schedule by slot-in-frame (length
+	// frame.Slots — one bounds-checked load per executed slot, no hashing).
+	cellsBySlot [][]scheduledCell
 	maxQueue    int
 
-	// taskState tracks packet generation per task; taskOrder is the fixed
-	// ascending-ID release order (the task set never changes mid-run).
-	taskState map[traffic.TaskID]*taskGen
-	taskOrder []traffic.TaskID
+	// Queue storage is index-addressed: every link ever carrying traffic
+	// gets a stable dense index (qindex), and the hot path — transmit,
+	// enqueue, advance — works purely on those ints. queueIx/queueLink
+	// translate at the edges (route caching, schedule swaps, QueueDepth);
+	// the per-slot loops never touch a map.
+	queueIx   map[topology.Link]int
+	queueLink []topology.Link
+	queueList []linkQueue
+
+	// taskState tracks packet generation per task; taskList is the same
+	// state in the fixed ascending-ID release order (the task set never
+	// changes mid-run), so the generate scan never hashes a task id.
+	// releaseMin caches the earliest next-release instant across all tasks
+	// so idle slots skip the per-task scan entirely.
+	taskState  map[traffic.TaskID]*taskGen
+	taskList   []*taskGen
+	releaseMin float64
 
 	records []PacketRecord
 
 	// Route caches: the tree is immutable for the simulator's lifetime, so
 	// per-packet routes are computed once per task endpoint at construction
-	// and shared between packets. advance only reslices p.route, never
-	// writes through it, which is what makes the sharing safe.
+	// and shared between packets. advance only moves a packet's hop cursor,
+	// never writes through the arrays, which makes the sharing safe. upLinkQ and
+	// downLinkQ are the parallel queue-index sequences packets carry in
+	// linkQ (upLinkQ[src][0] is the source's own uplink queue).
 	upRoutes   map[topology.NodeID][]topology.NodeID
 	downRoutes map[topology.NodeID][]topology.NodeID
+	upLinkQ    map[topology.NodeID][]int
+	downLinkQ  map[topology.NodeID][]int
 
 	// pool recycles delivered and dropped packets so steady-state traffic
 	// allocates nothing per packet.
 	pool []*packet
 
-	// Scratch buffers reused by transmit every slot, so the hot path does
-	// not allocate. commitBuf/usersBuf are cleared (not reallocated) per
-	// slot; attemptsBuf is truncated.
-	commitBuf   map[topology.NodeID]commitment
-	usersBuf    map[schedule.Cell]int
-	attemptsBuf []scheduledCell
+	// Scratch state reused by transmit every slot, so the hot path does
+	// not allocate. Node commitments live in dense generation-stamped
+	// arrays (an entry is valid only when its stamp equals the current
+	// epoch), so "clearing" them is one counter increment per slot; node
+	// ids map to array indices via nodeIx, resolved once at SetSchedule.
+	// usersCh counts same-channel senders within the slot (co-cell
+	// contention — all cells of one slot share the slot coordinate, so the
+	// channel alone keys a cell). attemptsBuf is truncated per slot.
+	nodeIx      map[topology.NodeID]int
+	commitOf    []commitment
+	commitGen   []uint64
+	commitEpoch uint64
+	usersCh     []int
+	attemptsBuf []int // indices into the slot's cell list
 
 	// events are callbacks keyed by absolute slot, run before the slot is
-	// simulated (e.g. rate changes, schedule swaps).
-	events map[int][]func(*Simulator)
+	// simulated (e.g. rate changes, schedule swaps). eventMin caches the
+	// earliest registered slot so the executed-slot path pays no map work
+	// while no callback is due.
+	events   map[int][]func(*Simulator)
+	eventMin int
 	// eachSlot callbacks run at the start of every slot, after the slot's
 	// At events and before packet generation — the observation point
 	// co-simulations use to commit a quiesced control-plane adjustment so
-	// it takes effect in the very slot it was detected.
-	eachSlot []func(*Simulator)
+	// it takes effect in the very slot it was detected. A plain EachSlot
+	// consumer must observe every slot, so its presence disables slot
+	// skipping; slotDemands consumers instead declare which slots they
+	// need (EachSlotDemand), letting the stepper skip the rest.
+	eachSlot    []func(*Simulator)
+	slotDemands []slotDemand
+
+	// Activity index for event-driven stepping. linkCellsQ maps each
+	// queue index to the slot-in-frame indices of the link's cells;
+	// busyCount[sif] counts links holding both a cell at sif and a
+	// non-empty queue, and busyBits mirrors busyCount > 0 as a bitset for
+	// next-set scans. Maintained on queue empty<->non-empty transitions
+	// (markLinkBusy/markLinkIdle) and rebuilt by SetSchedule. A slot whose
+	// slot-in-frame is not busy provably performs no transmission work.
+	linkCellsQ [][]int
+	busyCount  []int
+	busyBits   []uint64
+
+	// serial forces one step per slot — the reference stepping mode the
+	// equivalence tests diff the skipping stepper against.
+	serial bool
+
+	// Run bookkeeping. runEnd is the absolute end slot of the current Run;
+	// nextTick is the slot the stepper executes next. nextTick > now means
+	// the stepper is inside a skipped idle gap, where Now() derives the
+	// externally visible slot index from the clock.
+	runEnd   int
+	nextTick int
+	// execSlots counts slots actually executed (skipped slots excluded) —
+	// the skipping tests assert it stays well below the slot count.
+	execSlots int
 
 	// tracer records MAC slot events (nil: disabled, one pointer check on
 	// the transmit hot path); metrics mirrors the swap-drop counter into
@@ -160,15 +270,24 @@ type Simulator struct {
 	// their link lost all cells in the new schedule (they could never be
 	// transmitted again).
 	SwapDrops int
+	// Unroutable counts released packets dropped immediately because the
+	// simulator holds no cached route for their endpoint. Every release
+	// appends a PacketRecord, and every record must end Delivered or
+	// Dropped — a record in neither state deflates loss ratios silently.
+	Unroutable int
 }
 
 type scheduledCell struct {
 	cell schedule.Cell
 	link topology.Link
 	// sender/receiver are the link endpoints, resolved once at SetSchedule
-	// time instead of two tree lookups per cell per slot.
+	// time instead of two tree lookups per cell per slot; sIx/rIx are
+	// their dense commitment-array indices and q the link's queue index,
+	// so the transmit passes index arrays instead of hashing map keys.
 	sender   topology.NodeID
 	receiver topology.NodeID
+	sIx, rIx int
+	q        int
 	// err defers an endpoint-resolution failure (a schedule referencing a
 	// node outside the tree) to the slot that would have simulated the
 	// cell, preserving the former lookup-time error behaviour.
@@ -183,10 +302,51 @@ type commitment struct {
 	tx  bool
 }
 
+// taskGen tracks packet generation for one task. Release instants are
+// derived, never accumulated: release k of the current rate regime fires at
+// base + k·period. An accumulated nextRelease += period compounds one
+// rounding error per release, and over a long run with a non-representable
+// period the drift crosses slot boundaries, shifting release slots off their
+// exact instants.
 type taskGen struct {
-	task        traffic.Task
-	nextRelease float64
+	task traffic.Task
+	// base is the first release instant of the current rate regime;
+	// released counts releases since base. SetTaskRate starts a new regime
+	// anchored at the re-derived next instant. nextAt caches the derived
+	// next instant (refresh keeps it in sync) so the per-slot generate scan
+	// reads one float instead of re-deriving it.
+	base     float64
+	released int
+	nextAt   float64
 }
+
+// nextRelease returns the derived instant of the task's next release.
+func (g *taskGen) nextRelease(frameSlots int) float64 {
+	return g.base + float64(g.released)*g.task.PeriodSlots(frameSlots)
+}
+
+// refresh re-derives the cached next-release instant after base or released
+// moved.
+func (g *taskGen) refresh(frameSlots int) { g.nextAt = g.nextRelease(frameSlots) }
+
+// serialDefault is the stepping mode new simulators start in; see
+// SetSerialSteppingDefault.
+var serialDefault bool
+
+// SetSerialSteppingDefault sets whether new simulators step serially (one
+// clock event per slot) instead of skipping provably idle slots, and
+// returns the previous default — the save/restore idiom the equivalence
+// tests use, mirroring parallel.SetWorkers. Both modes produce
+// byte-identical records, counters and RNG draws; serial is the reference.
+func SetSerialSteppingDefault(serial bool) (prev bool) {
+	prev = serialDefault
+	serialDefault = serial
+	return prev
+}
+
+// SetSerialStepping switches this simulator between serial stepping and
+// event-driven slot skipping. Must be called between Run calls.
+func (s *Simulator) SetSerialStepping(serial bool) { s.serial = serial }
 
 // New builds a simulator. The schedule is installed separately with
 // SetSchedule so callers can swap schedules mid-run (dynamic adjustment).
@@ -219,21 +379,27 @@ func New(cfg Config) (*Simulator, error) {
 		frame:       cfg.Frame,
 		clock:       vclock.New(),
 		rng:         vclock.NewStream(vclock.StreamSimMAC, cfg.Seed),
-		cellsBySlot: make(map[int][]scheduledCell),
-		queues:      make(map[topology.Link][]*packet),
+		cellsBySlot: make([][]scheduledCell, cfg.Frame.Slots),
+		queueIx:     make(map[topology.Link]int),
 		maxQueue:    maxQueue,
 		taskState:   make(map[traffic.TaskID]*taskGen),
 		events:      make(map[int][]func(*Simulator)),
-		commitBuf:   make(map[topology.NodeID]commitment),
-		usersBuf:    make(map[schedule.Cell]int),
+		nodeIx:      make(map[topology.NodeID]int),
+		usersCh:     make([]int, cfg.Frame.Channels),
+		busyCount:   make([]int, cfg.Frame.Slots),
+		busyBits:    make([]uint64, bitset.Words(cfg.Frame.Slots)),
+		serial:      serialDefault,
 	}
 	for _, t := range cfg.Tasks.Tasks() { // Tasks() is sorted by ID
-		s.taskState[t.ID] = &taskGen{task: t, nextRelease: 0}
-		s.taskOrder = append(s.taskOrder, t.ID)
+		st := &taskGen{task: t}
+		st.refresh(cfg.Frame.Slots)
+		s.taskState[t.ID] = st
+		s.taskList = append(s.taskList, st)
 		if err := s.cacheRoutes(t); err != nil {
 			return nil, err
 		}
 	}
+	s.recomputeReleaseMin()
 	return s, nil
 }
 
@@ -244,6 +410,8 @@ func (s *Simulator) cacheRoutes(t traffic.Task) error {
 	if s.upRoutes == nil {
 		s.upRoutes = make(map[topology.NodeID][]topology.NodeID)
 		s.downRoutes = make(map[topology.NodeID][]topology.NodeID)
+		s.upLinkQ = make(map[topology.NodeID][]int)
+		s.downLinkQ = make(map[topology.NodeID][]int)
 	}
 	if t.Source != topology.GatewayID {
 		if _, ok := s.upRoutes[t.Source]; !ok {
@@ -251,7 +419,17 @@ func (s *Simulator) cacheRoutes(t traffic.Task) error {
 			if err != nil {
 				return err
 			}
-			s.upRoutes[t.Source] = path[1:] // next hops: parent ... gateway
+			route := path[1:] // next hops: parent ... gateway
+			s.upRoutes[t.Source] = route
+			// Queue-index sequence: the source's own uplink queue, then
+			// each intermediate hop's (the gateway receives, never relays
+			// up, so the last route entry has no queue of its own).
+			lq := make([]int, len(route))
+			lq[0] = s.qindex(topology.Link{Child: t.Source, Direction: topology.Uplink})
+			for i := 0; i+1 < len(route); i++ {
+				lq[i+1] = s.qindex(topology.Link{Child: route[i], Direction: topology.Uplink})
+			}
+			s.upLinkQ[t.Source] = lq
 		}
 	}
 	if t.Actuator != topology.GatewayID {
@@ -266,9 +444,41 @@ func (s *Simulator) cacheRoutes(t traffic.Task) error {
 				route = append(route, path[i])
 			}
 			s.downRoutes[t.Actuator] = route
+			lq := make([]int, len(route))
+			for i, n := range route {
+				lq[i] = s.qindex(topology.Link{Child: n, Direction: topology.Downlink})
+			}
+			s.downLinkQ[t.Actuator] = lq
 		}
 	}
 	return nil
+}
+
+// qindex returns the link's stable queue index, assigning one on first
+// sight. Called only on cold paths (route caching, schedule swaps,
+// QueueDepth); the hot path carries resolved indices.
+func (s *Simulator) qindex(l topology.Link) int {
+	if ix, ok := s.queueIx[l]; ok {
+		return ix
+	}
+	ix := len(s.queueList)
+	s.queueIx[l] = ix
+	s.queueLink = append(s.queueLink, l)
+	s.queueList = append(s.queueList, linkQueue{})
+	return ix
+}
+
+// nodeIndex returns the node's dense commitment-array index, growing the
+// arrays on first sight. Called only at SetSchedule time.
+func (s *Simulator) nodeIndex(n topology.NodeID) int {
+	if ix, ok := s.nodeIx[n]; ok {
+		return ix
+	}
+	ix := len(s.commitOf)
+	s.nodeIx[n] = ix
+	s.commitOf = append(s.commitOf, commitment{})
+	s.commitGen = append(s.commitGen, 0)
+	return ix
 }
 
 // newPacket takes a zeroed packet from the free list, allocating only when
@@ -286,8 +496,21 @@ func (s *Simulator) newPacket() *packet {
 // freePacket returns a delivered or dropped packet to the free list.
 func (s *Simulator) freePacket(p *packet) { s.pool = append(s.pool, p) }
 
-// Now returns the current absolute slot index.
-func (s *Simulator) Now() int { return s.now }
+// Now returns the current absolute slot index. Inside a skipped idle gap
+// the index is derived from the clock, clamped to the gap target, so
+// foreign events on a shared clock observe exactly the slot index they
+// would under serial stepping.
+func (s *Simulator) Now() int {
+	if s.nextTick > s.now {
+		if d := int(math.Ceil(s.clock.Now() - s.origin)); d > s.now {
+			if d > s.nextTick {
+				return s.nextTick
+			}
+			return d
+		}
+	}
+	return s.now
+}
 
 // Clock returns the virtual clock slot events run on.
 func (s *Simulator) Clock() *vclock.Clock { return s.clock }
@@ -304,6 +527,7 @@ func (s *Simulator) BindClock(c *vclock.Clock) error {
 	}
 	s.clock = c
 	s.origin = math.Ceil(c.Now()) - float64(s.now)
+	s.nextTick = s.now
 	return nil
 }
 
@@ -328,16 +552,33 @@ func (s *Simulator) SetMetrics(m *obs.Registry) { s.metrics = m }
 // call mid-run from an At or EachSlot callback: the swap takes effect for
 // the current slot's transmissions.
 func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
-	s.cellsBySlot = make(map[int][]scheduledCell)
-	served := make(map[topology.Link]bool)
+	s.cellsBySlot = make([][]scheduledCell, s.frame.Slots)
+	served := make([]bool, len(s.queueList))
+	lcq := make([][]int, len(s.queueList))
+	maxChannel := -1
 	for _, tx := range sched.Transmissions() {
 		sc := scheduledCell{cell: tx.Cell, link: tx.Link}
 		sc.sender, sc.receiver, sc.err = s.endpointsOf(tx.Link)
+		sc.q = s.qindex(tx.Link)
+		if sc.err == nil {
+			sc.sIx = s.nodeIndex(sc.sender)
+			sc.rIx = s.nodeIndex(sc.receiver)
+		}
 		s.cellsBySlot[tx.Cell.Slot] = append(s.cellsBySlot[tx.Cell.Slot], sc)
-		served[tx.Link] = true
+		if sc.q >= len(served) { // qindex may have grown the queue table
+			served = append(served, make([]bool, sc.q+1-len(served))...)
+			lcq = append(lcq, make([][]int, sc.q+1-len(lcq))...)
+		}
+		served[sc.q] = true
+		lcq[sc.q] = append(lcq[sc.q], tx.Cell.Slot)
+		if tx.Cell.Channel > maxChannel {
+			maxChannel = tx.Cell.Channel
+		}
 	}
-	for slot := range s.cellsBySlot {
-		cells := s.cellsBySlot[slot]
+	if maxChannel+1 > len(s.usersCh) {
+		s.usersCh = make([]int, maxChannel+1)
+	}
+	for _, cells := range s.cellsBySlot {
 		sort.Slice(cells, func(i, j int) bool {
 			if cells[i].cell.Channel != cells[j].cell.Channel {
 				return cells[i].cell.Channel < cells[j].cell.Channel
@@ -350,25 +591,28 @@ func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
 	}
 	// Drain packets stranded on links the new schedule no longer serves,
 	// in sorted link order so the emitted trace events are deterministic
-	// (map traversal order is not).
-	var stranded []topology.Link
-	for l, q := range s.queues {
-		if len(q) > 0 && !served[l] {
-			stranded = append(stranded, l)
+	// (queue-index assignment order is route-cache order, not link order).
+	var stranded []int
+	for ix := range s.queueList {
+		if s.queueList[ix].depth() > 0 && (ix >= len(served) || !served[ix]) {
+			stranded = append(stranded, ix)
 		}
 	}
 	sort.Slice(stranded, func(i, j int) bool {
-		if stranded[i].Child != stranded[j].Child {
-			return stranded[i].Child < stranded[j].Child
+		li, lj := s.queueLink[stranded[i]], s.queueLink[stranded[j]]
+		if li.Child != lj.Child {
+			return li.Child < lj.Child
 		}
-		return stranded[i].Direction < stranded[j].Direction
+		return li.Direction < lj.Direction
 	})
 	if tr := s.tracer; tr.Enabled() {
 		tr.Emit(obs.Ev(obs.KindMacSwap).WithSlot(s.now, obs.None).
 			WithDetail(fmt.Sprintf("cells=%d stranded=%d", len(sched.Transmissions()), len(stranded))))
 	}
-	for _, l := range stranded {
-		for _, p := range s.queues[l] {
+	for _, ix := range stranded {
+		l := s.queueLink[ix]
+		q := &s.queueList[ix]
+		for _, p := range q.buf[q.head:] {
 			s.SwapDrops++
 			s.metrics.Inc(obs.Key(obs.MetricSwapDrops))
 			s.records[p.rec].Dropped = true
@@ -377,7 +621,49 @@ func (s *Simulator) SetSchedule(sched *schedule.Schedule) {
 					WithDetail(fmt.Sprintf("task %d", p.task)))
 			}
 		}
-		delete(s.queues, l)
+		q.reset()
+	}
+	// Rebuild the activity index for the new schedule: fresh cell lists,
+	// then one busy transition per surviving non-empty queue.
+	s.linkCellsQ = lcq
+	for i := range s.busyCount {
+		s.busyCount[i] = 0
+	}
+	for i := range s.busyBits {
+		s.busyBits[i] = 0
+	}
+	for ix := range s.queueList {
+		if s.queueList[ix].depth() > 0 {
+			s.markLinkBusy(ix)
+		}
+	}
+}
+
+// markLinkBusy and markLinkIdle maintain the activity index on a link
+// queue's empty<->non-empty transitions. Cost is O(cells of the link), paid
+// per transition — not per slot. A queue index beyond linkCellsQ belongs to
+// a link the current schedule never serves (no cells, nothing to mark).
+func (s *Simulator) markLinkBusy(qi int) {
+	if qi >= len(s.linkCellsQ) {
+		return
+	}
+	for _, sif := range s.linkCellsQ[qi] {
+		s.busyCount[sif]++
+		if s.busyCount[sif] == 1 {
+			bitset.Set(s.busyBits, sif)
+		}
+	}
+}
+
+func (s *Simulator) markLinkIdle(qi int) {
+	if qi >= len(s.linkCellsQ) {
+		return
+	}
+	for _, sif := range s.linkCellsQ[qi] {
+		s.busyCount[sif]--
+		if s.busyCount[sif] == 0 {
+			bitset.Clear(s.busyBits, sif)
+		}
 	}
 }
 
@@ -395,54 +681,160 @@ func (s *Simulator) SetTaskRate(id traffic.TaskID, rate float64) error {
 	if rate <= 0 {
 		return fmt.Errorf("sim: non-positive rate %.3f", rate)
 	}
-	lastRelease := st.nextRelease - st.task.PeriodSlots(s.frame.Slots)
+	lastRelease := st.nextRelease(s.frame.Slots) - st.task.PeriodSlots(s.frame.Slots)
 	st.task.Rate = rate
 	next := lastRelease + st.task.PeriodSlots(s.frame.Slots)
 	if next < float64(s.now) {
 		next = float64(s.now)
 	}
-	st.nextRelease = next
+	st.base = next
+	st.released = 0
+	st.refresh(s.frame.Slots)
+	s.recomputeReleaseMin()
 	return nil
 }
 
 // At registers a callback to run at the start of the given absolute slot.
 func (s *Simulator) At(slot int, fn func(*Simulator)) {
+	if len(s.events) == 0 || slot < s.eventMin {
+		s.eventMin = slot
+	}
 	s.events[slot] = append(s.events[slot], fn)
 }
 
 // EachSlot registers a callback run at the start of every slot, after the
 // slot's At events and before packet generation. A schedule committed from
-// here (SetSchedule) governs the same slot's transmissions.
+// here (SetSchedule) governs the same slot's transmissions. Registering a
+// plain EachSlot consumer disables slot skipping — the callback must
+// observe every slot; consumers that only need specific slots should use
+// EachSlotDemand.
 func (s *Simulator) EachSlot(fn func(*Simulator)) {
 	s.eachSlot = append(s.eachSlot, fn)
 }
 
-// Run advances the simulation by n slots. Each slot is one event on the
-// virtual clock; on a shared clock every other consumer's events due in
-// the window — transport deliveries, in co-simulation — run interleaved in
-// timestamp order.
+// slotDemand pairs a per-slot callback with the demand function that tells
+// the stepper which slots the consumer requires.
+type slotDemand struct {
+	fn   func(*Simulator)
+	need func(next int) (int, bool)
+}
+
+// EachSlotDemand registers a per-slot callback like EachSlot together with
+// a demand function the event-driven stepper consults when it computes the
+// next active slot: need(next) returns the earliest slot >= next the
+// consumer requires, or ok=false when it currently requires none. fn still
+// runs at every executed slot (in serial mode, that is every slot). The
+// co-simulation harness demands every slot only while an adjustment is in
+// flight — its commit must land at the first slot boundary after the
+// control plane quiesces — and nothing once quiesced, which is what lets
+// idle data-plane gaps collapse into single clock events.
+//
+// The demand function is re-evaluated after every executed slot, so state
+// feeding it must change only inside slot callbacks (At, EachSlot, the fns
+// registered here) or between Run calls — never from a foreign event on a
+// shared clock mid-gap, which the stepper would not notice until the next
+// executed slot.
+func (s *Simulator) EachSlotDemand(fn func(*Simulator), need func(next int) (int, bool)) {
+	s.slotDemands = append(s.slotDemands, slotDemand{fn: fn, need: need})
+}
+
+// Run advances the simulation by n slots. Slots that provably perform no
+// work are skipped: after each executed slot the stepper computes the next
+// active slot (nextActiveSlot) and schedules exactly one clock event for
+// it, advancing the slot counter in bulk across the gap. An idle slot
+// touches no queue, no counter and draws no randomness — transmission
+// attempts exist only for non-empty queues — so the skip is exact: records,
+// counters and RNG streams are byte-identical to serial stepping
+// (SetSerialStepping). On a shared clock, other consumers' events due
+// inside a gap still run at their own times, and observe the same Now()
+// they would under serial stepping.
 func (s *Simulator) Run(n int) error {
 	if n <= 0 {
 		return nil
 	}
-	end := s.now + n
-	s.runErr = nil
-	var tick func()
-	tick = func() {
-		if s.runErr != nil || s.now >= end {
-			return
-		}
+	s.runEnd = s.now + n
+	// The stepper pulls the clock forward slot by slot instead of
+	// scheduling a tick event per slot: one RunUntil call per executed slot
+	// releases any foreign events due up to the slot boundary (and any due
+	// inside a preceding skipped gap) in timestamp order, then the slot
+	// runs — the same interleaving the event-per-slot scheme produced,
+	// without a heap push and pop per slot.
+	target := s.now
+	for target < s.runEnd {
+		s.nextTick = target // Now() derives gap slots from the clock
+		s.clock.RunUntil(s.origin + float64(target))
+		s.now = target
+		s.nextTick = target
 		if err := s.step(); err != nil {
-			s.runErr = err
-			return
+			return err
 		}
-		if s.now < end {
-			s.clock.Schedule(s.origin+float64(s.now), tick)
+		target = s.now // step advanced to the next slot
+		if !s.serial {
+			target = s.nextActiveSlot(s.now, s.runEnd)
 		}
 	}
-	s.clock.Schedule(s.origin+float64(s.now), tick)
-	s.clock.RunUntil(s.origin + float64(end))
-	return s.runErr
+	s.nextTick = s.runEnd
+	s.clock.RunUntil(s.origin + float64(s.runEnd)) // trailing gap
+	s.now = s.runEnd
+	s.nextTick = s.now
+	return nil
+}
+
+// nextActiveSlot returns the earliest slot in [from, end] that can perform
+// work. A slot not chosen is provably inert: its slot-in-frame holds no
+// scheduled cell with a queued packet (transmit would commit receivers to
+// empty cells and return — no counter moves, no RNG draw), no task release
+// is due, no At callback is registered, and no slot consumer demands it.
+// end is returned when the rest of the run is idle.
+func (s *Simulator) nextActiveSlot(from, end int) int {
+	if len(s.eachSlot) > 0 {
+		return from // plain EachSlot consumers observe every slot
+	}
+	next := end
+	for i := range s.slotDemands {
+		if at, ok := s.slotDemands[i].need(from); ok {
+			if at < from {
+				at = from
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	if len(s.events) > 0 {
+		if s.eventMin >= from {
+			if s.eventMin < next {
+				next = s.eventMin
+			}
+		} else {
+			// A registered slot already behind the cursor never fires; fall
+			// back to scanning for the earliest one actually ahead.
+			for at := range s.events {
+				if at >= from && at < next {
+					next = at
+				}
+			}
+		}
+	}
+	if !math.IsInf(s.releaseMin, 1) {
+		at := int(math.Ceil(s.releaseMin))
+		if at < from {
+			at = from
+		}
+		if at < next {
+			next = at
+		}
+	}
+	if sif, ok := bitset.NextSetWrap(s.busyBits, s.frame.Slots, from%s.frame.Slots); ok {
+		delta := sif - from%s.frame.Slots
+		if delta < 0 {
+			delta += s.frame.Slots
+		}
+		if at := from + delta; at < next {
+			next = at
+		}
+	}
+	return next
 }
 
 // RunSlotframes advances by n whole slotframes.
@@ -452,12 +844,27 @@ func (s *Simulator) RunSlotframes(n int) error {
 
 //harplint:hotpath
 func (s *Simulator) step() error {
-	for _, fn := range s.events[s.now] {
-		fn(s) //harplint:allow hotpath scripted scenario callbacks fire on a handful of slots
+	s.execSlots++
+	// eventMin keeps the common no-callback-due slot free of map work; it
+	// only goes stale upward (At from a slot callback refreshes it), so the
+	// <= test never skips a due slot.
+	if len(s.events) > 0 && s.eventMin <= s.now {
+		for _, fn := range s.events[s.now] {
+			fn(s) //harplint:allow hotpath scripted scenario callbacks fire on a handful of slots
+		}
+		delete(s.events, s.now)
+		s.eventMin = math.MaxInt
+		for at := range s.events {
+			if at < s.eventMin {
+				s.eventMin = at
+			}
+		}
 	}
-	delete(s.events, s.now)
 	for _, fn := range s.eachSlot {
 		fn(s) //harplint:allow hotpath co-simulation observation hook; audited by the cosim allocation tests
+	}
+	for i := range s.slotDemands {
+		s.slotDemands[i].fn(s) //harplint:allow hotpath co-simulation observation hook; audited by the cosim allocation tests
 	}
 	s.generate()
 	if err := s.transmit(); err != nil {
@@ -467,16 +874,35 @@ func (s *Simulator) step() error {
 	return nil
 }
 
-// generate releases new task packets whose release instant has passed.
+// generate releases new task packets whose release instant has passed. The
+// cached release minimum makes the idle case O(1): when no task is due, no
+// per-task state is touched at all.
 func (s *Simulator) generate() {
-	for _, id := range s.taskOrder {
-		st := s.taskState[id]
-		period := st.task.PeriodSlots(s.frame.Slots)
-		for float64(s.now) >= st.nextRelease {
+	now := float64(s.now)
+	if now < s.releaseMin {
+		return
+	}
+	for _, st := range s.taskList {
+		for now >= st.nextAt {
 			s.release(st.task)
-			st.nextRelease += period
+			st.released++
+			st.refresh(s.frame.Slots)
 		}
 	}
+	s.recomputeReleaseMin()
+}
+
+// recomputeReleaseMin refreshes the cached earliest next-release instant
+// across all tasks. Called whenever any task's release state moves: after a
+// generate pass that fired, on a rate change, at construction.
+func (s *Simulator) recomputeReleaseMin() {
+	min := math.Inf(1)
+	for _, st := range s.taskList {
+		if st.nextAt < min {
+			min = st.nextAt
+		}
+	}
+	s.releaseMin = min
 }
 
 // release creates a packet at the task's source and queues it on the first
@@ -495,16 +921,20 @@ func (s *Simulator) release(t traffic.Task) {
 	}
 	route, ok := s.upRoutes[t.Source]
 	if !ok {
+		s.Unroutable++
+		s.records[idx].Dropped = true
 		return
 	}
 	p := s.newPacket()
 	p.task = t.ID
 	p.createdAt = s.now
 	p.route = route
+	p.linkQ = s.upLinkQ[t.Source]
 	p.dir = topology.Uplink
 	p.echo = true
+	p.actuator = t.Actuator
 	p.rec = idx
-	s.enqueue(topology.Link{Child: t.Source, Direction: topology.Uplink}, p)
+	s.enqueue(p.linkQ[0], p)
 }
 
 // startDownlink begins the gateway->actuator leg.
@@ -515,34 +945,31 @@ func (s *Simulator) startDownlink(p *packet, actuator topology.NodeID) {
 	}
 	route, ok := s.downRoutes[actuator]
 	if !ok {
+		s.Unroutable++
+		s.records[p.rec].Dropped = true
 		s.freePacket(p)
 		return
 	}
 	p.route = route
+	p.linkQ = s.downLinkQ[actuator]
+	p.hop = 0
 	p.dir = topology.Downlink
 	p.echo = false
-	s.enqueue(topology.Link{Child: route[0], Direction: topology.Downlink}, p)
+	s.enqueue(p.linkQ[0], p)
 }
 
-// popHead removes the queue head by shifting in place. Reslicing (q[1:])
-// would creep through the backing array and force a fresh allocation every
-// few appends; shifting keeps one backing array per link for the whole
-// run. Queues are bounded by maxQueue, so the copy is a few words.
-func popHead(q []*packet) []*packet {
-	copy(q, q[1:])
-	q[len(q)-1] = nil // release the reference for the pool
-	return q[:len(q)-1]
-}
-
-func (s *Simulator) enqueue(l topology.Link, p *packet) {
-	q := s.queues[l]
-	if len(q) >= s.maxQueue {
+func (s *Simulator) enqueue(qi int, p *packet) {
+	q := &s.queueList[qi]
+	if q.depth() >= s.maxQueue {
 		s.Drops++
 		s.records[p.rec].Dropped = true
 		s.freePacket(p)
 		return
 	}
-	s.queues[l] = append(q, p)
+	if q.depth() == 0 {
+		s.markLinkBusy(qi)
+	}
+	q.push(p)
 }
 
 func (s *Simulator) deliver(p *packet) {
@@ -590,56 +1017,67 @@ func (s *Simulator) transmit() error {
 	if len(cells) == 0 {
 		return nil
 	}
-	commit := s.commitBuf
-	users := s.usersBuf
-	clear(commit)
-	clear(users)
+	// Bumping the epoch invalidates every stale commitment at once; an
+	// entry is live only while its stamp equals the current epoch.
+	s.commitEpoch++
+	epoch := s.commitEpoch
+	for i := range s.usersCh {
+		s.usersCh[i] = 0
+	}
 	attempts := s.attemptsBuf[:0]
 	// Pass 1: node commitments, in deterministic cell order.
-	for i, sc := range cells {
+	for i := range cells {
+		sc := &cells[i]
 		if sc.err != nil {
 			return sc.err
 		}
-		if len(s.queues[sc.link]) > 0 {
-			if _, busy := commit[sc.sender]; busy {
+		if s.queueList[sc.q].depth() > 0 {
+			if s.commitGen[sc.sIx] == epoch {
 				s.HalfDuplexBlocks++
 			} else {
-				commit[sc.sender] = commitment{idx: i, tx: true}
+				s.commitGen[sc.sIx] = epoch
+				s.commitOf[sc.sIx] = commitment{idx: i, tx: true}
 			}
 		}
 		// A receiver listens on its scheduled RX cell whether or not a
 		// packet is coming, unless it already committed earlier this slot.
-		if _, busy := commit[sc.receiver]; !busy {
-			commit[sc.receiver] = commitment{idx: i, tx: false}
+		if s.commitGen[sc.rIx] != epoch {
+			s.commitGen[sc.rIx] = epoch
+			s.commitOf[sc.rIx] = commitment{idx: i, tx: false}
 		}
 	}
-	// Pass 2: committed transmissions and co-cell contention.
-	for i, sc := range cells {
-		if c, ok := commit[sc.sender]; ok && c.tx && c.idx == i {
-			attempts = append(attempts, sc)
-			users[sc.cell]++
+	// Pass 2: committed transmissions and co-cell contention. All cells of
+	// one slot share the slot coordinate, so the channel alone keys a cell.
+	for i := range cells {
+		sc := &cells[i]
+		if s.commitGen[sc.sIx] == epoch {
+			if c := s.commitOf[sc.sIx]; c.tx && c.idx == i {
+				attempts = append(attempts, i)
+				s.usersCh[sc.cell.Channel]++
+			}
 		}
 	}
 	s.attemptsBuf = attempts
 	// Pass 3: outcomes.
-	for _, sc := range attempts {
-		if users[sc.cell] > 1 {
+	for _, ai := range attempts {
+		sc := &cells[ai]
+		if s.usersCh[sc.cell.Channel] > 1 {
 			s.Collisions++
 			if tr := s.tracer; tr.Enabled() {
 				tr.Emit(obs.Ev(obs.KindMacCollision).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
 					WithSlot(s.now, sc.cell.Channel))
 			}
-			s.failAttempt(sc.link)
+			s.failAttempt(sc.q)
 			continue // stays queued (unless retries exhausted)
 		}
-		rc, listening := commit[sc.receiver]
-		if !listening || rc.tx || cells[rc.idx].cell != sc.cell {
+		rc := s.commitOf[sc.rIx]
+		if s.commitGen[sc.rIx] != epoch || rc.tx || cells[rc.idx].cell != sc.cell {
 			s.ReceiverMisses++
 			if tr := s.tracer; tr.Enabled() {
 				tr.Emit(obs.Ev(obs.KindMacMiss).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
 					WithSlot(s.now, sc.cell.Channel))
 			}
-			s.failAttempt(sc.link)
+			s.failAttempt(sc.q)
 			continue
 		}
 		if s.cfg.PDR < 1 && s.rng.Float64() > s.cfg.PDR {
@@ -648,36 +1086,40 @@ func (s *Simulator) transmit() error {
 				tr.Emit(obs.Ev(obs.KindMacLoss).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
 					WithSlot(s.now, sc.cell.Channel))
 			}
-			s.failAttempt(sc.link)
+			s.failAttempt(sc.q)
 			continue
 		}
-		q := s.queues[sc.link]
-		if len(q) == 0 {
+		q := &s.queueList[sc.q]
+		if q.depth() == 0 {
 			continue
 		}
+		head := q.front()
 		if tr := s.tracer; tr.Enabled() {
 			tr.Emit(obs.Ev(obs.KindMacTx).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
-				WithSlot(s.now, sc.cell.Channel).WithDetail(fmt.Sprintf("task %d", q[0].task)))
+				WithSlot(s.now, sc.cell.Channel).WithDetail(fmt.Sprintf("task %d", head.task)))
 		}
-		s.advance(sc.link, q[0])
+		s.advance(sc.q, head)
 	}
 	return nil
 }
 
 // failAttempt charges a failed transmission against the link's head packet
 // and drops it once the MAC retry budget is exhausted.
-func (s *Simulator) failAttempt(l topology.Link) {
+func (s *Simulator) failAttempt(qi int) {
 	if s.cfg.MaxRetries <= 0 {
 		return
 	}
-	q := s.queues[l]
-	if len(q) == 0 {
+	q := &s.queueList[qi]
+	if q.depth() == 0 {
 		return
 	}
-	p := q[0]
+	p := q.front()
 	p.attempts++
 	if p.attempts > s.cfg.MaxRetries {
-		s.queues[l] = popHead(q)
+		q.pop()
+		if q.depth() == 0 {
+			s.markLinkIdle(qi)
+		}
 		s.Expired++
 		s.records[p.rec].Dropped = true
 		s.freePacket(p)
@@ -685,35 +1127,30 @@ func (s *Simulator) failAttempt(l topology.Link) {
 }
 
 // advance moves a successfully transmitted packet one hop.
-func (s *Simulator) advance(l topology.Link, p *packet) {
+func (s *Simulator) advance(qi int, p *packet) {
 	// Pop from the queue head.
-	q := s.queues[l]
-	if len(q) == 0 || q[0] != p {
+	q := &s.queueList[qi]
+	if q.depth() == 0 || q.front() != p {
 		return // defensive: queue mutated
 	}
-	s.queues[l] = popHead(q)
+	q.pop()
+	if q.depth() == 0 {
+		s.markLinkIdle(qi)
+	}
 	p.hops++
 	p.attempts = 0
-	arrived := p.route[0]
-	p.route = p.route[1:]
+	p.hop++
 
-	if len(p.route) == 0 {
+	if p.hop == len(p.route) {
 		if p.dir == topology.Uplink && p.echo {
-			task, _ := s.cfg.Tasks.Get(p.task)
-			s.startDownlink(p, task.Actuator)
+			s.startDownlink(p, p.actuator)
 			return
 		}
 		s.deliver(p)
 		return
 	}
-	// Queue on the next hop's link.
-	var next topology.Link
-	if p.dir == topology.Uplink {
-		next = topology.Link{Child: arrived, Direction: topology.Uplink}
-	} else {
-		next = topology.Link{Child: p.route[0], Direction: topology.Downlink}
-	}
-	s.enqueue(next, p)
+	// Queue on the next hop's link: linkQ runs in lockstep with route.
+	s.enqueue(p.linkQ[p.hop], p)
 }
 
 // Records returns a copy of all packet records so far.
@@ -736,13 +1173,24 @@ func (s *Simulator) LatenciesByTask() map[traffic.TaskID][]float64 {
 
 // QueueDepth returns the current queue length of a link — the congestion
 // signal HARP nodes use to notice demand increases.
-func (s *Simulator) QueueDepth(l topology.Link) int { return len(s.queues[l]) }
+func (s *Simulator) QueueDepth(l topology.Link) int {
+	ix, ok := s.queueIx[l]
+	if !ok {
+		return 0
+	}
+	return s.queueList[ix].depth()
+}
+
+// ExecutedSlots returns the number of slots the stepper actually executed;
+// with event-driven stepping it is the simulated slot count minus the
+// skipped idle slots.
+func (s *Simulator) ExecutedSlots() int { return s.execSlots }
 
 // PendingPackets counts packets currently queued anywhere.
 func (s *Simulator) PendingPackets() int {
 	total := 0
-	for _, q := range s.queues {
-		total += len(q)
+	for i := range s.queueList {
+		total += s.queueList[i].depth()
 	}
 	return total
 }

@@ -59,10 +59,16 @@ func Summarize(sample []float64) Summary {
 // Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
 // sample by linear interpolation between the two nearest ranks (the
 // "exclusive" variant with rank p·(n−1)): Percentile([10,20], 0.5) is 15,
-// not either sample. p outside [0, 1] clamps to the extremes.
+// not either sample. p outside [0, 1] clamps to the extremes; a NaN p yields
+// NaN (it falls through both clamp comparisons, so without an explicit guard
+// it would reach the index computation with int(NaN), whose value is
+// platform-dependent).
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

@@ -51,6 +51,41 @@ func TestPercentileEdges(t *testing.T) {
 	}
 }
 
+// TestPercentileNonFinite pins the guards for non-finite p: infinities clamp
+// to the extremes like any other out-of-range p, and NaN propagates instead
+// of indexing with int(NaN) (whose value is platform-dependent — on some
+// targets it is a huge negative number, an out-of-bounds panic).
+func TestPercentileNonFinite(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		name string
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"neg-inf", math.Inf(-1), 10},
+		{"pos-inf", math.Inf(1), 40},
+		{"nan", math.NaN(), math.NaN()},
+	}
+	for _, tc := range cases {
+		got := Percentile(sorted, tc.p)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Percentile = %v, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Percentile = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Percentile([]float64{42}, math.NaN())) {
+		t.Error("single-sample NaN p should still be NaN")
+	}
+	if Percentile(nil, math.NaN()) != 0 {
+		t.Error("empty sample keeps its 0 convention even for NaN p")
+	}
+}
+
 func TestSummaryPropertyBounds(t *testing.T) {
 	prop := func(raw []float64) bool {
 		sample := make([]float64, 0, len(raw))

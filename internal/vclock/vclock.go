@@ -25,10 +25,15 @@ import (
 // event is one scheduled callback. A cancelled event keeps its heap slot
 // (removal from the middle of a heap is O(n)) but carries a nil fn; the
 // pop path discards it without running anything or advancing time.
+// poolable marks events eligible for the clock's free list: only plain
+// Schedule events, never ScheduleCancelable ones — a Handle outlives its
+// event's dispatch, and recycling the event under a live Handle would let a
+// late Cancel withdraw an unrelated future event.
 type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+	at       float64
+	seq      uint64
+	fn       func()
+	poolable bool
 }
 
 // eventHeap is a min-heap on (at, seq).
@@ -64,6 +69,10 @@ type Clock struct {
 	// advanced to the event's time and before the event's callback. The
 	// observability tracer uses it to reset per-event causal context.
 	stepHook func(at float64, seq uint64)
+	// free recycles dispatched poolable events so a steady-state
+	// schedule/dispatch cycle (the simulator's slot ticks) allocates
+	// nothing per event.
+	free []*event
 }
 
 // Handle identifies a cancelable scheduled event.
@@ -120,7 +129,16 @@ func (c *Clock) Schedule(at float64, fn func()) {
 		at = c.now
 	}
 	c.seq++
-	heap.Push(&c.queue, &event{at: at, seq: c.seq, fn: fn})
+	var e *event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free = c.free[:n-1]
+		e.at, e.seq, e.fn = at, c.seq, fn
+	} else {
+		e = &event{at: at, seq: c.seq, fn: fn}
+	}
+	e.poolable = true
+	heap.Push(&c.queue, e)
 }
 
 // ScheduleCancelable queues fn like Schedule and returns a Handle that can
@@ -150,6 +168,13 @@ func (c *Clock) Step() bool {
 		c.now = e.at
 		fn := e.fn
 		e.fn = nil // a Cancel after the event ran must be a no-op
+		if e.poolable {
+			// Safe to recycle before fn runs: the event left the heap, no
+			// Handle references it, and fn was copied out. fn itself may
+			// re-take it via Schedule.
+			e.poolable = false
+			c.free = append(c.free, e)
+		}
 		if c.stepHook != nil {
 			c.stepHook(e.at, e.seq)
 		}

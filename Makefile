@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-json fmt vet fuzz determinism benchgate faultsoak trace-smoke check clean
+.PHONY: all build test race lint lint-json fmt vet fuzz determinism benchgate faultsoak trace-smoke scale-smoke check clean
+
+# Normalisation for report diffs: host and wall-time fields differ between
+# runs by construction, and the scale study's throughput/footprint keys
+# (*_per_sec, *_bytes_per_node) are host-dependent by design — the gate
+# bounds those with a ratio band instead.
+JQ_NORM = del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec) | .metrics |= with_entries(select((.key | endswith("_per_sec") or endswith("_bytes_per_node")) | not)))
 
 all: build
 
@@ -49,8 +55,8 @@ fuzz:
 determinism:
 	$(GO) run ./cmd/harpbench -quick -json /tmp/harpbench_w1.json -workers 1
 	$(GO) run ./cmd/harpbench -quick -json /tmp/harpbench_w4.json -workers 4
-	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/harpbench_w1.json > /tmp/harpbench_w1.norm.json
-	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/harpbench_w4.json > /tmp/harpbench_w4.norm.json
+	jq -S '$(JQ_NORM)' /tmp/harpbench_w1.json > /tmp/harpbench_w1.norm.json
+	jq -S '$(JQ_NORM)' /tmp/harpbench_w4.json > /tmp/harpbench_w4.norm.json
 	diff -u /tmp/harpbench_w1.norm.json /tmp/harpbench_w4.norm.json
 	$(GO) run ./cmd/harpbench -quick -only fig10 -json /tmp/fig10_t1.json -workers 1 -trace /tmp/fig10_t1.jsonl
 	$(GO) run ./cmd/harpbench -quick -only fig10 -json /tmp/fig10_t4.json -workers 4 -trace /tmp/fig10_t4.jsonl
@@ -72,9 +78,20 @@ faultsoak:
 	$(GO) test -race -tags harpdebug -run 'Fault|Crash|Dup|Loss|Reliab|WaitIdle' ./internal/transport/ ./internal/agent/ ./internal/cosim/ ./internal/experiments/
 	$(GO) run ./cmd/harpbench -quick -only losssweep -json /tmp/losssweep_w1.json -workers 1
 	$(GO) run ./cmd/harpbench -quick -only losssweep -json /tmp/losssweep_w4.json -workers 4
-	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/losssweep_w1.json > /tmp/losssweep_w1.norm.json
-	jq -S 'del(.host, .total_sec, .workers) | .experiments |= map(del(.wall_sec))' /tmp/losssweep_w4.json > /tmp/losssweep_w4.norm.json
+	jq -S '$(JQ_NORM)' /tmp/losssweep_w1.json > /tmp/losssweep_w1.norm.json
+	jq -S '$(JQ_NORM)' /tmp/losssweep_w4.json > /tmp/losssweep_w4.norm.json
 	diff -u /tmp/losssweep_w1.norm.json /tmp/losssweep_w4.norm.json
+
+# Scale smoke: the 1k tier of the scale study under the race detector, at
+# two worker counts; outside the host-dependent keys the reports must be
+# identical (the sharded kernel's dispatch order is worker- and
+# shard-blind). The full 50k tier runs in the regular bench gate.
+scale-smoke:
+	$(GO) run -race ./cmd/harpbench -quick -only scale -scale-sizes 1000 -json /tmp/scale_w1.json -workers 1
+	$(GO) run -race ./cmd/harpbench -quick -only scale -scale-sizes 1000 -json /tmp/scale_w4.json -workers 4
+	jq -S '$(JQ_NORM)' /tmp/scale_w1.json > /tmp/scale_w1.norm.json
+	jq -S '$(JQ_NORM)' /tmp/scale_w4.json > /tmp/scale_w4.norm.json
+	diff -u /tmp/scale_w1.norm.json /tmp/scale_w4.norm.json
 
 # Trace smoke: a small co-simulation must reproduce the committed golden
 # trace byte-for-byte, and harptrace must digest it (summary, windows and

@@ -27,6 +27,29 @@ const defaultGateWallTol = 3.0
 // only measures scheduler noise.
 const gateWallFloorSec = 0.05
 
+// approxRatio returns the tolerated current/baseline ratio for host-
+// dependent metric keys; 0 means the key is deterministic and compared
+// exactly. Throughput (`_per_sec`) swings by over an order of magnitude
+// between bench hosts, so its ratio only catches collapse; per-node memory
+// (`_bytes_per_node`) depends on the allocator and Go version but stays
+// within the same factor-of-two band.
+func approxRatio(key string) float64 {
+	switch {
+	case strings.HasSuffix(key, "_per_sec"):
+		return 50
+	case strings.HasSuffix(key, "_bytes_per_node"):
+		return 2
+	}
+	return 0
+}
+
+// withinRatio reports whether v and want agree within the multiplier r in
+// either direction. Zero or negative values never agree approximately
+// (both metrics are strictly positive in a healthy run).
+func withinRatio(v, want, r float64) bool {
+	return v > 0 && want > 0 && v <= want*r && want <= v*r
+}
+
 // gateFinding is one baseline violation.
 type gateFinding struct {
 	Experiment string
@@ -58,9 +81,10 @@ func loadBaseline(path string) (report, error) {
 // baseline experiment be present (a full run); a -only run compares just the
 // intersection. Metric keys present in the baseline must exist with exactly
 // equal values — the suite is deterministic, so equality is ==, not a
-// tolerance. Extra metrics in current are allowed (new instrumentation is
-// not a regression). Wall times fail only beyond wallTol x baseline and the
-// absolute floor.
+// tolerance — except the host-dependent keys approxRatio singles out, which
+// pass within their ratio band. Extra metrics in current are allowed (new
+// instrumentation is not a regression). Wall times fail only beyond
+// wallTol x baseline and the absolute floor.
 func gateCompare(baseline, current report, wallTol float64, requireAll bool) []gateFinding {
 	var findings []gateFinding
 	cur := make(map[string]expRecord, len(current.Experiments))
@@ -95,6 +119,17 @@ func gateCompare(baseline, current report, wallTol float64, requireAll bool) []g
 					Message:    fmt.Sprintf("metric %q in baseline but not reported", k),
 				})
 			case v != want:
+				if r := approxRatio(k); r > 0 {
+					if withinRatio(v, want, r) {
+						continue
+					}
+					findings = append(findings, gateFinding{
+						Experiment: base.Name,
+						Kind:       "metric-drift",
+						Message:    fmt.Sprintf("metric %q = %v outside %gx of baseline %v", k, v, r, want),
+					})
+					continue
+				}
 				findings = append(findings, gateFinding{
 					Experiment: base.Name,
 					Kind:       "metric-drift",

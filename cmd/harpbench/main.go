@@ -4,7 +4,8 @@
 // Usage:
 //
 //	harpbench                 # run everything
-//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|churn|ablations|losssweep
+//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|churn|ablations|losssweep|scale
+//	harpbench -scale-sizes 1000,10000  # override the scale study's fleet sizes
 //	harpbench -quick          # reduced repetition counts for a fast pass
 //	harpbench -workers 1      # force the serial path (0 = GOMAXPROCS)
 //	harpbench -json out.json  # also write a machine-readable bench report
@@ -28,6 +29,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/harpnet/harp/internal/experiments"
@@ -68,7 +70,8 @@ type expRecord struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1, fig7d, fig9, fig10, table2, fig11a, fig11b, fig12, churn, ablations, losssweep)")
+	only := flag.String("only", "", "run a single experiment (table1, fig7d, fig9, fig10, table2, fig11a, fig11b, fig12, churn, ablations, losssweep, scale)")
+	scaleSizes := flag.String("scale-sizes", "", "comma-separated fleet sizes for the scale study (default 1000,10000,50000)")
 	quick := flag.Bool("quick", false, "reduced repetitions for a fast pass")
 	workers := flag.Int("workers", 0, "worker count for the parallel sweep engine (0 = GOMAXPROCS, 1 = serial)")
 	jsonPath := flag.String("json", "", "write a machine-readable bench report to this path")
@@ -110,6 +113,16 @@ func main() {
 	}
 
 	runner := &runner{quick: *quick, trace: *tracePath}
+	if *scaleSizes != "" {
+		for _, s := range strings.Split(*scaleSizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "harpbench: bad -scale-sizes entry %q\n", s)
+				os.Exit(2)
+			}
+			runner.scaleSizes = append(runner.scaleSizes, n)
+		}
+	}
 	all := []struct {
 		name string
 		fn   func() (map[string]float64, error)
@@ -125,6 +138,7 @@ func main() {
 		{"churn", runner.churn},
 		{"ablations", runner.ablations},
 		{"losssweep", runner.losssweep},
+		{"scale", runner.scale},
 	}
 	rep := report{
 		Schema: reportSchema,
@@ -196,6 +210,8 @@ type runner struct {
 	// trace is the -trace output path; when set, fig10's measured
 	// co-simulation records its protocol trace there.
 	trace string
+	// scaleSizes overrides the scale study's fleet sizes (-scale-sizes).
+	scaleSizes []int
 }
 
 func (r *runner) table1() (map[string]float64, error) {
@@ -433,6 +449,35 @@ func (r *runner) losssweep() (map[string]float64, error) {
 		metrics[key+"_giveups"] = float64(p.GiveUps)
 		metrics[key+"_conv_sf"] = float64(p.ConvergenceSlotframes)
 		metrics[key+"_matches_lossless"] = boolAs(p.MatchesLossless)
+	}
+	return metrics, nil
+}
+
+func (r *runner) scale() (map[string]float64, error) {
+	cfg := experiments.DefaultScale()
+	if len(r.scaleSizes) > 0 {
+		cfg.Sizes = r.scaleSizes
+	}
+	res, err := experiments.Scale(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println(res.Table)
+	metrics := map[string]float64{}
+	for _, p := range res.Points {
+		key := fmt.Sprintf("scale_%d", p.Nodes)
+		// static/adjust slots, commits and event counts are virtual-time
+		// quantities: seed-deterministic at any worker or shard count. The
+		// _per_sec and _bytes_per_node keys are host-dependent; the gate
+		// compares them within a ratio band and the determinism CI strips
+		// them.
+		metrics[key+"_static_slots"] = p.StaticSlots
+		metrics[key+"_adjust_slots"] = p.AdjustSlots
+		metrics[key+"_commits"] = float64(p.Commits)
+		metrics[key+"_events"] = float64(p.Events)
+		metrics[key+"_shards"] = float64(p.Shards)
+		metrics[key+"_events_per_sec"] = p.EventsPerSec
+		metrics[key+"_bytes_per_node"] = p.BytesPerNode
 	}
 	return metrics, nil
 }

@@ -7,18 +7,27 @@
 //	topogen -nodes 50 -layers 5 > net.json
 //	topogen -rpl -nodes 50 -radius 0.3 > net.json
 //	topogen -canned testbed50 > testbed.json
+//	topogen -preset scale -out trees/   # scale_1000/10000/50000.json
+//
+// Output is streamed (topology.Tree.EncodeJSON), so the 50k-node scale
+// trees never materialise as one in-memory document.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"github.com/harpnet/harp/internal/rpl"
 	"github.com/harpnet/harp/internal/topology"
 )
+
+// scalePresetSizes are the fleet sizes the scale experiment family uses;
+// -preset scale emits one tree per size with the experiment's shape
+// parameters (8 layers, fan-out 8).
+var scalePresetSizes = []int{1_000, 10_000, 50_000}
 
 func main() {
 	var (
@@ -28,22 +37,59 @@ func main() {
 		useRPL = flag.Bool("rpl", false, "form the tree with RPL-lite over a random geometric graph")
 		radius = flag.Float64("radius", 0.3, "radio radius for -rpl (unit square)")
 		canned = flag.String("canned", "", "emit a canned topology: fig1, testbed50, deep81")
+		preset = flag.String("preset", "", "emit a family of topologies: scale (1k/10k/50k trees)")
+		outDir = flag.String("out", ".", "output directory for -preset files")
 		seed   = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+
+	if *preset != "" {
+		if err := emitPreset(*preset, *outDir, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	tree, err := build(*canned, *useRPL, *nodes, *layers, *fanout, *radius, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(tree); err != nil {
+	if err := tree.EncodeJSON(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "topogen: %d nodes, %d layers\n", tree.Len(), tree.MaxLayer())
+}
+
+// emitPreset writes a named topology family into dir, one streamed JSON
+// file per tree.
+func emitPreset(name, dir string, seed int64) error {
+	if name != "scale" {
+		return fmt.Errorf("unknown preset %q", name)
+	}
+	for _, n := range scalePresetSizes {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		tree, err := topology.GenerateScale(topology.GenSpec{Nodes: n, Layers: 8, MaxChildren: 8}, rng)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("scale_%d.json", n))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tree.EncodeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "topogen: wrote %s (%d nodes, %d layers)\n", path, tree.Len(), tree.MaxLayer())
+	}
+	return nil
 }
 
 func build(canned string, useRPL bool, nodes, layers, fanout int, radius float64, seed int64) (*topology.Tree, error) {

@@ -75,20 +75,46 @@ type dirState struct {
 	myCells []schedule.Cell
 }
 
-func newDirState() *dirState {
-	return &dirState{
-		demand:         make(map[topology.NodeID]int),
-		topRate:        make(map[topology.NodeID]float64),
-		childIfaces:    make(map[topology.NodeID]proto.DirInterface),
-		layouts:        make(map[int]core.Layout),
-		childComps:     make(map[int]map[topology.NodeID]core.Component),
-		pendingLayouts: make(map[int]core.Layout),
-		pendingComps:   make(map[int]map[topology.NodeID]core.Component),
-		parts:          make(map[int]schedule.Region),
-		assignment:     make(map[topology.NodeID][]schedule.Cell),
-		sentRegions:    make(map[int]map[topology.NodeID]schedule.Region),
-		deferred:       make(map[int][]deferredAdjust),
-		pendingDemand:  make(map[topology.NodeID]demandSnapshot),
+// ensure allocates the per-child and per-layer maps. Called when a node
+// (first) hosts children: at Deploy for non-leaves and the gateway, on a
+// Join-flagged report (a subtree attached under a former leaf), and when
+// Fleet.Reparent rewires a subtree under a former leaf.
+func (st *dirState) ensure() {
+	if st.demand == nil {
+		st.demand = make(map[topology.NodeID]int)
+	}
+	if st.topRate == nil {
+		st.topRate = make(map[topology.NodeID]float64)
+	}
+	if st.childIfaces == nil {
+		st.childIfaces = make(map[topology.NodeID]proto.DirInterface)
+	}
+	if st.layouts == nil {
+		st.layouts = make(map[int]core.Layout)
+	}
+	if st.childComps == nil {
+		st.childComps = make(map[int]map[topology.NodeID]core.Component)
+	}
+	if st.pendingLayouts == nil {
+		st.pendingLayouts = make(map[int]core.Layout)
+	}
+	if st.pendingComps == nil {
+		st.pendingComps = make(map[int]map[topology.NodeID]core.Component)
+	}
+	if st.parts == nil {
+		st.parts = make(map[int]schedule.Region)
+	}
+	if st.assignment == nil {
+		st.assignment = make(map[topology.NodeID][]schedule.Cell)
+	}
+	if st.sentRegions == nil {
+		st.sentRegions = make(map[int]map[topology.NodeID]schedule.Region)
+	}
+	if st.deferred == nil {
+		st.deferred = make(map[int][]deferredAdjust)
+	}
+	if st.pendingDemand == nil {
+		st.pendingDemand = make(map[topology.NodeID]demandSnapshot)
 	}
 }
 
@@ -118,7 +144,7 @@ type Node struct {
 	rootGap  int // gateway only: idle slots between layer partitions
 	net      transport.Network
 
-	dirs  [2]*dirState
+	dirs  [2]dirState
 	msgID uint16
 
 	// joining is set while this node re-attaches after a parent switch: the
@@ -145,7 +171,7 @@ type Node struct {
 }
 
 //harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
-func (n *Node) dir(d topology.Direction) *dirState { return n.dirs[d] }
+func (n *Node) dir(d topology.Direction) *dirState { return &n.dirs[d] }
 
 // ID returns the node's identifier.
 //
@@ -839,6 +865,9 @@ func (n *Node) onChildJoin(m proto.InterfaceReport) {
 	// (a reparented node arrives unknown): after hosting it, re-send the
 	// state its reboot lost, which the send-dedup caches would suppress.
 	rejoining := containsNode(n.children, m.Owner)
+	// This node is about to host a child: a former leaf has all-nil maps.
+	n.dir(topology.Uplink).ensure()
+	n.dir(topology.Downlink).ensure()
 	if tr := n.tracer; tr.Enabled() {
 		tr.Emit(obs.Ev(obs.KindAgentJoin).WithNode(int(n.id)).WithPeer(int(m.Owner)).
 			WithDetail(fmt.Sprintf("rejoin=%t", rejoining)))
@@ -1158,17 +1187,13 @@ func (n *Node) resetResources() {
 	defer n.mu.Unlock()
 	for _, d := range topology.Directions() {
 		st := n.dir(d)
-		st.childIfaces = make(map[topology.NodeID]proto.DirInterface)
-		st.layouts = make(map[int]core.Layout)
-		st.childComps = make(map[int]map[topology.NodeID]core.Component)
-		st.pendingLayouts = make(map[int]core.Layout)
-		st.pendingComps = make(map[int]map[topology.NodeID]core.Component)
-		st.parts = make(map[int]schedule.Region)
-		st.assignment = make(map[topology.NodeID][]schedule.Cell)
-		st.sentRegions = make(map[int]map[topology.NodeID]schedule.Region)
-		st.deferred = make(map[int][]deferredAdjust)
-		st.pendingDemand = make(map[topology.NodeID]demandSnapshot)
-		st.iface = proto.DirInterface{}
+		// Wipe everything but the configured link demands (reloaded by the
+		// caller) and the granted own-link cells; a leaf drops back to all-nil
+		// maps, a parent gets fresh empty ones.
+		*st = dirState{demand: st.demand, topRate: st.topRate, myCells: st.myCells}
+		if len(n.children) > 0 {
+			st.ensure()
+		}
 	}
 	n.settledOnce = false
 }

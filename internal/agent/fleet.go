@@ -16,7 +16,17 @@ import (
 type Fleet struct {
 	Tree  *topology.Tree
 	Frame schedule.Slotframe
-	nodes map[topology.NodeID]*Node
+	// nodes is indexed by the tree's dense node index (topology.Tree.Index);
+	// slots freed by node removal are nil.
+	nodes []*Node
+}
+
+// node resolves an agent through the tree's dense index; nil if unknown.
+func (f *Fleet) node(id topology.NodeID) *Node {
+	if i := f.Tree.Index(id); i >= 0 && i < len(f.nodes) {
+		return f.nodes[i]
+	}
+	return nil
 }
 
 // DeployOption customises a fleet deployment.
@@ -67,7 +77,7 @@ func Deploy(tree *topology.Tree, frame schedule.Slotframe, demand *traffic.Deman
 	if err := tree.Validate(); err != nil {
 		return nil, err
 	}
-	f := &Fleet{Tree: tree, Frame: frame, nodes: make(map[topology.NodeID]*Node)}
+	f := &Fleet{Tree: tree, Frame: frame, nodes: make([]*Node, tree.IndexCap())}
 	for _, id := range tree.Nodes() {
 		parent, err := tree.Parent(id)
 		if err != nil {
@@ -100,7 +110,13 @@ func Deploy(tree *topology.Tree, frame schedule.Slotframe, demand *traffic.Deman
 			net:      net,
 			tracer:   cfg.tracer,
 			metrics:  cfg.metrics,
-			dirs:     [2]*dirState{newDirState(), newDirState()},
+		}
+		// Only nodes that host children carry protocol maps; leaf agents stay
+		// map-free (the dominant population at scale). The gateway always gets
+		// them — it self-allocates partitions.
+		if len(children) > 0 || parent == topology.None {
+			n.dirs[0].ensure()
+			n.dirs[1].ensure()
 		}
 		// Load the demands of the links between this node and its children.
 		for _, c := range children {
@@ -113,7 +129,7 @@ func Deploy(tree *topology.Tree, frame schedule.Slotframe, demand *traffic.Deman
 				}
 			}
 		}
-		f.nodes[id] = n
+		f.nodes[tree.Index(id)] = n
 		net.Register(id, n)
 	}
 	return f, nil
@@ -124,14 +140,14 @@ func Deploy(tree *topology.Tree, frame schedule.Slotframe, demand *traffic.Deman
 // transport to completion (Bus.Run or Live.WaitIdle).
 func (f *Fleet) Start() {
 	for _, id := range f.Tree.Nodes() {
-		f.nodes[id].start()
+		f.node(id).start()
 	}
 }
 
 // Node returns the agent for a device.
 func (f *Fleet) Node(id topology.NodeID) (*Node, error) {
-	n, ok := f.nodes[id]
-	if !ok {
+	n := f.node(id)
+	if n == nil {
 		return nil, fmt.Errorf("agent: unknown node %d", id)
 	}
 	return n, nil
@@ -148,7 +164,7 @@ func (f *Fleet) SetLinkDemand(l topology.Link, cells int, topRate float64) error
 	if parent == topology.None {
 		return fmt.Errorf("agent: link %v has no parent", l)
 	}
-	return f.nodes[parent].SetChildDemand(l.Child, l.Direction, cells, topRate)
+	return f.node(parent).SetChildDemand(l.Child, l.Direction, cells, topRate)
 }
 
 // RequestLinkDemand routes a traffic change through the child end of the
@@ -156,8 +172,8 @@ func (f *Fleet) SetLinkDemand(l topology.Link, cells int, topRate float64) error
 // upward and the parent absorbs or escalates it. The caller must run the
 // transport afterwards.
 func (f *Fleet) RequestLinkDemand(l topology.Link, cells int) error {
-	n, ok := f.nodes[l.Child]
-	if !ok {
+	n := f.node(l.Child)
+	if n == nil {
 		return fmt.Errorf("agent: unknown node %d", l.Child)
 	}
 	return n.RequestDemand(l.Direction, cells)
@@ -172,7 +188,7 @@ func (f *Fleet) BuildSchedule() (*schedule.Schedule, error) {
 		return nil, err
 	}
 	for _, id := range f.Tree.Nodes() {
-		n := f.nodes[id]
+		n := f.node(id)
 		for _, d := range topology.Directions() {
 			for child, cells := range n.Assignment(d) {
 				if len(cells) == 0 {
@@ -247,9 +263,9 @@ func (f *Fleet) Reparent(node, newParent topology.NodeID, newDemand *traffic.Dem
 		if err != nil {
 			return err
 		}
-		f.nodes[id].setStructure(parent, ownLayer, maxLayer)
+		f.node(id).setStructure(parent, ownLayer, maxLayer)
 	}
-	np := f.nodes[newParent]
+	np := f.node(newParent)
 	np.mu.Lock()
 	if !containsNode(np.children, node) {
 		np.children = insertNode(np.children, node)
@@ -257,15 +273,18 @@ func (f *Fleet) Reparent(node, newParent topology.NodeID, newDemand *traffic.Dem
 			np.nonLeaf = insertNode(np.nonLeaf, node)
 		}
 	}
+	// The new parent may have been a leaf until now; give it its maps.
+	np.dirs[0].ensure()
+	np.dirs[1].ensure()
 	np.mu.Unlock()
 
 	// 3. Reset the moved subtree's resource state and load the post-change
 	// demands of its internal links into the owning parents.
 	for _, id := range subtree {
-		f.nodes[id].resetResources()
+		f.node(id).resetResources()
 	}
 	for _, id := range subtree {
-		agentNode := f.nodes[id]
+		agentNode := f.node(id)
 		agentNode.mu.Lock()
 		for _, c := range agentNode.children {
 			for _, d := range topology.Directions() {
@@ -289,7 +308,7 @@ func (f *Fleet) Reparent(node, newParent topology.NodeID, newDemand *traffic.Dem
 		if id == node {
 			continue
 		}
-		agentNode := f.nodes[id]
+		agentNode := f.node(id)
 		agentNode.mu.Lock()
 		if len(agentNode.children) > 0 && len(agentNode.nonLeaf) == 0 {
 			agentNode.computeAndForwardInterface()
@@ -311,7 +330,7 @@ func (f *Fleet) Reparent(node, newParent topology.NodeID, newDemand *traffic.Dem
 		if err != nil || parent == topology.None {
 			continue
 		}
-		pa := f.nodes[parent]
+		pa := f.node(parent)
 		pa.mu.Lock()
 		current := pa.dir(l.Direction).demand[l.Child]
 		pa.mu.Unlock()
@@ -371,7 +390,7 @@ func (f *Fleet) RestartNode(id topology.NodeID, demand *traffic.Demand) error {
 	downLink := topology.Link{Child: id, Direction: topology.Downlink}
 	n.startJoin(demand.Cells(upLink), demand.Cells(downLink))
 	for _, c := range nonLeaf {
-		child := f.nodes[c]
+		child := f.node(c)
 		child.mu.Lock()
 		child.computeAndForwardInterface()
 		child.mu.Unlock()
@@ -383,6 +402,9 @@ func (f *Fleet) RestartNode(id topology.NodeID, demand *traffic.Demand) error {
 func (f *Fleet) Rejections() int {
 	total := 0
 	for _, n := range f.nodes {
+		if n == nil {
+			continue
+		}
 		n.mu.Lock()
 		total += n.Rejections
 		n.mu.Unlock()

@@ -65,7 +65,29 @@ func TestStaticPhaseAndDataPlane(t *testing.T) {
 // after the protocol has committed.
 func runAdjustScenario(t *testing.T, seed int64) *CoSim {
 	t.Helper()
-	cs := newFig1CoSim(t, seed)
+	return runAdjustScenarioShards(t, seed, 0)
+}
+
+// runAdjustScenarioShards is runAdjustScenario on a sharded virtual-time
+// kernel (0 = single heap).
+func runAdjustScenarioShards(t *testing.T, seed int64, shards int) *CoSim {
+	t.Helper()
+	tree := topology.Fig1()
+	tasks, err := traffic.UniformEcho(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := New(Config{
+		Tree:   tree,
+		Frame:  testFrame(),
+		Tasks:  tasks,
+		PDR:    1,
+		Seed:   seed,
+		Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	frame := testFrame()
 	trigger := frame.Slots + 7
 	link := topology.Link{Child: 8, Direction: topology.Uplink}

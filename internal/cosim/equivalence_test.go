@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/harpnet/harp/internal/sim"
+	"github.com/harpnet/harp/internal/topology"
 )
 
 // TestSkipEquivalenceAdjustScenario pins the co-simulation contract of the
@@ -31,5 +32,32 @@ func TestSkipEquivalenceAdjustScenario(t *testing.T) {
 	}
 	if !ser.Quiesced() || !skip.Quiesced() {
 		t.Errorf("runs did not quiesce: serial %v, skip %v", ser.Quiesced(), skip.Quiesced())
+	}
+}
+
+// TestShardEquivalenceAdjustScenario pins the sharded virtual-time
+// kernel's contract: a co-simulation on N per-subtree event heaps replays
+// the single-heap run exactly — same commits, same packet records, same
+// executed slots, same delivery counts — because the kernel always pops
+// the global (time, seq) minimum across shard heads.
+func TestShardEquivalenceAdjustScenario(t *testing.T) {
+	serial := runAdjustScenarioShards(t, 9, 0)
+	for _, shards := range []int{2, AutoShards(topology.Fig1()), 7} {
+		sharded := runAdjustScenarioShards(t, 9, shards)
+		if !reflect.DeepEqual(serial.Commits, sharded.Commits) {
+			t.Errorf("shards=%d: commits diverge:\nserial:  %+v\nsharded: %+v", shards, serial.Commits, sharded.Commits)
+		}
+		if !reflect.DeepEqual(serial.Sim.Records(), sharded.Sim.Records()) {
+			t.Errorf("shards=%d: packet records diverge from the single-heap run", shards)
+		}
+		if got, want := sharded.Sim.ExecutedSlots(), serial.Sim.ExecutedSlots(); got != want {
+			t.Errorf("shards=%d: executed %d slots, single-heap run executed %d", shards, got, want)
+		}
+		if got, want := sharded.Bus.Delivered(), serial.Bus.Delivered(); got != want {
+			t.Errorf("shards=%d: delivered %d messages, single-heap run delivered %d", shards, got, want)
+		}
+		if !sharded.Quiesced() {
+			t.Errorf("shards=%d: run did not quiesce", shards)
+		}
 	}
 }

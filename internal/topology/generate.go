@@ -76,6 +76,68 @@ func Generate(spec GenSpec, rng *rand.Rand) (*Tree, error) {
 	return t, nil
 }
 
+// GenerateScale builds a random tree for the scale experiment family
+// (1k–100k nodes). Generate rebuilds its candidate list per attached node —
+// O(N²), unusable at 50k — and its draw sequence is pinned by the fig11/12
+// benchmarks, so this is a separate generator: it keeps an incremental
+// candidate slice (a node leaves when its fan-out fills, never re-scanned)
+// and uses swap-removal, giving O(N) total work. The result is
+// deterministic for a given rng state.
+func GenerateScale(spec GenSpec, rng *rand.Rand) (*Tree, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := New()
+	next := NodeID(1)
+	parent := GatewayID
+	for d := 1; d <= spec.Layers; d++ {
+		if err := t.AddNode(next, parent); err != nil {
+			return nil, err
+		}
+		parent = next
+		next++
+	}
+	// Candidate pool: nodes that may still accept a child. Tracked
+	// incrementally; fan-out counts live in a flat slice keyed by the dense
+	// node index.
+	fanout := make([]int, spec.Nodes)
+	candidates := make([]NodeID, 0, spec.Nodes)
+	for _, id := range t.Nodes() {
+		d, _ := t.Depth(id) //harplint:allow errcheck id comes from t.Nodes() and is always present
+		kids := len(t.Children(id))
+		fanout[t.Index(id)] = kids
+		if d >= spec.Layers {
+			continue
+		}
+		if spec.MaxChildren > 0 && kids >= spec.MaxChildren {
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	for int(next) < spec.Nodes {
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("topology: fan-out cap %d too tight for %d nodes", spec.MaxChildren, spec.Nodes)
+		}
+		ci := rng.Intn(len(candidates))
+		p := candidates[ci]
+		if err := t.AddNode(next, p); err != nil {
+			return nil, err
+		}
+		pi := t.Index(p)
+		fanout[pi]++
+		if spec.MaxChildren > 0 && fanout[pi] >= spec.MaxChildren {
+			candidates[ci] = candidates[len(candidates)-1]
+			candidates = candidates[:len(candidates)-1]
+		}
+		// The new node is itself a candidate unless at the layer budget.
+		if d, _ := t.Depth(next); d < spec.Layers { //harplint:allow errcheck next was just added
+			candidates = append(candidates, next)
+		}
+		next++
+	}
+	return t, nil
+}
+
 // Fig1 returns the 12-node, 3-layer example topology of Fig. 1(a) in the
 // paper: the gateway with children 1, 2, 3; node 1 with children 4 and 5;
 // node 3 with children 6 and 7; node 5 with children 8 and 9; node 7 with

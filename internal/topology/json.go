@@ -1,8 +1,10 @@
 package topology
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -33,6 +35,39 @@ func (t *Tree) MarshalJSON() ([]byte, error) {
 	}
 	sort.Slice(out.Edges, func(i, j int) bool { return out.Edges[i].Child < out.Edges[j].Child })
 	return json.Marshal(out)
+}
+
+// EncodeJSON streams the same wire form MarshalJSON produces (sorted edge
+// list, one edge object per line) without materialising the whole document
+// in memory — at 50k+ nodes the marshalled string would dwarf the tree
+// itself. The output unmarshals through UnmarshalJSON unchanged.
+func (t *Tree) EncodeJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"nodes\":%d,\"edges\":[", t.Len()); err != nil {
+		return err
+	}
+	first := true
+	for _, id := range t.Nodes() {
+		if id == GatewayID {
+			continue
+		}
+		p, err := t.Parent(id)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = "\n"
+			first = false
+		}
+		if _, err := fmt.Fprintf(bw, "%s{\"child\":%d,\"parent\":%d}", sep, id, p); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // UnmarshalJSON decodes an edge list, re-attaching children in dependency

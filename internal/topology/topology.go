@@ -72,8 +72,17 @@ type node struct {
 // Tree is a rooted routing tree. The zero value is not usable; construct
 // with New. Tree is not safe for concurrent mutation; concurrent reads are
 // safe once construction is complete.
+//
+// Every node also carries a stable dense index in [0, IndexCap()): the
+// gateway is always index 0, AddNode assigns the lowest free slot, and the
+// index survives Reparent (node identity, not position, owns the slot).
+// Downstream layers size flat slices by IndexCap and address per-node state
+// by Index instead of map lookups.
 type Tree struct {
 	nodes map[NodeID]*node
+	order []NodeID // dense index -> NodeID; None marks a freed slot
+	index map[NodeID]int32
+	free  []int32 // freed slots, reused lowest-first
 }
 
 // Errors reported by tree mutations and queries.
@@ -87,9 +96,39 @@ var (
 
 // New returns a tree containing only the gateway.
 func New() *Tree {
-	t := &Tree{nodes: make(map[NodeID]*node)}
+	t := &Tree{nodes: make(map[NodeID]*node), index: make(map[NodeID]int32)}
 	t.nodes[GatewayID] = &node{id: GatewayID, parent: None}
+	t.order = append(t.order, GatewayID)
+	t.index[GatewayID] = 0
 	return t
+}
+
+// assignIndex gives id the lowest free dense slot.
+func (t *Tree) assignIndex(id NodeID) {
+	if len(t.free) > 0 {
+		// The free list is kept sorted descending so the lowest slot pops
+		// from the tail in O(1).
+		slot := t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		t.order[slot] = id
+		t.index[id] = slot
+		return
+	}
+	t.index[id] = int32(len(t.order))
+	t.order = append(t.order, id)
+}
+
+// releaseIndex returns id's dense slot to the free list.
+func (t *Tree) releaseIndex(id NodeID) {
+	slot := t.index[id]
+	t.order[slot] = None
+	delete(t.index, id)
+	t.free = append(t.free, slot)
+	// Insertion-sort the new slot into the descending free list; churn
+	// removes few nodes at a time, so the list stays short.
+	for i := len(t.free) - 1; i > 0 && t.free[i] > t.free[i-1]; i-- {
+		t.free[i], t.free[i-1] = t.free[i-1], t.free[i]
+	}
 }
 
 // AddNode attaches a new node under parent. The new node's depth (and hence
@@ -104,6 +143,7 @@ func (t *Tree) AddNode(id NodeID, parent NodeID) error {
 	}
 	t.nodes[id] = &node{id: id, parent: parent, depth: p.depth + 1}
 	p.children = append(p.children, id)
+	t.assignIndex(id)
 	return nil
 }
 
@@ -124,6 +164,7 @@ func (t *Tree) RemoveLeaf(id NodeID) error {
 	p := t.nodes[n.parent]
 	p.children = removeID(p.children, id)
 	delete(t.nodes, id)
+	t.releaseIndex(id)
 	return nil
 }
 
@@ -182,6 +223,36 @@ func (t *Tree) Has(id NodeID) bool {
 
 // Len returns the number of nodes, including the gateway.
 func (t *Tree) Len() int { return len(t.nodes) }
+
+// NumNodes returns the number of nodes, including the gateway. It is an
+// alias of Len named for the dense-index API.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Index returns the node's stable dense index in [0, IndexCap()), or -1 if
+// the node does not exist. The gateway is always 0. The index is stable
+// across Reparent and is only recycled after RemoveLeaf.
+func (t *Tree) Index(id NodeID) int {
+	i, ok := t.index[id]
+	if !ok {
+		return -1
+	}
+	return int(i)
+}
+
+// IndexCap returns the exclusive upper bound of live dense indices: flat
+// per-node slices sized IndexCap can be addressed by Index for every
+// current node. IndexCap >= NumNodes, with equality when no removed slot
+// is awaiting reuse.
+func (t *Tree) IndexCap() int { return len(t.order) }
+
+// NodeAt returns the node occupying dense index i, or None if i is out of
+// range or the slot is freed.
+func (t *Tree) NodeAt(i int) NodeID {
+	if i < 0 || i >= len(t.order) {
+		return None
+	}
+	return t.order[i]
+}
 
 // Parent returns a node's parent (None for the gateway).
 func (t *Tree) Parent(id NodeID) (NodeID, error) {
@@ -377,6 +448,27 @@ func (t *Tree) Validate() error {
 			return fmt.Errorf("topology: node %d depth %d, parent depth %d", id, n.depth, p.depth)
 		}
 	}
+	// Dense-index bookkeeping: every node owns exactly one live slot and
+	// every slot is either owned or on the free list.
+	if len(t.index) != len(t.nodes) {
+		return fmt.Errorf("topology: %d indexed of %d nodes", len(t.index), len(t.nodes))
+	}
+	if len(t.order) != len(t.nodes)+len(t.free) {
+		return fmt.Errorf("topology: index cap %d != %d nodes + %d free", len(t.order), len(t.nodes), len(t.free))
+	}
+	for id, i := range t.index {
+		if i < 0 || int(i) >= len(t.order) || t.order[i] != id {
+			return fmt.Errorf("topology: node %d index %d out of sync", id, i)
+		}
+	}
+	for _, i := range t.free {
+		if i < 0 || int(i) >= len(t.order) || t.order[i] != None {
+			return fmt.Errorf("topology: free slot %d not vacant", i)
+		}
+	}
+	if gi, ok := t.index[GatewayID]; !ok || gi != 0 {
+		return errors.New("topology: gateway must hold dense index 0")
+	}
 	// Reachability: every node must be reachable from the gateway.
 	sub, err := t.Subtree(GatewayID)
 	if err != nil {
@@ -397,15 +489,73 @@ func containsID(ids []NodeID, id NodeID) bool {
 	return false
 }
 
-// Clone returns a deep copy of the tree.
+// Clone returns a deep copy of the tree, preserving dense indices.
 func (t *Tree) Clone() *Tree {
-	c := &Tree{nodes: make(map[NodeID]*node, len(t.nodes))}
+	c := &Tree{
+		nodes: make(map[NodeID]*node, len(t.nodes)),
+		order: make([]NodeID, len(t.order)),
+		index: make(map[NodeID]int32, len(t.index)),
+		free:  make([]int32, len(t.free)),
+	}
 	for id, n := range t.nodes {
 		children := make([]NodeID, len(n.children))
 		copy(children, n.children)
 		c.nodes[id] = &node{id: n.id, parent: n.parent, children: children, depth: n.depth}
 	}
+	copy(c.order, t.order)
+	copy(c.free, t.free)
+	for id, i := range t.index {
+		c.index[id] = i
+	}
 	return c
+}
+
+// Dense is an immutable snapshot of the tree laid out in index space.
+// Children of the node at dense index i occupy the contiguous range
+// Children[ChildOff[i]:ChildOff[i+1]] (as dense indices, sorted by NodeID),
+// so traversals touch flat arrays instead of chasing per-node map entries.
+// Freed slots carry Node == None, Parent == -1 and an empty child range.
+// The snapshot does not track later tree mutations.
+type Dense struct {
+	Node     []NodeID // dense index -> NodeID (None for freed slots)
+	Parent   []int32  // dense index -> parent's dense index (-1 for gateway/freed)
+	Depth    []int32  // dense index -> hop count (-1 for freed slots)
+	ChildOff []int32  // length IndexCap+1; child range offsets into Children
+	Children []int32  // concatenated child index ranges
+}
+
+// Dense captures the current tree as a CSR-style snapshot.
+func (t *Tree) Dense() *Dense {
+	capN := len(t.order)
+	d := &Dense{
+		Node:     make([]NodeID, capN),
+		Parent:   make([]int32, capN),
+		Depth:    make([]int32, capN),
+		ChildOff: make([]int32, capN+1),
+		Children: make([]int32, 0, len(t.nodes)-1),
+	}
+	copy(d.Node, t.order)
+	for i := 0; i < capN; i++ {
+		d.ChildOff[i] = int32(len(d.Children))
+		id := t.order[i]
+		if id == None {
+			d.Parent[i] = -1
+			d.Depth[i] = -1
+			continue
+		}
+		n := t.nodes[id]
+		d.Depth[i] = int32(n.depth)
+		if n.parent == None {
+			d.Parent[i] = -1
+		} else {
+			d.Parent[i] = t.index[n.parent]
+		}
+		for _, c := range t.Children(id) {
+			d.Children = append(d.Children, t.index[c])
+		}
+	}
+	d.ChildOff[capN] = int32(len(d.Children))
+	return d
 }
 
 // String renders the tree as an indented outline, one node per line.

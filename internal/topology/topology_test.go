@@ -1,9 +1,11 @@
 package topology
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -343,5 +345,192 @@ func TestDirectionString(t *testing.T) {
 	l := Link{Child: 4, Direction: Uplink}
 	if l.String() == "" {
 		t.Error("Link.String empty")
+	}
+}
+
+func TestDenseIndexLifecycle(t *testing.T) {
+	tr := mustTree(t, [2]NodeID{1, 0}, [2]NodeID{2, 0}, [2]NodeID{3, 1}, [2]NodeID{4, 1})
+	if got := tr.Index(GatewayID); got != 0 {
+		t.Fatalf("gateway index = %d, want 0", got)
+	}
+	if tr.NumNodes() != 5 || tr.IndexCap() != 5 {
+		t.Fatalf("NumNodes=%d IndexCap=%d, want 5/5", tr.NumNodes(), tr.IndexCap())
+	}
+	for i, id := range []NodeID{0, 1, 2, 3, 4} {
+		if tr.Index(id) != i || tr.NodeAt(i) != id {
+			t.Fatalf("node %d: Index=%d NodeAt(%d)=%d", id, tr.Index(id), i, tr.NodeAt(i))
+		}
+	}
+	if tr.Index(99) != -1 || tr.NodeAt(99) != None || tr.NodeAt(-1) != None {
+		t.Error("unknown lookups must return -1/None")
+	}
+
+	// Reparent must not move indices.
+	if err := tr.Reparent(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Index(3) != 3 {
+		t.Fatalf("index of 3 changed across Reparent: %d", tr.Index(3))
+	}
+
+	// RemoveLeaf frees the slot; the next AddNode reuses the lowest one.
+	if err := tr.RemoveLeaf(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RemoveLeaf(2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() != 3 || tr.IndexCap() != 5 {
+		t.Fatalf("after removals NumNodes=%d IndexCap=%d, want 3/5", tr.NumNodes(), tr.IndexCap())
+	}
+	if tr.NodeAt(2) != None || tr.NodeAt(3) != None {
+		t.Error("freed slots must read None")
+	}
+	if err := tr.AddNode(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Index(7); got != 2 {
+		t.Fatalf("reused index = %d, want lowest free slot 2", got)
+	}
+	if err := tr.AddNode(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Index(8); got != 3 {
+		t.Fatalf("second reuse index = %d, want 3", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate after index churn: %v", err)
+	}
+
+	// Clone preserves indices exactly.
+	c := tr.Clone()
+	for _, id := range tr.Nodes() {
+		if c.Index(id) != tr.Index(id) {
+			t.Fatalf("clone index of %d = %d, want %d", id, c.Index(id), tr.Index(id))
+		}
+	}
+	if c.IndexCap() != tr.IndexCap() {
+		t.Fatalf("clone IndexCap %d != %d", c.IndexCap(), tr.IndexCap())
+	}
+}
+
+func TestDenseSnapshot(t *testing.T) {
+	tr := Fig1()
+	if err := tr.RemoveLeaf(9); err != nil { // punch a hole in index space
+		t.Fatal(err)
+	}
+	d := tr.Dense()
+	if len(d.ChildOff) != tr.IndexCap()+1 {
+		t.Fatalf("ChildOff length %d, want %d", len(d.ChildOff), tr.IndexCap()+1)
+	}
+	for i := 0; i < tr.IndexCap(); i++ {
+		id := tr.NodeAt(i)
+		if d.Node[i] != id {
+			t.Fatalf("Node[%d]=%d, want %d", i, d.Node[i], id)
+		}
+		kids := d.Children[d.ChildOff[i]:d.ChildOff[i+1]]
+		if id == None {
+			if len(kids) != 0 || d.Parent[i] != -1 || d.Depth[i] != -1 {
+				t.Fatalf("freed slot %d not vacant in snapshot", i)
+			}
+			continue
+		}
+		want := tr.Children(id)
+		if len(kids) != len(want) {
+			t.Fatalf("node %d: %d children in snapshot, want %d", id, len(kids), len(want))
+		}
+		for j, ci := range kids {
+			if tr.NodeAt(int(ci)) != want[j] {
+				t.Fatalf("node %d child %d: snapshot %d, want %d", id, j, tr.NodeAt(int(ci)), want[j])
+			}
+		}
+		dep, _ := tr.Depth(id)
+		if int(d.Depth[i]) != dep {
+			t.Fatalf("node %d depth %d, want %d", id, d.Depth[i], dep)
+		}
+		p, _ := tr.Parent(id)
+		if p == None {
+			if d.Parent[i] != -1 {
+				t.Fatalf("gateway parent %d, want -1", d.Parent[i])
+			}
+		} else if tr.NodeAt(int(d.Parent[i])) != p {
+			t.Fatalf("node %d parent: snapshot %d, want %d", id, tr.NodeAt(int(d.Parent[i])), p)
+		}
+	}
+}
+
+func TestEncodeJSONMatchesMarshal(t *testing.T) {
+	tr := Testbed50()
+	var buf bytes.Buffer
+	if err := tr.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("EncodeJSON output does not unmarshal: %v", err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip lost nodes: %d != %d", back.Len(), tr.Len())
+	}
+	for _, id := range tr.Nodes() {
+		wp, _ := tr.Parent(id)
+		gp, _ := back.Parent(id)
+		if wp != gp {
+			t.Fatalf("node %d parent %d != %d after round trip", id, gp, wp)
+		}
+	}
+	// Semantically identical to MarshalJSON output.
+	direct, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b any
+	if err := json.Unmarshal(buf.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(direct, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("EncodeJSON and MarshalJSON disagree")
+	}
+}
+
+func TestGenerateScaleProperties(t *testing.T) {
+	spec := GenSpec{Nodes: 2000, Layers: 8, MaxChildren: 6}
+	tr, err := GenerateScale(spec, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != spec.Nodes {
+		t.Fatalf("generated %d nodes, want %d", tr.Len(), spec.Nodes)
+	}
+	if tr.MaxLayer() != spec.Layers {
+		t.Fatalf("max layer %d, want %d", tr.MaxLayer(), spec.Layers)
+	}
+	for _, id := range tr.Nodes() {
+		if n := len(tr.Children(id)); n > spec.MaxChildren {
+			t.Fatalf("node %d fan-out %d exceeds cap %d", id, n, spec.MaxChildren)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for a fixed seed.
+	tr2, err := GenerateScale(spec, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(tr)
+	b, _ := json.Marshal(tr2)
+	if !bytes.Equal(a, b) {
+		t.Error("GenerateScale not deterministic for a fixed seed")
+	}
+}
+
+func TestGenerateScaleCapTooTight(t *testing.T) {
+	// 1 child per node forces a pure chain; more nodes than layers+1 must fail.
+	if _, err := GenerateScale(GenSpec{Nodes: 10, Layers: 3, MaxChildren: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("impossible spec accepted")
 	}
 }

@@ -265,7 +265,7 @@ func TestBusDecodeErrorDoesNotBlackholeRun(t *testing.T) {
 	bus.Register(1, &recorder{})
 	bus.Register(2, b)
 	// A corrupt frame, queued by hand the way Send would.
-	bad := &envelope{from: 1, to: 2, wire: []byte{0xff}}
+	bad := &envelope{from: 1, to: 2, fi: bus.slot(1), ti: bus.slot(2), wire: []byte{0xff}, refs: 1}
 	bus.inFlight++
 	bus.clock.Schedule(0.5, func() { bus.deliver(bad, true) })
 	if err := bus.Send(1, 2, newConRequest(9, "intf")); err != nil {

@@ -85,15 +85,26 @@ var (
 	ErrClosed      = errors.New("transport: closed")
 )
 
-// envelope is one in-flight message.
+// envelope is one in-flight message. On the Bus, envelopes are pooled:
+// refs counts the live references (scheduled delivery copies plus, for
+// confirmable messages, the owning exchange), and hitting zero returns the
+// envelope — wire buffer included — to the bus's free list, so a
+// steady-state run recycles a handful of envelopes instead of allocating
+// one per message. The Live transport passes envelopes by value and
+// ignores the pooling fields.
 type envelope struct {
 	from, to topology.NodeID
-	wire     []byte
-	mid      uint16
+	// fi, ti are the bus's dense slots for from/to (see Bus.nodes); the
+	// delivery path addresses per-node state by slot, not map lookup.
+	fi, ti int32
+	wire   []byte
+	mid    uint16
 	// span is the coap.tx trace span the message was sent under (0 when
 	// tracing is off); every later event of the message — delivery,
 	// fault, retransmission, ACK — is parented to it.
 	span uint64
+	// refs is the pool reference count (Bus only).
+	refs int32
 	// reliable marks a confirmable application message owned by an
 	// exchange: its in-flight slot is retired when the exchange resolves,
 	// not when a copy is delivered.
@@ -165,9 +176,15 @@ type busExchange struct {
 // and cannot overtake each other. (Without this, a stale partition grant
 // could overtake a newer one and corrupt the receiver's state.)
 type Bus struct {
-	clock    *vclock.Clock
-	handlers map[topology.NodeID]Handler
-	rng      *rand.Rand
+	clock *vclock.Clock
+	rng   *rand.Rand
+
+	// nodes holds per-node state in dense slots assigned in Register
+	// order; nodeIdx maps a NodeID to its slot. Callers register in a
+	// deterministic order (Fleet.Deploy walks tree.Nodes()), so slot
+	// assignment is reproducible.
+	nodes   []busNode
+	nodeIdx map[topology.NodeID]int32
 
 	// inFlight counts messages whose outcome is unsettled; co-simulation
 	// harnesses poll it (Pending) to detect protocol quiescence. An
@@ -180,8 +197,25 @@ type Bus struct {
 	errs []error
 
 	// lastDelivery enforces per-pair FIFO: the next message on a pair is
-	// delivered strictly after the previous one.
-	lastDelivery map[[2]topology.NodeID]float64
+	// delivered strictly after the previous one. Pairs are keyed by the
+	// packed dense-slot pair (see pairKey) — one 8-byte word instead of a
+	// 16-byte NodeID struct.
+	lastDelivery map[uint64]float64
+
+	// envFree recycles settled envelopes (wire buffers included); see the
+	// envelope type comment.
+	envFree []*envelope
+	// deliverPrimary/deliverDup are the prebound delivery callbacks passed
+	// to vclock.ScheduleArgIn, bound once here so scheduling a delivery
+	// allocates no closure.
+	deliverPrimary func(any)
+	deliverDup     func(any)
+	// shardRouter, if set, picks the clock shard a delivery to a node is
+	// scheduled on (the co-simulation routes by root subtree). Routing
+	// never changes the dispatch order — vclock's global seq keeps the
+	// (time, seq) pop sequence shard-blind — only which heap holds the
+	// event.
+	shardRouter func(topology.NodeID) int
 
 	// slotsPerHop is the slotframe length; per-hop latency is sampled
 	// uniformly in (0, slotsPerHop] — the wait for the sender's next
@@ -191,7 +225,6 @@ type Bus struct {
 	// Fault injection (nil faultRNG: clean channel, zero extra draws).
 	faults   FaultConfig
 	faultRNG *rand.Rand
-	crashed  map[topology.NodeID]bool
 
 	// Reliability (RFC 7252 §4.2), off unless EnableReliability ran.
 	reliable bool
@@ -202,10 +235,9 @@ type Bus struct {
 	retxRNG *rand.Rand
 	// outstanding holds the one in-progress exchange per ordered pair
 	// (NSTART=1); backlog queues further confirmable sends on the pair.
-	outstanding map[[2]topology.NodeID]*busExchange
-	backlog     map[[2]topology.NodeID][]*envelope
-	// dedup is each receiver's Message-ID cache.
-	dedup map[topology.NodeID]*coap.DedupCache
+	// Both are keyed by the packed slot pair.
+	outstanding map[uint64]*busExchange
+	backlog     map[uint64][]*envelope
 
 	// metrics is the unified counter registry (internal/obs); the legacy
 	// accessors — Count, CountKeys, Delivered, ParticipantCount, Faults —
@@ -222,6 +254,57 @@ type Bus struct {
 	// the per-delivery lookup needs no Path() string build: a map index
 	// on string(bytes) does not allocate.
 	classFast map[coap.Code]map[string]string
+}
+
+// busNode is one registered node's transport state, held in a dense slot.
+type busNode struct {
+	id      topology.NodeID
+	handler Handler
+	crashed bool
+	// dedup is the node's receiver-side Message-ID cache (reliable mode),
+	// created on first confirmable delivery.
+	dedup *coap.DedupCache
+}
+
+// pairKey packs an ordered (sender slot, receiver slot) pair into one map
+// key word.
+func pairKey(fi, ti int32) uint64 { return uint64(uint32(fi))<<32 | uint64(uint32(ti)) }
+
+// pairFrom recovers the sender slot of a packed pair.
+func pairFrom(k uint64) int32 { return int32(uint32(k >> 32)) }
+
+// slot returns the dense slot of a registered node, or -1.
+func (b *Bus) slot(id topology.NodeID) int32 {
+	if i, ok := b.nodeIdx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// takeEnv returns a pooled (or fresh) envelope with refs zero and the
+// previous generation's wire buffer capacity.
+func (b *Bus) takeEnv() *envelope {
+	if n := len(b.envFree); n > 0 {
+		e := b.envFree[n-1]
+		b.envFree = b.envFree[:n-1]
+		return e
+	}
+	return &envelope{}
+}
+
+// retainEnv adds one reference (a scheduled copy or an owning exchange).
+func retainEnv(e *envelope) { e.refs++ }
+
+// releaseEnv drops one reference; the last release clears the envelope and
+// returns it (wire capacity kept) to the pool.
+func (b *Bus) releaseEnv(e *envelope) {
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	wire := e.wire[:0]
+	*e = envelope{wire: wire}
+	b.envFree = append(b.envFree, e)
 }
 
 // NewBus builds a virtual-time bus on a private clock. slotframeSlots sets
@@ -241,18 +324,29 @@ func NewBusOnClock(c *vclock.Clock, slotframeSlots int, seed int64) (*Bus, error
 	if c == nil {
 		return nil, errors.New("transport: nil clock")
 	}
-	return &Bus{
+	b := &Bus{
 		clock:        c,
-		handlers:     make(map[topology.NodeID]Handler),
+		nodeIdx:      make(map[topology.NodeID]int32),
 		rng:          c.RNG(vclock.StreamBus, seed),
 		slotsPerHop:  slotframeSlots,
-		crashed:      make(map[topology.NodeID]bool),
 		metrics:      obs.NewRegistry(),
 		classKinds:   make(map[CountKey]string),
 		classFast:    make(map[coap.Code]map[string]string),
-		lastDelivery: make(map[[2]topology.NodeID]float64),
-	}, nil
+		lastDelivery: make(map[uint64]float64),
+	}
+	// Bound once: scheduling a delivery passes these through
+	// vclock.ScheduleArgIn, so the per-message path allocates no closure.
+	b.deliverPrimary = func(x any) { b.deliver(x.(*envelope), true) }
+	b.deliverDup = func(x any) { b.deliver(x.(*envelope), false) }
+	return b, nil
 }
+
+// SetShardRouter installs the clock-shard routing function for deliveries
+// (nil restores everything-on-shard-0). The co-simulation routes each
+// receiver's deliveries to its root subtree's shard; because vclock's
+// dispatch order is shard-blind, any routing — including none — replays
+// the same history.
+func (b *Bus) SetShardRouter(fn func(topology.NodeID) int) { b.shardRouter = fn }
 
 // SetTracer attaches a protocol-event tracer (nil detaches). The tracer
 // must be bound to the bus's clock so event timestamps share its virtual
@@ -264,9 +358,15 @@ func (b *Bus) SetTracer(t *obs.Tracer) { b.tracer = t }
 // clears them all together.
 func (b *Bus) Metrics() *obs.Registry { return b.metrics }
 
-// Register attaches a node's handler.
+// Register attaches a node's handler, assigning the node the next dense
+// slot (re-registering an id replaces its handler in place).
 func (b *Bus) Register(id topology.NodeID, h Handler) {
-	b.handlers[id] = h
+	if i, ok := b.nodeIdx[id]; ok {
+		b.nodes[i].handler = h
+		return
+	}
+	b.nodeIdx[id] = int32(len(b.nodes))
+	b.nodes = append(b.nodes, busNode{id: id, handler: h})
 }
 
 // Clock returns the virtual clock deliveries are scheduled on.
@@ -326,9 +426,8 @@ func (b *Bus) EnableReliabilityWith(p coap.ReliabilityParams, seed int64) {
 	b.params = p
 	b.retxRNG = b.clock.RNG(vclock.StreamRetx, seed)
 	if b.outstanding == nil {
-		b.outstanding = make(map[[2]topology.NodeID]*busExchange)
-		b.backlog = make(map[[2]topology.NodeID][]*envelope)
-		b.dedup = make(map[topology.NodeID]*coap.DedupCache)
+		b.outstanding = make(map[uint64]*busExchange)
+		b.backlog = make(map[uint64][]*envelope)
 	}
 }
 
@@ -340,23 +439,28 @@ func (b *Bus) Reliable() bool { return b.reliable }
 // backlogged messages — are abandoned, as a reboot loses RAM. Frames it
 // already transmitted stay in flight.
 func (b *Bus) Crash(id topology.NodeID) {
-	if b.crashed[id] {
+	i := b.slot(id)
+	if i < 0 || b.nodes[i].crashed {
 		return
 	}
-	b.crashed[id] = true
+	b.nodes[i].crashed = true
 	if tr := b.tracer; tr.Enabled() {
 		tr.Emit(obs.Ev(obs.KindNodeCrash).WithNode(int(id)))
 	}
 	for pair, bx := range b.outstanding {
-		if pair[0] == id {
+		if pairFrom(pair) == i {
 			bx.timer.Cancel()
 			delete(b.outstanding, pair)
 			b.inFlight--
+			b.releaseEnv(bx.env) // the exchange's ownership reference
 		}
 	}
 	for pair, q := range b.backlog {
-		if pair[0] == id {
+		if pairFrom(pair) == i {
 			b.inFlight -= len(q)
+			for _, e := range q {
+				b.releaseEnv(e)
+			}
 			delete(b.backlog, pair)
 		}
 	}
@@ -366,9 +470,9 @@ func (b *Bus) Crash(id topology.NodeID) {
 // (its Message-ID dedup cache is gone — reboots lose RAM, which is exactly
 // what the dedup lifetime bound protects against).
 func (b *Bus) Restart(id topology.NodeID) {
-	delete(b.crashed, id)
-	if b.dedup != nil {
-		delete(b.dedup, id)
+	if i := b.slot(id); i >= 0 {
+		b.nodes[i].crashed = false
+		b.nodes[i].dedup = nil
 	}
 	if tr := b.tracer; tr.Enabled() {
 		tr.Emit(obs.Ev(obs.KindNodeRestart).WithNode(int(id)))
@@ -376,17 +480,22 @@ func (b *Bus) Restart(id topology.NodeID) {
 }
 
 // Crashed reports whether the node is currently down.
-func (b *Bus) Crashed(id topology.NodeID) bool { return b.crashed[id] }
+func (b *Bus) Crashed(id topology.NodeID) bool {
+	i := b.slot(id)
+	return i >= 0 && b.nodes[i].crashed
+}
 
 // Send implements Network: the message is CoAP-encoded and queued with a
 // management-cell latency. In reliable mode non-confirmable requests are
 // upgraded to confirmable and tracked by an exchange; at most one exchange
 // per ordered pair is in progress (NSTART=1), later ones queue behind it.
 func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
-	if _, ok := b.handlers[to]; !ok {
+	ti := b.slot(to)
+	if ti < 0 {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
-	if b.crashed[from] {
+	fi := b.slot(from)
+	if fi >= 0 && b.nodes[fi].crashed {
 		b.metrics.Inc(obs.Key(obs.MetricCrashDropped))
 		if tr := b.tracer; tr.Enabled() {
 			tr.Emit(obs.Ev(obs.KindFaultCrash).WithNode(int(from)).WithPeer(int(to)))
@@ -396,11 +505,14 @@ func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
 	if b.reliable && msg.Type == coap.NonConfirmable && msg.Code.IsRequest() {
 		msg.Type = coap.Confirmable
 	}
-	wire, err := msg.Encode()
+	e := b.takeEnv()
+	wire, err := msg.AppendTo(e.wire[:0])
 	if err != nil {
+		e.refs = 1
+		b.releaseEnv(e)
 		return err
 	}
-	e := &envelope{from: from, to: to, wire: wire, mid: msg.MessageID}
+	e.from, e.to, e.fi, e.ti, e.wire, e.mid = from, to, fi, ti, wire, msg.MessageID
 	if tr := b.tracer; tr.Enabled() {
 		e.span = tr.Emit(obs.Ev(obs.KindCoapTx).WithNode(int(from)).WithPeer(int(to)).
 			WithDetail(msg.Code.String() + " " + msg.Path()))
@@ -408,7 +520,8 @@ func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
 	b.inFlight++
 	if b.reliable && msg.Type == coap.Confirmable {
 		e.reliable = true
-		pair := [2]topology.NodeID{from, to}
+		retainEnv(e) // the exchange (or its backlog slot) owns the envelope
+		pair := pairKey(fi, ti)
 		if _, busy := b.outstanding[pair]; busy {
 			b.backlog[pair] = append(b.backlog[pair], e)
 			return nil
@@ -420,49 +533,59 @@ func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
 	return nil
 }
 
+// shardOf resolves the clock shard deliveries to a node ride on.
+func (b *Bus) shardOf(to topology.NodeID) int {
+	if b.shardRouter == nil {
+		return 0
+	}
+	return b.shardRouter(to)
+}
+
 // transmit queues one copy of an envelope with a management-cell latency
-// drawn from r, preserving per-pair FIFO.
+// drawn from r, preserving per-pair FIFO. The scheduled copy holds one
+// envelope reference, released when deliver finishes with it.
 func (b *Bus) transmit(e *envelope, r *rand.Rand) {
 	latency := r.Float64() * float64(b.slotsPerHop)
 	deliverAt := b.clock.Now() + latency
-	pair := [2]topology.NodeID{e.from, e.to}
+	pair := pairKey(e.fi, e.ti)
 	if last, ok := b.lastDelivery[pair]; ok && deliverAt <= last {
 		deliverAt = last + 1e-6 // FIFO per pair
 	}
 	b.lastDelivery[pair] = deliverAt
-	b.clock.Schedule(deliverAt, func() { b.deliver(e, true) })
+	retainEnv(e)
+	b.clock.ScheduleArgIn(b.shardOf(e.to), deliverAt, b.deliverPrimary, e)
 }
 
 // startExchange begins the confirmable exchange for e on pair: transmit
 // the first copy and arm the retransmission timer.
-func (b *Bus) startExchange(pair [2]topology.NodeID, e *envelope) {
+func (b *Bus) startExchange(pair uint64, e *envelope) {
 	jitter := b.retxRNG.Float64()
 	bx := &busExchange{env: e, ex: b.params.NewExchange(e.mid, b.clock.Now(), jitter)}
 	b.outstanding[pair] = bx
 	b.transmit(e, b.rng)
-	bx.timer = b.clock.ScheduleCancelable(bx.ex.NextAt, func() { b.onRetxTimer(pair, bx) })
+	bx.timer = b.clock.ScheduleCancelableIn(b.shardOf(e.to), bx.ex.NextAt, func() { b.onRetxTimer(pair, bx) })
 }
 
 // onRetxTimer is the clock event of an exchange's retransmission timer.
-func (b *Bus) onRetxTimer(pair [2]topology.NodeID, bx *busExchange) {
+func (b *Bus) onRetxTimer(pair uint64, bx *busExchange) {
 	if b.outstanding[pair] != bx || bx.ex.Done() {
 		return // resolved or superseded; timer was stale
 	}
 	if bx.ex.Retransmit(b.clock.Now()) {
 		b.metrics.Inc(obs.Key(obs.MetricRetransmissions))
 		if tr := b.tracer; tr.Enabled() {
-			tr.Emit(obs.Ev(obs.KindCoapRetx).WithNode(int(pair[0])).WithPeer(int(pair[1])).
+			tr.Emit(obs.Ev(obs.KindCoapRetx).WithNode(int(bx.env.from)).WithPeer(int(bx.env.to)).
 				WithParent(bx.env.span))
 		}
 		b.transmit(bx.env, b.retxRNG)
-		bx.timer = b.clock.ScheduleCancelable(bx.ex.NextAt, func() { b.onRetxTimer(pair, bx) })
+		bx.timer = b.clock.ScheduleCancelableIn(b.shardOf(bx.env.to), bx.ex.NextAt, func() { b.onRetxTimer(pair, bx) })
 		return
 	}
 	b.metrics.Inc(obs.Key(obs.MetricGiveUps))
 	if tr := b.tracer; tr.Enabled() {
 		// The give-up span is pushed so the failure handler's unwind (and
 		// any sends it makes) chains off it causally.
-		span := tr.Emit(obs.Ev(obs.KindCoapGiveUp).WithNode(int(pair[0])).WithPeer(int(pair[1])).
+		span := tr.Emit(obs.Ev(obs.KindCoapGiveUp).WithNode(int(bx.env.from)).WithPeer(int(bx.env.to)).
 			WithParent(bx.env.span))
 		tr.Push(span)
 		defer tr.Pop()
@@ -474,7 +597,7 @@ func (b *Bus) onRetxTimer(pair [2]topology.NodeID, bx *busExchange) {
 // next backlogged exchange on the pair, and on failure notifies the
 // sender's FailureHandler. The backlog is dispatched first so a reentrant
 // Send from the failure handler sees the NSTART=1 invariant intact.
-func (b *Bus) finishExchange(pair [2]topology.NodeID, bx *busExchange, failed bool) {
+func (b *Bus) finishExchange(pair uint64, bx *busExchange, failed bool) {
 	delete(b.outstanding, pair)
 	bx.timer.Cancel()
 	b.inFlight--
@@ -488,43 +611,53 @@ func (b *Bus) finishExchange(pair [2]topology.NodeID, bx *busExchange, failed bo
 		b.startExchange(pair, next)
 	}
 	if failed {
-		if h, ok := b.handlers[pair[0]].(FailureHandler); ok {
-			if msg, err := coap.Decode(bx.env.wire); err == nil {
-				h.HandleSendFailure(pair[1], msg)
+		if fi := bx.env.fi; fi >= 0 {
+			if h, ok := b.nodes[fi].handler.(FailureHandler); ok {
+				if msg, err := coap.Decode(bx.env.wire); err == nil {
+					h.HandleSendFailure(bx.env.to, msg)
+				}
 			}
 		}
 	}
+	b.releaseEnv(bx.env) // the exchange's ownership reference
 }
 
-// sendAck emits the empty ACK for a received confirmable message. ACKs are
+// sendAck emits the empty ACK for a received confirmable message (from/fi
+// are the acknowledging side, i.e. the original receiver). ACKs are
 // control traffic: unreliable, uncounted, but subject to the same channel
 // (latency, FIFO, faults) — a lost ACK is what forces a retransmission.
-func (b *Bus) sendAck(from, to topology.NodeID, mid uint16) {
+func (b *Bus) sendAck(from, to topology.NodeID, fi, ti int32, mid uint16) {
 	ack := coap.EmptyAck(mid)
-	wire, err := ack.Encode()
+	e := b.takeEnv()
+	wire, err := ack.AppendTo(e.wire[:0])
 	if err != nil {
+		e.refs = 1
+		b.releaseEnv(e)
 		return
 	}
-	b.transmit(&envelope{from: from, to: to, wire: wire, mid: mid, control: true}, b.retxRNG)
+	e.from, e.to, e.fi, e.ti, e.wire, e.mid, e.control = from, to, fi, ti, wire, mid, true
+	b.transmit(e, b.retxRNG)
 }
 
-// dedupFor returns (creating on demand) a receiver's Message-ID cache.
-func (b *Bus) dedupFor(id topology.NodeID) *coap.DedupCache {
-	c := b.dedup[id]
+// dedupFor returns (creating on demand) a receiver slot's Message-ID cache.
+func (b *Bus) dedupFor(i int32) *coap.DedupCache {
+	c := b.nodes[i].dedup
 	if c == nil {
 		c = coap.NewDedupCache(b.params.ExchangeLifetime())
-		b.dedup[id] = c
+		b.nodes[i].dedup = c
 	}
 	return c
 }
 
 // deliver is the clock event for one queued copy. primary marks the copy
 // Send/retransmit queued itself, as opposed to a duplication-fault copy.
+// The copy's envelope reference is released on return.
 func (b *Bus) deliver(e *envelope, primary bool) {
+	defer b.releaseEnv(e)
 	if primary && !e.reliable && !e.control {
 		b.inFlight-- // unreliable messages settle at their delivery event
 	}
-	if b.crashed[e.to] {
+	if b.nodes[e.ti].crashed {
 		b.metrics.Inc(obs.Key(obs.MetricCrashDropped))
 		if tr := b.tracer; tr.Enabled() {
 			tr.Emit(obs.Ev(obs.KindFaultCrash).WithNode(int(e.to)).WithPeer(int(e.from)).
@@ -548,7 +681,8 @@ func (b *Bus) deliver(e *envelope, primary bool) {
 					WithParent(e.span))
 			}
 			delay := b.faultRNG.Float64() * float64(b.slotsPerHop)
-			b.clock.Schedule(b.clock.Now()+delay, func() { b.deliver(e, false) })
+			retainEnv(e)
+			b.clock.ScheduleArgIn(b.shardOf(e.to), b.clock.Now()+delay, b.deliverDup, e)
 		}
 	}
 	msg, err := coap.Decode(e.wire)
@@ -565,7 +699,7 @@ func (b *Bus) deliver(e *envelope, primary bool) {
 		switch msg.Type {
 		case coap.Acknowledgement:
 			b.metrics.Inc(obs.Key(obs.MetricAcksDelivered))
-			pair := [2]topology.NodeID{e.to, e.from} // the exchange the ACK settles
+			pair := pairKey(e.ti, e.fi) // the exchange the ACK settles
 			if bx, ok := b.outstanding[pair]; ok && bx.ex.Ack(msg.MessageID) {
 				if tr := b.tracer; tr.Enabled() {
 					tr.Emit(obs.Ev(obs.KindCoapAck).WithNode(int(e.to)).WithPeer(int(e.from)).
@@ -577,8 +711,8 @@ func (b *Bus) deliver(e *envelope, primary bool) {
 		case coap.Confirmable:
 			// Acknowledge every copy (§4.2: retransmitted CONs are re-ACKed),
 			// then suppress duplicates before they reach the handler (§4.5).
-			b.sendAck(e.to, e.from, msg.MessageID)
-			if b.dedupFor(e.to).Observe(uint64(e.from), msg.MessageID, b.clock.Now()) {
+			b.sendAck(e.to, e.from, e.ti, e.fi, msg.MessageID)
+			if b.dedupFor(e.ti).Observe(uint64(e.from), msg.MessageID, b.clock.Now()) {
 				b.metrics.Inc(obs.Key(obs.MetricDupSuppressed))
 				if tr := b.tracer; tr.Enabled() {
 					tr.Emit(obs.Ev(obs.KindCoapDup).WithNode(int(e.to)).WithPeer(int(e.from)).
@@ -598,7 +732,7 @@ func (b *Bus) deliver(e *envelope, primary bool) {
 		tr.Push(span)
 		defer tr.Pop()
 	}
-	if h := b.handlers[e.to]; h != nil {
+	if h := b.nodes[e.ti].handler; h != nil {
 		h.Handle(e.from, msg)
 	}
 }
@@ -760,7 +894,13 @@ type Live struct {
 	Delivered atomic.Int64
 }
 
-// NewLive builds a live transport. inboxDepth bounds each node's queue.
+// liveInboxDepth bounds each registered node's delivery queue. A full
+// inbox drops the copy (see post); with reliability on, retransmissions
+// recover the loss.
+const liveInboxDepth = 256
+
+// NewLive builds a live transport. Each node registered later gets a
+// delivery goroutine fed by a queue of liveInboxDepth messages.
 func NewLive() *Live {
 	idle := make(chan struct{})
 	close(idle) // no work yet: born idle
@@ -821,7 +961,7 @@ func (l *Live) Register(id topology.NodeID, h Handler) {
 	if l.closed {
 		return
 	}
-	inbox := make(chan envelope, 256)
+	inbox := make(chan envelope, liveInboxDepth)
 	l.inboxes[id] = inbox
 	l.handlers[id] = h
 	l.wg.Add(1)

@@ -275,3 +275,50 @@ func TestBusOnSharedClockRunUntil(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// nopHandler discards deliveries, so alloc measurements see only the
+// transport's own path.
+type nopHandler struct{}
+
+func (nopHandler) Handle(topology.NodeID, coap.Message) {}
+
+// TestBusEnvelopePoolZeroAllocs pins the pooled envelope path: once the
+// pool and the metric/class caches are warm, an unreliable send and its
+// delivery recycle one envelope (wire buffer included) and schedule onto
+// pooled clock events — zero allocations per message.
+func TestBusEnvelopePoolZeroAllocs(t *testing.T) {
+	bus, err := NewBus(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register(1, nopHandler{})
+	bus.Register(2, nopHandler{})
+	// A pathless message: coap.Decode copies option bytes so the decoded
+	// message owns them (the codec's documented 2 allocs for a path
+	// option); leaving the path empty isolates the transport's own path,
+	// which must be allocation-free.
+	msg := coap.NewRequest(coap.NonConfirmable, coap.POST, 7)
+	// Warm the envelope pool, wire buffer, clock event pool, FIFO entry
+	// and metric counters.
+	for i := 0; i < 4; i++ {
+		if err := bus.Send(1, 2, msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bus.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := bus.Send(1, 2, msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bus.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("send+deliver allocates %.1f times per message, want 0 (pooled envelopes)", allocs)
+	}
+	if n := len(bus.envFree); n < 1 {
+		t.Errorf("envelope pool empty after quiescence, want the recycled envelope back")
+	}
+}

@@ -1,12 +1,21 @@
 // Package vclock is the shared virtual-time event scheduler that the
 // control plane (transport.Bus carrying the HARP protocol) and the data
-// plane (the slot-accurate MAC in internal/sim) run on. One Clock holds a
-// min-heap of (time, seq) events: the transport schedules message
+// plane (the slot-accurate MAC in internal/sim) run on. One Clock holds
+// min-heaps of (time, seq) events: the transport schedules message
 // deliveries at fractional slot times (the wait for a management cell),
 // the simulator schedules one event per slot boundary, and popping the
-// heap interleaves the two planes exactly as the testbed's single radio
-// timeline does — management traffic and data traffic contending for the
-// same slotframe (§VI-A/§VI-C).
+// earliest event interleaves the two planes exactly as the testbed's
+// single radio timeline does — management traffic and data traffic
+// contending for the same slotframe (§VI-A/§VI-C).
+//
+// The heap is sharded for scale: events live in per-shard min-heaps
+// (callers route related work — e.g. one root subtree — to one shard) and
+// each Step pops the globally earliest head across shards. Because every
+// event still draws its seq from one global counter and (at, seq) is a
+// total order with unique seq, the pop sequence is identical for ANY shard
+// count — a 1-shard clock is the degenerate case and N shards replay the
+// same history byte for byte. Sharding buys smaller heaps (cheaper
+// sift-up/down at 100k+ pending events), not a different schedule.
 //
 // Determinism is the package's contract: events at equal times run in
 // schedule order (the seq tie-break), handlers may schedule further
@@ -17,54 +26,119 @@
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
 // event is one scheduled callback. A cancelled event keeps its heap slot
-// (removal from the middle of a heap is O(n)) but carries a nil fn; the
-// pop path discards it without running anything or advancing time.
+// (removal from the middle of a heap is O(n)) but carries nil callbacks;
+// the pop path discards it without running anything or advancing time.
 // poolable marks events eligible for the clock's free list: only plain
-// Schedule events, never ScheduleCancelable ones — a Handle outlives its
-// event's dispatch, and recycling the event under a live Handle would let a
-// late Cancel withdraw an unrelated future event.
+// Schedule/ScheduleArgIn events, never ScheduleCancelable ones — a Handle
+// outlives its event's dispatch, and recycling the event under a live
+// Handle would let a late Cancel withdraw an unrelated future event.
+//
+// An event carries either fn (a closure) or afn+arg (a prebound function
+// applied to one argument — the allocation-free path: callers store the
+// function value once and pass per-event state through arg, so scheduling
+// allocates nothing beyond the pooled event itself).
 type event struct {
 	at       float64
 	seq      uint64
 	fn       func()
+	afn      func(any)
+	arg      any
 	poolable bool
 }
 
-// eventHeap is a min-heap on (at, seq).
+// live reports whether the event still has a callback to run.
+func (e *event) live() bool { return e.fn != nil || e.afn != nil }
+
+// eventHeap is a min-heap on (at, seq), maintained by heapPush/heapPop
+// below rather than container/heap: the interface-method dispatch and
+// any-boxing of the stdlib driver are measurable at millions of events and
+// would defeat the hot-path allocation audit.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the heap order: earliest time first, schedule order (seq)
+// breaking ties. seq is globally unique, so this is a total order — which
+// is what makes the sharded pop sequence independent of the shard count.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// heapPush inserts e, sifting up.
+//
+//harplint:hotpath
+func heapPush(h *eventHeap, e *event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].before(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// heapPop removes and returns the minimum event, sifting down.
+//
+//harplint:hotpath
+func heapPop(h *eventHeap) *event {
+	q := *h
+	n := len(q)
+	top := q[0]
+	last := q[n-1]
+	q[n-1] = nil
+	q = q[:n-1]
+	*h = q
+	n--
+	if n > 0 {
+		q[0] = last
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < n && q[l].before(q[m]) {
+				m = l
+			}
+			if r < n && q[r].before(q[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			q[i], q[m] = q[m], q[i]
+			i = m
+		}
+	}
+	return top
+}
+
+// shard is one independent min-heap plus its share of the lazy-cancel
+// bookkeeping, so a shard whose head is cancelled can be pruned without
+// touching the others.
+type shard struct {
+	heap      eventHeap
+	cancelled int // cancelled events still occupying slots in this shard
 }
 
 // Clock is a deterministic virtual-time scheduler. Time is measured in
 // slots (fractional between slot boundaries, as transport latencies are).
 type Clock struct {
-	now       float64
-	seq       uint64
-	queue     eventHeap
-	cancelled int // cancelled events still occupying heap slots
-	rngs      map[Stream]*rand.Rand
+	now        float64
+	seq        uint64
+	shards     []shard
+	queued     int    // events across all shards, cancelled included
+	cancelled  int    // cancelled events across all shards
+	dispatched uint64 // events actually run
+	rngs       map[Stream]*rand.Rand
 	// stepHook, if set, observes every dispatch: it runs after Now has
 	// advanced to the event's time and before the event's callback. The
 	// observability tracer uses it to reset per-event causal context.
@@ -79,22 +153,46 @@ type Clock struct {
 type Handle struct {
 	c  *Clock
 	ev *event
+	si int32 // shard holding the event
 }
 
 // Cancel withdraws the event. The heap slot is reclaimed lazily when the
 // event's time comes up; the event's callback never runs. Cancelling an
 // already-run or already-cancelled event is a no-op.
 func (h *Handle) Cancel() {
-	if h == nil || h.ev == nil || h.ev.fn == nil {
+	if h == nil || h.ev == nil || !h.ev.live() {
 		return
 	}
 	h.ev.fn = nil
+	h.ev.afn = nil
+	h.ev.arg = nil
 	h.c.cancelled++
+	h.c.shards[h.si].cancelled++
 }
 
-// New returns a clock at time zero with no pending events.
+// New returns a clock at time zero with no pending events and a single
+// shard.
 func New() *Clock {
-	return &Clock{rngs: make(map[Stream]*rand.Rand)}
+	return &Clock{rngs: make(map[Stream]*rand.Rand), shards: make([]shard, 1)}
+}
+
+// NumShards returns the current shard count (>= 1).
+func (c *Clock) NumShards() int { return len(c.shards) }
+
+// SetShards resizes the clock to n per-shard heaps (n < 1 is clamped to
+// 1). It may only be called while the clock is idle — no pending events —
+// because resizing would otherwise have to rehash queued events across
+// shards; callers set the shard count once at topology-build time. The
+// shard count never changes the dispatch order (see the package comment),
+// only the heap sizes.
+func (c *Clock) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if c.queued != 0 {
+		panic(fmt.Sprintf("vclock: SetShards(%d) with %d events queued", n, c.queued))
+	}
+	c.shards = make([]shard, n)
 }
 
 // Now returns the current virtual time in slots.
@@ -102,43 +200,115 @@ func (c *Clock) Now() float64 { return c.now }
 
 // Pending returns the number of scheduled, not-yet-run events (cancelled
 // events are excluded).
-func (c *Clock) Pending() int { return len(c.queue) - c.cancelled }
+func (c *Clock) Pending() int { return c.queued - c.cancelled }
 
-// prune discards cancelled events sitting at the top of the heap.
-func (c *Clock) prune() {
-	for len(c.queue) > 0 && c.queue[0].fn == nil {
-		heap.Pop(&c.queue)
+// Dispatched returns the number of events run since the clock was built —
+// the numerator of the scale experiments' events/sec throughput metric.
+func (c *Clock) Dispatched() uint64 { return c.dispatched }
+
+// pruneShard discards cancelled events sitting at the top of shard si.
+func (c *Clock) pruneShard(si int) {
+	s := &c.shards[si]
+	for len(s.heap) > 0 && !s.heap[0].live() {
+		e := heapPop(&s.heap)
+		s.cancelled--
 		c.cancelled--
+		c.queued--
+		if e.poolable {
+			e.poolable = false
+			c.free = append(c.free, e)
+		}
 	}
+}
+
+// minShard prunes every shard head and returns the index of the shard
+// whose head is the globally earliest (at, seq), or -1 when all shards are
+// empty. This linear cross-shard merge is the entire scheduling overhead
+// of sharding; shard counts are small (one per root subtree), so a scan
+// beats maintaining a second heap of heads.
+//
+//harplint:hotpath
+func (c *Clock) minShard() int {
+	best := -1
+	for si := range c.shards {
+		c.pruneShard(si)
+		if len(c.shards[si].heap) == 0 {
+			continue
+		}
+		if best < 0 || c.shards[si].heap[0].before(c.shards[best].heap[0]) {
+			best = si
+		}
+	}
+	return best
 }
 
 // NextAt returns the time of the earliest pending event.
 func (c *Clock) NextAt() (float64, bool) {
-	c.prune()
-	if len(c.queue) == 0 {
+	si := c.minShard()
+	if si < 0 {
 		return 0, false
 	}
-	return c.queue[0].at, true
+	return c.shards[si].heap[0].at, true
 }
 
-// Schedule queues fn at virtual time at. Times in the past are clamped to
-// Now (the event runs next, after already-queued same-time events — seq
-// keeps FIFO order). Safe to call from inside a running event.
-func (c *Clock) Schedule(at float64, fn func()) {
+// clampShard folds an out-of-range shard index onto shard 0, so callers
+// may route speculatively (e.g. by subtree) without tracking resizes.
+func (c *Clock) clampShard(si int) int {
+	if si < 0 || si >= len(c.shards) {
+		return 0
+	}
+	return si
+}
+
+// take returns a recycled event or a fresh one.
+func (c *Clock) take() *event {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &event{} //harplint:allow hotpath freelist miss is the cold warm-up path; steady state recycles
+}
+
+// Schedule queues fn at virtual time at, on shard 0. Times in the past are
+// clamped to Now (the event runs next, after already-queued same-time
+// events — seq keeps FIFO order). Safe to call from inside a running
+// event.
+func (c *Clock) Schedule(at float64, fn func()) { c.ScheduleIn(0, at, fn) }
+
+// ScheduleIn queues fn at virtual time at on the given shard. The shard
+// only picks which heap holds the event — dispatch order is shard-blind —
+// so callers route by locality (one root subtree per shard) to keep the
+// heaps small. Out-of-range shards fold onto shard 0.
+func (c *Clock) ScheduleIn(si int, at float64, fn func()) {
 	if at < c.now {
 		at = c.now
 	}
 	c.seq++
-	var e *event
-	if n := len(c.free); n > 0 {
-		e = c.free[n-1]
-		c.free = c.free[:n-1]
-		e.at, e.seq, e.fn = at, c.seq, fn
-	} else {
-		e = &event{at: at, seq: c.seq, fn: fn}
-	}
+	e := c.take()
+	e.at, e.seq, e.fn = at, c.seq, fn
 	e.poolable = true
-	heap.Push(&c.queue, e)
+	heapPush(&c.shards[c.clampShard(si)].heap, e)
+	c.queued++
+}
+
+// ScheduleArgIn queues prebound(arg) at virtual time at on the given
+// shard. It is the allocation-free variant of ScheduleIn: the caller keeps
+// one prebound func(any) value for the lifetime of the system and passes
+// per-event state through arg, so nothing escapes per call and the pooled
+// event is the only storage.
+//
+//harplint:hotpath
+func (c *Clock) ScheduleArgIn(si int, at float64, prebound func(any), arg any) {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	e := c.take()
+	e.at, e.seq, e.afn, e.arg = at, c.seq, prebound, arg
+	e.poolable = true
+	heapPush(&c.shards[c.clampShard(si)].heap, e)
+	c.queued++
 }
 
 // ScheduleCancelable queues fn like Schedule and returns a Handle that can
@@ -147,41 +317,53 @@ func (c *Clock) Schedule(at float64, fn func()) {
 // resolved exchanges leave no stale events dragging the virtual time
 // forward.
 func (c *Clock) ScheduleCancelable(at float64, fn func()) *Handle {
+	return c.ScheduleCancelableIn(0, at, fn)
+}
+
+// ScheduleCancelableIn is ScheduleCancelable on an explicit shard.
+func (c *Clock) ScheduleCancelableIn(si int, at float64, fn func()) *Handle {
 	if at < c.now {
 		at = c.now
 	}
 	c.seq++
 	e := &event{at: at, seq: c.seq, fn: fn}
-	heap.Push(&c.queue, e)
-	return &Handle{c: c, ev: e}
+	si = c.clampShard(si)
+	heapPush(&c.shards[si].heap, e)
+	c.queued++
+	return &Handle{c: c, ev: e, si: int32(si)}
 }
 
 // Step runs the earliest pending event, advancing Now to its time.
 // Returns false when no event is pending.
 func (c *Clock) Step() bool {
-	for len(c.queue) > 0 {
-		e := heap.Pop(&c.queue).(*event)
-		if e.fn == nil {
-			c.cancelled--
-			continue
-		}
-		c.now = e.at
-		fn := e.fn
-		e.fn = nil // a Cancel after the event ran must be a no-op
-		if e.poolable {
-			// Safe to recycle before fn runs: the event left the heap, no
-			// Handle references it, and fn was copied out. fn itself may
-			// re-take it via Schedule.
-			e.poolable = false
-			c.free = append(c.free, e)
-		}
-		if c.stepHook != nil {
-			c.stepHook(e.at, e.seq)
-		}
-		fn()
-		return true
+	si := c.minShard()
+	if si < 0 {
+		return false
 	}
-	return false
+	e := heapPop(&c.shards[si].heap)
+	c.queued--
+	c.now = e.at
+	fn, afn, arg := e.fn, e.afn, e.arg
+	seq := e.seq
+	// A Cancel after the event ran must be a no-op.
+	e.fn, e.afn, e.arg = nil, nil, nil
+	if e.poolable {
+		// Safe to recycle before the callback runs: the event left the
+		// heap, no Handle references it, and the callback was copied out.
+		// The callback itself may re-take it via Schedule.
+		e.poolable = false
+		c.free = append(c.free, e)
+	}
+	c.dispatched++
+	if c.stepHook != nil {
+		c.stepHook(c.now, seq)
+	}
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+	return true
 }
 
 // Run drains the queue — including events scheduled by running events —
@@ -196,7 +378,11 @@ func (c *Clock) Run() float64 {
 // t (Now is left untouched if it is already past t). Events scheduled at
 // or before t by running events are run too.
 func (c *Clock) RunUntil(t float64) {
-	for c.prune(); len(c.queue) > 0 && c.queue[0].at <= t; c.prune() {
+	for {
+		si := c.minShard()
+		if si < 0 || c.shards[si].heap[0].at > t {
+			break
+		}
 		c.Step()
 	}
 	if t > c.now {
@@ -237,6 +423,9 @@ const (
 	StreamSimMAC Stream = "sim.mac"
 	// StreamSweep derives the per-trial seeds of experiment sweeps.
 	StreamSweep Stream = "experiments.sweep"
+	// StreamScale drives the scale experiment family's topology generation
+	// and adjustment placement.
+	StreamScale Stream = "experiments.scale"
 )
 
 // NewStream constructs a fresh generator for a registered stream. It is
@@ -266,5 +455,5 @@ func (c *Clock) RNG(name Stream, seed int64) *rand.Rand {
 
 // String renders the clock state for debugging.
 func (c *Clock) String() string {
-	return fmt.Sprintf("vclock{now=%.4f pending=%d}", c.now, c.Pending())
+	return fmt.Sprintf("vclock{now=%.4f pending=%d shards=%d}", c.now, c.Pending(), len(c.shards))
 }

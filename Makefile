@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-json fmt vet fuzz determinism benchgate faultsoak trace-smoke scale-smoke check clean
+.PHONY: all build test race lint lint-json fmt vet fuzz determinism benchgate faultsoak trace-smoke scale-smoke chaos-soak check clean
 
 # Normalisation for report diffs: host and wall-time fields differ between
 # runs by construction, and the scale study's throughput/footprint keys
@@ -92,6 +92,19 @@ scale-smoke:
 	jq -S '$(JQ_NORM)' /tmp/scale_w1.json > /tmp/scale_w1.norm.json
 	jq -S '$(JQ_NORM)' /tmp/scale_w4.json > /tmp/scale_w4.norm.json
 	diff -u /tmp/scale_w1.norm.json /tmp/scale_w4.norm.json
+
+# Chaos soak: the self-healing machinery (failure detector, adoption,
+# watchdog, chaos engine) under the race detector with the harpdebug
+# invariant sweeps, then the chaos storm at two worker counts — every
+# chaos key is a virtual-time quantity, so the normalised reports must
+# match exactly.
+chaos-soak:
+	$(GO) test -race -tags harpdebug -run 'Detector|Chaos|Recover|GiveUps|RestartDuring' ./internal/agent/ ./internal/cosim/ ./internal/experiments/
+	$(GO) run -race ./cmd/harpbench -quick -only chaos -json /tmp/chaos_w1.json -workers 1
+	$(GO) run -race ./cmd/harpbench -quick -only chaos -json /tmp/chaos_w4.json -workers 4
+	jq -S '$(JQ_NORM)' /tmp/chaos_w1.json > /tmp/chaos_w1.norm.json
+	jq -S '$(JQ_NORM)' /tmp/chaos_w4.json > /tmp/chaos_w4.norm.json
+	diff -u /tmp/chaos_w1.norm.json /tmp/chaos_w4.norm.json
 
 # Trace smoke: a small co-simulation must reproduce the committed golden
 # trace byte-for-byte, and harptrace must digest it (summary, windows and

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	harpbench                 # run everything
-//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|churn|ablations|losssweep|scale
+//	harpbench -only fig11a    # one experiment: table1|fig7d|fig9|fig10|table2|fig11a|fig11b|fig12|churn|ablations|losssweep|scale|chaos
 //	harpbench -scale-sizes 1000,10000  # override the scale study's fleet sizes
 //	harpbench -quick          # reduced repetition counts for a fast pass
 //	harpbench -workers 1      # force the serial path (0 = GOMAXPROCS)
@@ -70,7 +70,7 @@ type expRecord struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (table1, fig7d, fig9, fig10, table2, fig11a, fig11b, fig12, churn, ablations, losssweep, scale)")
+	only := flag.String("only", "", "run a single experiment (table1, fig7d, fig9, fig10, table2, fig11a, fig11b, fig12, churn, ablations, losssweep, scale, chaos)")
 	scaleSizes := flag.String("scale-sizes", "", "comma-separated fleet sizes for the scale study (default 1000,10000,50000)")
 	quick := flag.Bool("quick", false, "reduced repetitions for a fast pass")
 	workers := flag.Int("workers", 0, "worker count for the parallel sweep engine (0 = GOMAXPROCS, 1 = serial)")
@@ -139,6 +139,7 @@ func main() {
 		{"ablations", runner.ablations},
 		{"losssweep", runner.losssweep},
 		{"scale", runner.scale},
+		{"chaos", runner.chaos},
 	}
 	rep := report{
 		Schema: reportSchema,
@@ -480,6 +481,33 @@ func (r *runner) scale() (map[string]float64, error) {
 		metrics[key+"_bytes_per_node"] = p.BytesPerNode
 	}
 	return metrics, nil
+}
+
+func (r *runner) chaos() (map[string]float64, error) {
+	res, err := experiments.ChaosExp(experiments.DefaultChaosExp())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println(res.Table)
+	// All chaos keys are virtual-time quantities: seed-deterministic at any
+	// worker or shard count.
+	key := fmt.Sprintf("chaos_%d", res.Nodes)
+	return map[string]float64{
+		key + "_victims":           float64(res.Victims),
+		key + "_permanent":         float64(res.PermanentVictims),
+		key + "_deaths":            float64(res.Deaths),
+		key + "_adoptions":         float64(res.Adoptions),
+		key + "_readmissions":      float64(res.Readmissions),
+		key + "_aborts":            float64(res.Aborts),
+		key + "_false_positives":   float64(res.FalsePositives),
+		key + "_detect_p50_sf":     res.DetectP50Sf,
+		key + "_detect_max_sf":     res.DetectMaxSf,
+		key + "_rehome_max_sf":     res.RehomeMaxSf,
+		key + "_availability":      res.Availability,
+		key + "_orphans_remaining": float64(res.OrphansRemaining),
+		key + "_keepalives":        float64(res.Keepalives),
+		key + "_shards":            float64(res.Shards),
+	}, nil
 }
 
 func (r *runner) ablations() (map[string]float64, error) {

@@ -5,10 +5,11 @@
 //
 //	harptrace summary trace.jsonl             # per-kind event counts
 //	harptrace windows trace.jsonl             # disruption windows with per-layer phases
+//	harptrace recovery trace.jsonl            # failure-detector timelines: suspect -> dead -> adoptions -> readmit
 //	harptrace chrome -o out.json trace.jsonl  # convert to Chrome trace format (Perfetto)
 //	harptrace cat [filters] trace.jsonl       # print matching events
 //
-// Filters (cat, summary, windows):
+// Filters (cat, summary, windows, recovery):
 //
 //	-node N      only events touching node N (either endpoint)
 //	-layer L     only events on hierarchy layer L
@@ -33,7 +34,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: harptrace <summary|windows|chrome|cat> [flags] trace.jsonl\n")
+	fmt.Fprintf(os.Stderr, "usage: harptrace <summary|windows|recovery|chrome|cat> [flags] trace.jsonl\n")
 	os.Exit(2)
 }
 
@@ -98,6 +99,26 @@ func main() {
 			for _, p := range w.Phases {
 				fmt.Printf("  %-6s %5d events  vt %.1f .. %.1f\n", p.Layer, p.Count, p.FirstVT, p.LastVT)
 			}
+		}
+	case "recovery":
+		wins := obs.RecoveryWindows(filtered)
+		if len(wins) == 0 {
+			fmt.Println("no dead declarations in trace")
+			return
+		}
+		for _, w := range wins {
+			fmt.Printf("node %d: suspect vt %.1f -> dead vt %.1f", w.Node, w.SuspectVT, w.DeadVT)
+			if hasMeta && meta.SlotsPerFrame > 0 {
+				fmt.Printf(" (%.1f slotframes silent)", (w.DeadVT-w.SuspectVT)/float64(meta.SlotsPerFrame))
+			}
+			fmt.Printf(", %d orphans adopted", w.Adoptions)
+			if w.Adoptions > 0 {
+				fmt.Printf(" by vt %.1f", w.LastAdoptVT)
+			}
+			if w.ReadmitVT >= 0 {
+				fmt.Printf(", readmitted vt %.1f", w.ReadmitVT)
+			}
+			fmt.Println()
 		}
 	case "chrome":
 		dst := os.Stdout

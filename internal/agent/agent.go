@@ -61,6 +61,13 @@ type dirState struct {
 	// interface recomputation, e.g. while re-hosting a rejoining neighbour.
 	pendingDemand map[topology.NodeID]demandSnapshot
 
+	// pendingSince stamps the virtual time each layer's escalation left
+	// (and demandSince the own-layer provisional demand raise), for the
+	// adjustment watchdog. Only written when the node has a virtual-time
+	// source (vnow, wired by the failure detector); zero cost otherwise.
+	pendingSince map[int]float64
+	demandSince  float64
+
 	// parts are the partitions granted by the parent (or self-allocated at
 	// the gateway), keyed by layer.
 	parts map[int]schedule.Region
@@ -168,6 +175,30 @@ type Node struct {
 	// disabled.
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+
+	// heard, when set by the failure detector, is called (under n.mu) for
+	// every delivered message — any traffic from a peer is liveness
+	// evidence, keepalives included. nil when detection is off.
+	heard func(from topology.NodeID)
+	// vnow, when set by the failure detector, reads the shared virtual
+	// clock so escalations can be stamped for the adjustment watchdog.
+	vnow func() float64
+	// giveUps records the (peer, adjustment) keys already degraded into a
+	// rejection, so a dead parent's repeated transport give-ups for the
+	// same adjustment coalesce into one counted degradation. Lazily
+	// allocated on the first give-up; cleared when the peer proves
+	// reachable again (a grant) or the node is rewired/reset.
+	giveUps map[giveUpKey]bool
+}
+
+// giveUpKey identifies one degraded (peer, adjustment) pair: the
+// unreachable peer plus the adjustment's direction and layer for PUT
+// escalations, or report=true for a lost POST interface report.
+type giveUpKey struct {
+	peer   topology.NodeID
+	d      topology.Direction
+	layer  int
+	report bool
 }
 
 //harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
@@ -212,6 +243,12 @@ func (n *Node) send(to topology.NodeID, method coap.Code, path string, payload [
 func (n *Node) Handle(from topology.NodeID, msg coap.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.heard != nil {
+		// Any delivered message is liveness evidence for the detector;
+		// keepalive probes (POST /ka) carry nothing else and fall through
+		// the router below.
+		n.heard(from)
+	}
 	switch {
 	case msg.Code == coap.POST && msg.Path() == proto.PathInterface:
 		if m, err := proto.DecodeInterfaceReport(msg.Payload); err == nil {
@@ -255,34 +292,145 @@ func (n *Node) HandleSendFailure(to topology.NodeID, msg coap.Message) {
 	defer n.mu.Unlock()
 	switch {
 	case msg.Code == coap.PUT && msg.Path() == proto.PathInterface:
-		n.reject()
 		if m, err := proto.DecodeAdjustRequest(msg.Payload); err == nil {
+			// One degradation per (peer, adjustment): a dead parent makes
+			// every queued escalation of a layer give up in turn, but the
+			// layer degrades once until the peer proves reachable again.
+			n.degradeOnce(giveUpKey{peer: to, d: m.Direction, layer: m.Layer})
 			if tr := n.tracer; tr.Enabled() {
 				tr.Emit(obs.Ev(obs.KindAgentUnwind).WithNode(int(n.id)).WithPeer(int(to)).
 					WithLayer(m.Layer).WithDetail(m.Direction.String()))
 			}
-			st := n.dir(m.Direction)
-			if m.Layer == n.ownLayer {
-				// A dead own-layer escalation: the grant will never come,
-				// so the provisional link-demand increases revert.
-				for c, snap := range st.pendingDemand {
-					st.demand[c] = snap.cells
-					st.topRate[c] = snap.topRate
-					delete(st.pendingDemand, c)
-				}
-			}
-			delete(st.pendingLayouts, m.Layer)
-			delete(st.pendingComps, m.Layer)
-			if q := st.deferred[m.Layer]; len(q) > 0 {
-				delete(st.deferred, m.Layer)
-				for _, da := range q {
-					n.hostChildComponent(da.from, m.Direction, m.Layer, da.comp)
-				}
-			}
+			n.unwindPending(m.Direction, m.Layer)
+		} else {
+			n.reject()
 		}
 	case msg.Code == coap.POST && msg.Path() == proto.PathInterface:
-		n.reject() // interface report lost: the parent is unreachable
+		// Interface report lost: the parent is unreachable.
+		n.degradeOnce(giveUpKey{peer: to, report: true})
 	}
+}
+
+// degradeOnce counts a rejection for the (peer, adjustment) key unless it
+// already degraded since the peer last proved reachable.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
+func (n *Node) degradeOnce(key giveUpKey) {
+	if n.giveUps[key] {
+		return
+	}
+	if n.giveUps == nil {
+		n.giveUps = make(map[giveUpKey]bool)
+	}
+	n.giveUps[key] = true
+	n.reject()
+}
+
+// unwindPending rolls one layer's in-flight adjustment state back to the
+// last committed layout: the pending recomposition is dropped, own-layer
+// provisional demand raises revert to their snapshots, and requests that
+// deferred behind the escalation replay immediately. Shared by the
+// transport give-up path (HandleSendFailure) and the adjustment watchdog
+// (abortStale) — both end an escalation whose grant will never come.
+//
+//harplint:locked — caller holds n.mu (Handle/Deploy own the critical section).
+func (n *Node) unwindPending(d topology.Direction, layer int) {
+	st := n.dir(d)
+	if layer == n.ownLayer {
+		// A dead own-layer escalation: the grant will never come, so the
+		// provisional link-demand increases revert.
+		for c, snap := range st.pendingDemand {
+			st.demand[c] = snap.cells
+			st.topRate[c] = snap.topRate
+			delete(st.pendingDemand, c)
+		}
+		st.demandSince = 0
+	}
+	delete(st.pendingLayouts, layer)
+	delete(st.pendingComps, layer)
+	delete(st.pendingSince, layer)
+	if q := st.deferred[layer]; len(q) > 0 {
+		delete(st.deferred, layer)
+		for _, da := range q {
+			n.hostChildComponent(da.from, d, layer, da.comp)
+		}
+	}
+	if debugChecks {
+		// The rollback must land on a consistent committed state: the
+		// committed layout still fits the granted partition.
+		if region, ok := st.parts[layer]; ok && layer != n.ownLayer {
+			if !core.LayoutValid(region.Slots, region.Channels, st.layouts[layer], st.childComps[layer]) {
+				panic(fmt.Sprintf("harpdebug: node %d unwind at layer %d %s left an invalid committed layout",
+					n.id, layer, d))
+			}
+		}
+	}
+}
+
+// abortStale is the adjustment watchdog: every in-flight adjustment older
+// than deadline virtual-time units is aborted and rolled back to the last
+// committed schedule, exactly as a transport give-up would roll it back.
+// This catches the hang the transport's retransmission give-up cannot: a
+// parent that ACKed the escalation and then died never answers, and no
+// timer fires at the child. Called by the failure detector's sweep; now is
+// the current virtual time. Returns the number of aborted adjustments.
+func (n *Node) abortStale(now, deadline float64) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	aborted := 0
+	for _, d := range topology.Directions() {
+		st := n.dir(d)
+		// Collect first: unwindPending mutates pendingSince (deletes the
+		// aborted layer, re-stamps layers its deferred replays re-escalate),
+		// and map range order is not deterministic.
+		var stale []int
+		for layer, since := range st.pendingSince {
+			if now-since >= deadline {
+				stale = append(stale, layer)
+			}
+		}
+		sort.Ints(stale)
+		for _, layer := range stale {
+			aborted++
+			n.metrics.Inc(obs.NodeKey(int(n.id), obs.MetricAborts))
+			if tr := n.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindAgentAbort).WithNode(int(n.id)).WithPeer(int(n.parent)).
+					WithLayer(layer).WithDetail(d.String()))
+			}
+			n.reject()
+			n.unwindPending(d, layer)
+		}
+		if st.demandSince != 0 && now-st.demandSince >= deadline && len(st.pendingDemand) > 0 {
+			aborted++
+			n.metrics.Inc(obs.NodeKey(int(n.id), obs.MetricAborts))
+			if tr := n.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindAgentAbort).WithNode(int(n.id)).WithPeer(int(n.parent)).
+					WithLayer(n.ownLayer).WithDetail(d.String()))
+			}
+			n.reject()
+			n.unwindPending(d, n.ownLayer)
+		}
+	}
+	return aborted
+}
+
+// dropDeadChild removes a child the failure detector declared dead, as if
+// a DELETE /intf had arrived from it: its demand and components disappear
+// and the own-layer schedule shrinks. Idempotent (an unknown child is a
+// no-op).
+func (n *Node) dropDeadChild(c topology.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onChildLeave(c)
+}
+
+// setLiveness wires (or, with nils, unwires) the failure detector's
+// delivery hook and virtual-time source.
+func (n *Node) setLiveness(heard func(topology.NodeID), vnow func() float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.heard = heard
+	n.vnow = vnow
 }
 
 // start kicks off the static phase at this node: non-leaf nodes whose
@@ -512,6 +660,33 @@ func (n *Node) assignOwn(d topology.Direction) {
 	}
 	assignment, err := core.AssignCells(region, demands)
 	if err != nil {
+		// Mid-adjustment underfit: the demands no longer fit the partition
+		// (an escalation for the growth is in flight). The region itself may
+		// still have moved with this grant, and the vacated slots can
+		// already belong to a sibling — prune any cells the new region no
+		// longer covers and tell those children. The escalation's final
+		// grant re-runs the full assignment.
+		for _, c := range n.children {
+			cells := st.assignment[c]
+			kept := cells[:0]
+			for _, cell := range cells {
+				if region.Contains(cell) {
+					kept = append(kept, cell)
+				}
+			}
+			if len(kept) == len(cells) {
+				continue
+			}
+			st.assignment[c] = kept
+			if tr := n.tracer; tr.Enabled() {
+				tr.Emit(obs.Ev(obs.KindAgentAssign).WithNode(int(n.id)).WithPeer(int(c)).
+					WithLayer(n.ownLayer).WithDetail(fmt.Sprintf("%s cells=%d", d, len(kept))))
+			}
+			n.send(c, coap.POST, proto.PathSchedule, proto.EncodeScheduleNotice(proto.ScheduleNotice{
+				Direction: d, Cells: kept,
+			}))
+		}
+		n.debugCheckAssignments("assignOwn")
 		return
 	}
 	next := make(map[topology.NodeID][]schedule.Cell, len(assignment))
@@ -678,6 +853,9 @@ func (n *Node) applyChildDemand(child topology.NodeID, d topology.Direction, cel
 	if _, ok := st.pendingDemand[child]; !ok {
 		st.pendingDemand[child] = demandSnapshot{cells: old, topRate: oldRate}
 	}
+	if n.vnow != nil && st.demandSince == 0 {
+		st.demandSince = n.vnow()
+	}
 	n.escalate(d, n.ownLayer, core.Component{Slots: total, Channels: 1})
 }
 
@@ -818,6 +996,12 @@ func (n *Node) hostChildComponent(from topology.NodeID, d topology.Direction, la
 	}
 	st.pendingComps[layer] = merged
 	st.pendingLayouts[layer] = layout
+	if n.vnow != nil {
+		if st.pendingSince == nil {
+			st.pendingSince = make(map[int]float64)
+		}
+		st.pendingSince[layer] = n.vnow()
+	}
 	n.escalate(d, layer, grown)
 }
 
@@ -1121,11 +1305,19 @@ func (n *Node) applyPartition(d topology.Direction, layer int, region schedule.R
 			tr.Emit(obs.Ev(obs.KindAgentCommit).WithNode(int(n.id)).WithLayer(layer).WithDetail(d.String()))
 		}
 	}
+	delete(st.pendingSince, layer)
+	if n.giveUps != nil {
+		// A grant proves the parent reachable: future give-ups to it count
+		// as fresh degradations.
+		delete(n.giveUps, giveUpKey{peer: n.parent, d: d, layer: layer})
+		delete(n.giveUps, giveUpKey{peer: n.parent, report: true})
+	}
 	if layer == n.ownLayer {
 		// The grant commits any provisionally raised link demands.
 		for c := range st.pendingDemand {
 			delete(st.pendingDemand, c)
 		}
+		st.demandSince = 0
 		n.assignOwn(d)
 		return
 	}
@@ -1175,6 +1367,11 @@ func (n *Node) Leave() {
 func (n *Node) setStructure(parent topology.NodeID, ownLayer, maxLayer int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if parent != n.parent {
+		// A new parent means past degradations no longer describe the
+		// current uplink.
+		clear(n.giveUps)
+	}
 	n.parent = parent
 	n.ownLayer = ownLayer
 	n.maxLayer = maxLayer
@@ -1196,6 +1393,7 @@ func (n *Node) resetResources() {
 		}
 	}
 	n.settledOnce = false
+	clear(n.giveUps)
 }
 
 // startJoin primes the node to re-attach: its next interface report carries

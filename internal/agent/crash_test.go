@@ -14,6 +14,7 @@ import (
 	"github.com/harpnet/harp/internal/agent"
 	"github.com/harpnet/harp/internal/core"
 	"github.com/harpnet/harp/internal/invariant"
+	"github.com/harpnet/harp/internal/schedule"
 	"github.com/harpnet/harp/internal/topology"
 	"github.com/harpnet/harp/internal/traffic"
 	"github.com/harpnet/harp/internal/transport"
@@ -183,5 +184,133 @@ func TestCrashDuringAdjustmentUnwinds(t *testing.T) {
 	// match the original model again after recovery; the planner agrees.
 	if err := invariant.CheckFleet(fleet, plan); err != nil {
 		t.Fatalf("post-recovery commit point: %v", err)
+	}
+}
+
+// TestGiveUpsCoalescePerAdjustment sends two same-layer escalations into a
+// dead parent: the transport counts a give-up for every abandoned
+// exchange, but the requester degrades the layer into a rejection only
+// once until the peer proves reachable again — repeated escalations into
+// the same outage must not multiply rejections.
+func TestGiveUpsCoalescePerAdjustment(t *testing.T) {
+	tree := topology.Fig1()
+	fleet, bus, demand := deployReliable(t, tree, 1)
+
+	bus.Crash(5)
+	l := topology.Link{Child: 8, Direction: topology.Uplink}
+	before := fleet.Rejections()
+	giveUps := bus.Faults().GiveUps
+
+	if err := fleet.RequestLinkDemand(l, demand.Cells(l)+2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.RequestLinkDemand(l, demand.Cells(l)+3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if gu := bus.Faults().GiveUps - giveUps; gu < 2 {
+		t.Fatalf("give-ups = %d, want >= 2 (one per abandoned exchange)", gu)
+	}
+	if got := fleet.Rejections() - before; got != 1 {
+		t.Fatalf("rejections = %d, want exactly 1 (coalesced per (peer, adjustment))", got)
+	}
+	if bus.Pending() != 0 {
+		t.Fatalf("Pending = %d with the victim down", bus.Pending())
+	}
+}
+
+// schedulesIdentical compares two assembled schedules cell for cell.
+func schedulesIdentical(a, b *schedule.Schedule) bool {
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		return false
+	}
+	for _, l := range la {
+		ca, cb := a.Cells(l), b.Cells(l)
+		if len(ca) != len(cb) {
+			return false
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRestartDuringPendingGrantConvergesToLossless crashes and restarts a
+// grant-path node while the grant exchange is still in flight: the victim
+// reboots with stale mid-adjustment messages aimed at it, the orphaned
+// request unwinds, and after recovery a re-issued request must land the
+// fleet on exactly the schedule a lossless run produces.
+func TestRestartDuringPendingGrantConvergesToLossless(t *testing.T) {
+	l := topology.Link{Child: 8, Direction: topology.Uplink}
+
+	// Lossless reference: same deployment, same request, no crash.
+	ref, refBus, refDemand := deployReliable(t, topology.Fig1(), 1)
+	target := refDemand.Cells(l) + 2
+	if err := ref.RequestLinkDemand(l, target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refBus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	refSched, err := ref.BuildSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fleet, bus, demand := deployReliable(t, topology.Fig1(), 1)
+	if err := fleet.RequestLinkDemand(l, target); err != nil {
+		t.Fatal(err)
+	}
+	// Advance partway into the grant cascade (per-hop latency is uniform
+	// over one slotframe, so two slotframes leaves the escalation past its
+	// first hop but not committed), then take node 5 down mid-exchange.
+	bus.Clock().RunUntil(bus.Now() + 800)
+	if bus.Pending() == 0 {
+		t.Fatal("grant already drained; cannot crash mid-exchange")
+	}
+	bus.Crash(5)
+	bus.Clock().RunUntil(bus.Now() + 200)
+
+	// Reboot and re-attach while the orphaned exchange is still pending:
+	// retransmissions of stale mid-adjustment messages will reach the
+	// rebooted agent with a cleared dedup cache.
+	bus.Restart(5)
+	if err := fleet.RestartNode(5, demand); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bus.Pending() != 0 {
+		t.Fatalf("Pending = %d after recovery drain", bus.Pending())
+	}
+
+	// Re-issue the request (the crash may have unwound it) and drain: the
+	// fleet must converge to the lossless outcome, stale state and all.
+	if err := fleet.RequestLinkDemand(l, target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Validate(); err != nil {
+		t.Fatalf("post-recovery schedule invalid: %v", err)
+	}
+	sched, err := fleet.BuildSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schedulesIdentical(sched, refSched) {
+		t.Fatal("post-crash schedule differs from the lossless run")
 	}
 }

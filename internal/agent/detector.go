@@ -1,0 +1,486 @@
+package agent
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/harpnet/harp/internal/coap"
+	"github.com/harpnet/harp/internal/obs"
+	"github.com/harpnet/harp/internal/proto"
+	"github.com/harpnet/harp/internal/topology"
+	"github.com/harpnet/harp/internal/traffic"
+	"github.com/harpnet/harp/internal/vclock"
+)
+
+// DetectorNet is the transport view the failure detector needs: background
+// keepalive probes and the scripted crash state. transport.Bus satisfies it.
+type DetectorNet interface {
+	SendBackground(from, to topology.NodeID, msg coap.Message) error
+	Crashed(id topology.NodeID) bool
+}
+
+// DetectorConfig parameterises the failure detector. All durations are in
+// slots (the virtual-time unit).
+type DetectorConfig struct {
+	// Interval is the keepalive/sweep period. Each sweep every live node
+	// probes its parent and children, then silence is judged against the
+	// thresholds below.
+	Interval float64
+	// SuspectAfter is the silence after which a node turns suspect.
+	SuspectAfter float64
+	// DeadAfter is the silence after which a suspect is declared dead and
+	// its orphans are adopted. Scripted outages shorter than this ride out
+	// undetected (CON retransmission already covers them).
+	DeadAfter float64
+	// AbortAfter is the adjustment watchdog deadline: an in-flight
+	// escalation older than this is aborted and rolled back. Zero disables
+	// the watchdog. Must comfortably exceed the worst-case grant latency
+	// (including the transport's ~62-slotframe CON give-up backoff) or
+	// healthy adjustments get aborted.
+	AbortAfter float64
+	// Seed drives the sweep jitter stream (vclock.StreamDetector).
+	Seed int64
+	// Demand returns the link demands the fleet should converge to after
+	// re-homing moved under newParent — computed over a clone of the tree
+	// with the move applied, since the detector calls it before rewiring.
+	// A (None, None) call asks for the demands of the current tree (used
+	// when a readmitted node restarts under its unchanged parent).
+	Demand func(moved, newParent topology.NodeID) *traffic.Demand
+	// Tracer and Metrics are the detector's observability sinks (nil-safe).
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+}
+
+// DefaultDetectorConfig returns the standard thresholds for a slotframe
+// length: sweep every slotframe, suspect after 3, declare dead after 6,
+// abort stale adjustments after 80 (past the CON give-up backoff, so the
+// watchdog only catches the ACKed-then-died hang the transport never
+// times out on).
+func DefaultDetectorConfig(slotframeSlots int) DetectorConfig {
+	sf := float64(slotframeSlots)
+	return DetectorConfig{
+		Interval:     sf,
+		SuspectAfter: 3 * sf,
+		DeadAfter:    6 * sf,
+		AbortAfter:   80 * sf,
+	}
+}
+
+// DeathRecord is one dead declaration.
+type DeathRecord struct {
+	Node        topology.NodeID
+	SuspectedAt float64
+	DeclaredAt  float64
+}
+
+// AdoptionRecord is one orphan re-homing.
+type AdoptionRecord struct {
+	Orphan     topology.NodeID
+	DeadParent topology.NodeID
+	NewParent  topology.NodeID
+	At         float64
+}
+
+type liveness uint8
+
+const (
+	liveAlive liveness = iota
+	liveSuspect
+	liveDead
+)
+
+// Detector is the virtual-time failure detector: a periodic sweep sends
+// keepalives on behalf of every live node (to its parent and children),
+// watches global last-heard times, and drives silence through a
+// suspect → dead state machine. A death triggers orphan adoption through
+// Fleet.Adopt; a node heard again after its death is readmitted through
+// the restart/adoption machinery. The sweep also runs the adjustment
+// watchdog (Node.abortStale) on live nodes.
+//
+// The paper's testbed announces failures to the experiment harness; here
+// Bus.Crash is silent and outages are *discovered* from missing traffic,
+// as a deployment would. The detector is centralized over one fleet —
+// the global last-heard map stands in for per-neighbour timers, which
+// makes network partitions invisible (a partitioned node keeps its
+// global liveness through any reachable neighbour; partitions shorter
+// than DeadAfter are ridden out by CON retransmission). Link flaps that
+// isolate a node completely for longer than DeadAfter cause an honest
+// false positive, healed by readmission when the link returns.
+//
+// All state transitions happen inside clock events, so the detector
+// needs no lock of its own; it must only be driven through the shared
+// virtual clock (Bus, CoSim).
+type Detector struct {
+	fleet *Fleet
+	net   DetectorNet
+	clock *vclock.Clock
+	cfg   DetectorConfig
+	rng   *rand.Rand
+
+	lastHeard   map[topology.NodeID]float64
+	state       map[topology.NodeID]liveness
+	suspectedAt map[topology.NodeID]float64
+	msgID       uint16
+	stopped     bool
+	timer       *vclock.Handle
+
+	// Deaths, Adoptions and Readmissions record what the detector did, in
+	// declaration order. They survive Bus.ResetCounters (which wipes the
+	// metrics registry at every adjustment trigger).
+	Deaths       []DeathRecord
+	Adoptions    []AdoptionRecord
+	Readmissions int
+	// Aborts counts watchdog rollbacks across all sweeps.
+	Aborts int
+
+	errs []error
+}
+
+// NewDetector builds a detector over a deployed fleet. Call Start after
+// the static phase has drained — the recurring sweep would keep
+// Bus.Run/Clock.Run from ever finishing.
+func NewDetector(f *Fleet, net DetectorNet, clock *vclock.Clock, cfg DetectorConfig) (*Detector, error) {
+	if cfg.Interval <= 0 || cfg.SuspectAfter <= 0 || cfg.DeadAfter <= cfg.SuspectAfter {
+		return nil, fmt.Errorf("agent: detector thresholds invalid (interval %v, suspect %v, dead %v)",
+			cfg.Interval, cfg.SuspectAfter, cfg.DeadAfter)
+	}
+	if cfg.Demand == nil {
+		return nil, fmt.Errorf("agent: detector needs a demand provider")
+	}
+	return &Detector{
+		fleet:       f,
+		net:         net,
+		clock:       clock,
+		cfg:         cfg,
+		rng:         vclock.NewStream(vclock.StreamDetector, cfg.Seed),
+		lastHeard:   make(map[topology.NodeID]float64),
+		state:       make(map[topology.NodeID]liveness),
+		suspectedAt: make(map[topology.NodeID]float64),
+	}, nil
+}
+
+// Start wires the liveness hooks into every agent and schedules the first
+// sweep. Every node starts alive and freshly heard.
+func (d *Detector) Start() {
+	now := d.clock.Now()
+	heard := func(from topology.NodeID) { d.lastHeard[from] = d.clock.Now() }
+	vnow := d.clock.Now
+	for _, id := range d.fleet.Tree.Nodes() {
+		d.fleet.node(id).setLiveness(heard, vnow)
+		d.lastHeard[id] = now
+		d.state[id] = liveAlive
+	}
+	d.stopped = false
+	d.scheduleSweep()
+}
+
+// Stop unwires the hooks and cancels the pending sweep; the clock can
+// drain again.
+func (d *Detector) Stop() {
+	d.stopped = true
+	if d.timer != nil {
+		d.timer.Cancel()
+		d.timer = nil
+	}
+	for _, id := range d.fleet.Tree.Nodes() {
+		d.fleet.node(id).setLiveness(nil, nil)
+	}
+}
+
+// Err returns the first error any sweep's recovery action hit, if any.
+func (d *Detector) Err() error {
+	if len(d.errs) == 0 {
+		return nil
+	}
+	return d.errs[0]
+}
+
+// Dead reports whether the detector currently considers a node dead.
+func (d *Detector) Dead(id topology.NodeID) bool { return d.state[id] == liveDead }
+
+// Suspected reports whether the detector currently suspects a node.
+func (d *Detector) Suspected(id topology.NodeID) bool { return d.state[id] == liveSuspect }
+
+// DeadOrCrashed is the predicate adoptions and demand shifts use: a node
+// the detector declared dead, or one the transport knows is down (its
+// agent state is frozen and must not be mutated).
+func (d *Detector) DeadOrCrashed(id topology.NodeID) bool {
+	return d.state[id] == liveDead || d.net.Crashed(id)
+}
+
+//harplint:locked — single-threaded on the virtual clock (sweep events).
+func (d *Detector) scheduleSweep() {
+	// Jitter the period ±10% so detector timers never beat exactly against
+	// slot boundaries; the draw comes from the detector's own stream.
+	at := d.clock.Now() + d.cfg.Interval*(0.9+0.2*d.rng.Float64())
+	d.timer = d.clock.ScheduleCancelableIn(0, at, d.sweep)
+}
+
+// sweep is one detector period: probe, judge silence, recover, watchdog.
+func (d *Detector) sweep() {
+	if d.stopped {
+		return
+	}
+	now := d.clock.Now()
+	nodes := d.fleet.Tree.Nodes()
+
+	// 1. Keepalives: every non-crashed node probes its parent and children.
+	// Background sends hold no in-flight slot, so quiescence (and every
+	// delivery counter) is untouched.
+	for _, id := range nodes {
+		if d.net.Crashed(id) {
+			continue
+		}
+		if parent, err := d.fleet.Tree.Parent(id); err == nil && parent != topology.None {
+			d.keepalive(id, parent)
+		}
+		for _, c := range d.fleet.Tree.Children(id) {
+			d.keepalive(id, c)
+		}
+	}
+
+	// 2. Judge silence. Transitions are collected first and applied in
+	// sorted node order; the dead set is fully marked before any adoption
+	// runs, so a parent and child dying in the same sweep never adopt into
+	// each other.
+	var newlyDead, comebacks []topology.NodeID
+	for _, id := range nodes {
+		if id == topology.GatewayID {
+			continue // the gateway anchors the hierarchy (it hosts the detector)
+		}
+		silence := now - d.lastHeard[id]
+		switch d.state[id] {
+		case liveDead:
+			if silence < d.cfg.DeadAfter {
+				comebacks = append(comebacks, id)
+			}
+		case liveSuspect:
+			if silence < d.cfg.SuspectAfter {
+				d.state[id] = liveAlive
+				delete(d.suspectedAt, id)
+			} else if silence >= d.cfg.DeadAfter {
+				newlyDead = append(newlyDead, id)
+			}
+		case liveAlive:
+			if silence >= d.cfg.SuspectAfter {
+				d.suspect(id, now)
+				if silence >= d.cfg.DeadAfter {
+					newlyDead = append(newlyDead, id)
+				}
+			}
+		}
+	}
+	// Root-cause attribution: a node whose ancestor is dying in this same
+	// sweep — or still merely suspect — is silent *because* its probe path
+	// died with that ancestor: a crashed parent swallows its children's
+	// keepalives, and delivery jitter can make the child cross DeadAfter a
+	// sweep before the parent does (a child that silent has an ancestor at
+	// least SuspectAfter silent). Blamed nodes get one grace window (a
+	// fresh last-heard stamp) instead of a death: if they are truly alive,
+	// adoption re-homes them when the ancestor is declared and their
+	// probes flow again; if they crashed too, the grace expires with their
+	// ancestor already declared (no longer blamable) and they die one
+	// DeadAfter later, rescuing their own subtrees level by level.
+	if len(newlyDead) > 0 {
+		dying := make(map[topology.NodeID]bool, len(newlyDead))
+		for _, id := range newlyDead {
+			dying[id] = true
+		}
+		declared := newlyDead[:0]
+		for _, id := range newlyDead {
+			blamed := false
+			if ancestors, err := d.fleet.Tree.Ancestors(id); err == nil {
+				for _, a := range ancestors {
+					if dying[a] || d.state[a] == liveSuspect {
+						blamed = true
+						break
+					}
+				}
+			}
+			if blamed {
+				d.lastHeard[id] = now
+				continue
+			}
+			declared = append(declared, id)
+		}
+		newlyDead = declared
+	}
+	for _, id := range newlyDead {
+		d.state[id] = liveDead
+	}
+	for _, id := range newlyDead {
+		d.declareDead(id, now)
+	}
+	for _, id := range comebacks {
+		d.readmit(id, now)
+	}
+
+	// 3. Adjustment watchdog on live nodes.
+	if d.cfg.AbortAfter > 0 {
+		for _, id := range nodes {
+			if d.state[id] == liveDead || d.net.Crashed(id) {
+				continue
+			}
+			d.Aborts += d.fleet.node(id).abortStale(now, d.cfg.AbortAfter)
+		}
+	}
+
+	d.scheduleSweep()
+}
+
+//harplint:locked — single-threaded on the virtual clock (sweep events).
+func (d *Detector) keepalive(from, to topology.NodeID) {
+	d.msgID++
+	msg := coap.NewRequest(coap.NonConfirmable, coap.POST, d.msgID, proto.PathKeepalive)
+	// An unknown peer cannot happen on a deployed fleet; the error path is
+	// the transport's own accounting.
+	//harplint:allow errcheck
+	_ = d.net.SendBackground(from, to, msg)
+}
+
+//harplint:locked — single-threaded on the virtual clock (sweep events).
+func (d *Detector) suspect(id topology.NodeID, now float64) {
+	d.state[id] = liveSuspect
+	d.suspectedAt[id] = now
+	if m := d.cfg.Metrics; m != nil {
+		m.Inc(obs.Key(obs.MetricSuspects))
+	}
+	if tr := d.cfg.Tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindAgentSuspect).WithNode(int(id)))
+	}
+}
+
+// declareDead records the death and runs the recovery: the live parent
+// drops the dead child, every live orphan is adopted, and the dead agent's
+// resource state is wiped so its stale assignments cannot pollute the
+// fleet schedule while it is gone.
+//
+//harplint:locked — single-threaded on the virtual clock (sweep events).
+func (d *Detector) declareDead(id topology.NodeID, now float64) {
+	rec := DeathRecord{Node: id, SuspectedAt: d.suspectedAt[id], DeclaredAt: now}
+	if rec.SuspectedAt == 0 {
+		rec.SuspectedAt = now
+	}
+	delete(d.suspectedAt, id)
+	d.Deaths = append(d.Deaths, rec)
+	if m := d.cfg.Metrics; m != nil {
+		m.Inc(obs.Key(obs.MetricDeaths))
+	}
+	if tr := d.cfg.Tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindAgentDead).WithNode(int(id)).
+			WithDetail(fmt.Sprintf("silent=%.0f", now-d.lastHeard[id])))
+	}
+
+	parent, err := d.fleet.Tree.Parent(id)
+	if err != nil {
+		d.errs = append(d.errs, err)
+		return
+	}
+	if p := d.fleet.node(parent); p != nil && !d.DeadOrCrashed(parent) {
+		p.dropDeadChild(id)
+	}
+
+	// Adopt the live orphans. Children returns a copy, so the adoptions'
+	// tree rewiring cannot disturb the iteration; dead or crashed children
+	// stay in place under the corpse — their own subtrees are rescued when
+	// they are declared dead themselves.
+	for _, orphan := range d.fleet.Tree.Children(id) {
+		if d.DeadOrCrashed(orphan) {
+			continue
+		}
+		d.adopt(orphan, id, now)
+	}
+
+	d.fleet.node(id).resetResources()
+}
+
+// adopt re-homes one live orphan of deadParent under the deterministic
+// candidate and records it.
+//
+//harplint:locked — single-threaded on the virtual clock (sweep events).
+func (d *Detector) adopt(orphan, deadParent topology.NodeID, now float64) {
+	candidate := d.adoptiveParent(deadParent)
+	if candidate == topology.None {
+		d.errs = append(d.errs, fmt.Errorf("agent: no live adoptive parent for %d", orphan))
+		return
+	}
+	demand := d.cfg.Demand(orphan, candidate)
+	if err := d.fleet.Adopt(orphan, candidate, demand, d.DeadOrCrashed); err != nil {
+		d.errs = append(d.errs, fmt.Errorf("agent: adopting %d under %d: %w", orphan, candidate, err))
+		return
+	}
+	d.Adoptions = append(d.Adoptions, AdoptionRecord{
+		Orphan: orphan, DeadParent: deadParent, NewParent: candidate, At: now,
+	})
+	if m := d.cfg.Metrics; m != nil {
+		m.Inc(obs.Key(obs.MetricAdoptions))
+	}
+	if tr := d.cfg.Tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindAgentAdopt).WithNode(int(orphan)).WithPeer(int(candidate)).
+			WithDetail(fmt.Sprintf("dead=%d", deadParent)))
+	}
+}
+
+// adoptiveParent picks where a dead node's orphans go: the lowest-ID live
+// child of the nearest live ancestor (excluding the dead branch), or that
+// ancestor itself when it has no other live children. Deterministic, and
+// never inside the orphan's own subtree — the candidates are siblings (or
+// ancestors) of the dead parent, all strictly outside it.
+//
+//harplint:locked — single-threaded on the virtual clock (sweep events).
+func (d *Detector) adoptiveParent(dead topology.NodeID) topology.NodeID {
+	anchor, err := d.fleet.Tree.Parent(dead)
+	if err != nil {
+		return topology.None
+	}
+	exclude := dead
+	for anchor != topology.None && d.DeadOrCrashed(anchor) {
+		exclude = anchor
+		next, err := d.fleet.Tree.Parent(anchor)
+		if err != nil {
+			return topology.None
+		}
+		anchor = next
+	}
+	if anchor == topology.None {
+		return topology.None // the gateway itself is gone: nothing to attach to
+	}
+	for _, c := range d.fleet.Tree.Children(anchor) { // sorted: lowest ID wins
+		if c != exclude && !d.DeadOrCrashed(c) {
+			return c
+		}
+	}
+	return anchor
+}
+
+// readmit handles a node heard again after its death declaration: a
+// scripted restart (or a healed false positive). The node re-attaches
+// with wiped volatile state through the restart machinery — under its
+// unchanged parent when that parent is live, else through adoption.
+//
+//harplint:locked — single-threaded on the virtual clock (sweep events).
+func (d *Detector) readmit(id topology.NodeID, now float64) {
+	d.state[id] = liveAlive
+	delete(d.suspectedAt, id)
+	d.Readmissions++
+	if tr := d.cfg.Tracer; tr.Enabled() {
+		tr.Emit(obs.Ev(obs.KindAgentReadmit).WithNode(int(id)))
+	}
+	parent, err := d.fleet.Tree.Parent(id)
+	if err != nil {
+		d.errs = append(d.errs, err)
+		return
+	}
+	if parent != topology.None && d.DeadOrCrashed(parent) {
+		// The old parent is still gone: rejoining it would wedge; the
+		// returning subtree re-homes like an orphan. Its agent lists may be
+		// stale (children adopted away while it was dead), so sync them
+		// from the tree first — rehome reloads demands through them.
+		d.fleet.syncFromTree(id)
+		d.adopt(id, parent, now)
+		return
+	}
+	if err := d.fleet.RestartNode(id, d.cfg.Demand(topology.None, topology.None)); err != nil {
+		d.errs = append(d.errs, fmt.Errorf("agent: readmitting %d: %w", id, err))
+	}
+}

@@ -236,13 +236,57 @@ func (f *Fleet) Reparent(node, newParent topology.NodeID, newDemand *traffic.Dem
 	if oldParent == newParent {
 		return fmt.Errorf("agent: node %d already under %d", node, newParent)
 	}
+
+	// 1. Leave: announce detachment to the old parent.
+	mover.Leave()
+
+	return f.rehome(node, newParent, newDemand, nil)
+}
+
+// Adopt re-homes an orphan whose parent was declared dead, with its whole
+// subtree, under newParent. It is Reparent without the DELETE /intf leave
+// announcement: the dead parent cannot hear it, and a confirmable leave
+// would only wedge the pair for the full retransmission backoff. Instead
+// the dead parent's agent state is pruned directly (its own notification
+// sends are crash-dropped by the transport — a dead radio transmits
+// nothing). Adopting a node already under newParent is a no-op, which
+// makes duplicate death declarations idempotent. skipDemandAt, if
+// non-nil, suppresses the outside-subtree demand shifts at parents the
+// caller knows are dead (their frozen state is rebuilt at readmission).
+func (f *Fleet) Adopt(orphan, newParent topology.NodeID, newDemand *traffic.Demand,
+	skipDemandAt func(topology.NodeID) bool) error {
+	if _, err := f.Node(orphan); err != nil {
+		return err
+	}
+	if _, err := f.Node(newParent); err != nil {
+		return err
+	}
+	oldParent, err := f.Tree.Parent(orphan)
+	if err != nil {
+		return err
+	}
+	if oldParent == topology.None {
+		return fmt.Errorf("agent: cannot adopt the gateway")
+	}
+	if oldParent == newParent {
+		return nil // already re-homed: duplicate adoption is idempotent
+	}
+	if op := f.node(oldParent); op != nil {
+		op.dropDeadChild(orphan)
+	}
+	return f.rehome(orphan, newParent, newDemand, skipDemandAt)
+}
+
+// rehome is the shared body of Reparent and Adopt: rewire the tree, reset
+// and re-report the moved subtree, and shift forwarding-path demands
+// outside it.
+func (f *Fleet) rehome(node, newParent topology.NodeID, newDemand *traffic.Demand,
+	skipDemandAt func(topology.NodeID) bool) error {
+	mover := f.node(node)
 	subtree, err := f.Tree.Subtree(node)
 	if err != nil {
 		return err
 	}
-
-	// 1. Leave: announce detachment to the old parent.
-	mover.Leave()
 
 	// 2. Rewire (what RPL does) and refresh every agent's coordinates —
 	// depths shift inside the moved subtree, subtree-max layers shift on
@@ -330,10 +374,19 @@ func (f *Fleet) Reparent(node, newParent topology.NodeID, newDemand *traffic.Dem
 		if err != nil || parent == topology.None {
 			continue
 		}
+		if skipDemandAt != nil && skipDemandAt(parent) {
+			continue
+		}
 		pa := f.node(parent)
 		pa.mu.Lock()
+		known := containsNode(pa.children, l.Child)
 		current := pa.dir(l.Direction).demand[l.Child]
 		pa.mu.Unlock()
+		if !known {
+			// The child was dropped as dead at this parent (or has not yet
+			// re-attached); its demand re-registers through the Join path.
+			continue
+		}
 		if current == newDemand.Cells(l) {
 			continue
 		}
@@ -370,6 +423,11 @@ func (f *Fleet) RestartNode(id topology.NodeID, demand *traffic.Demand) error {
 	if gateway {
 		return fmt.Errorf("agent: gateway restart is not supported")
 	}
+	// Sync the agent's child lists with the current tree before the reset:
+	// while the node was down its children may have been adopted away (or a
+	// neighbour attached), and the frozen lists would reload demand for
+	// links that no longer exist. A no-op when the topology is unchanged.
+	f.syncFromTree(id)
 	n.resetResources()
 	n.mu.Lock()
 	nonLeaf := append([]topology.NodeID(nil), n.nonLeaf...)
@@ -396,6 +454,37 @@ func (f *Fleet) RestartNode(id topology.NodeID, demand *traffic.Demand) error {
 		child.mu.Unlock()
 	}
 	return nil
+}
+
+// syncFromTree reconciles one agent's child lists (and their demand
+// entries) with the current tree. Used when an agent's frozen state may
+// lag the topology: a restarting node whose children were adopted away
+// while it was down.
+func (f *Fleet) syncFromTree(id topology.NodeID) {
+	n := f.node(id)
+	if n == nil {
+		return
+	}
+	treeChildren := f.Tree.Children(id)
+	var treeNonLeaf []topology.NodeID
+	for _, c := range treeChildren {
+		if !f.Tree.IsLeaf(c) {
+			treeNonLeaf = append(treeNonLeaf, c)
+		}
+	}
+	n.mu.Lock()
+	n.children = treeChildren
+	n.nonLeaf = treeNonLeaf
+	for _, d := range topology.Directions() {
+		st := n.dir(d)
+		for c := range st.demand {
+			if !containsNode(treeChildren, c) {
+				delete(st.demand, c)
+				delete(st.topRate, c)
+			}
+		}
+	}
+	n.mu.Unlock()
 }
 
 // Rejections sums the adjustment rejections across agents.

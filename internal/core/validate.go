@@ -1,0 +1,39 @@
+package core
+
+import "github.com/harpnet/harp/internal/topology"
+
+// LayoutValid reports whether a committed layout is a consistent placement
+// of the given child components inside a slots x channels host: every
+// placed child has a component, every component sits fully in bounds, and
+// no two components overlap. The adjustment watchdog uses it (under
+// harpdebug) to assert that rolling an aborted escalation back really
+// lands on a consistent committed state.
+func LayoutValid(slots, channels int, layout Layout, comps map[topology.NodeID]Component) bool {
+	ids := sortedLayoutNodes(layout)
+	for i, id := range ids {
+		c, ok := comps[id]
+		if !ok {
+			return false
+		}
+		if c.Empty() {
+			continue
+		}
+		off := layout[id]
+		if off.Slot < 0 || off.Channel < 0 ||
+			off.Slot+c.Slots > slots || off.Channel+c.Channels > channels {
+			return false
+		}
+		for _, other := range ids[:i] {
+			oc := comps[other]
+			if oc.Empty() {
+				continue
+			}
+			oo := layout[other]
+			if off.Slot < oo.Slot+oc.Slots && oo.Slot < off.Slot+c.Slots &&
+				off.Channel < oo.Channel+oc.Channels && oo.Channel < off.Channel+c.Channels {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -416,11 +416,62 @@ func (cs *CoSim) Crash(id topology.NodeID) { cs.Bus.Crash(id) }
 // Recover reverses a Crash: the transport endpoint comes back with a clean
 // dedup cache, and the agent reboots — volatile state wiped, link demands
 // reloaded from the given configuration, re-attachment through the Join
-// flag. Wrapped in Adjust so the harness measures the recovery exchange and
-// re-commits the schedule when it quiesces.
+// flag. Recovering a node that is not down is an error: Bus.Restart on a
+// live node would silently wipe its Message-ID dedup cache, re-opening the
+// duplicate-delivery window the cache exists to close. Wrapped in Adjust so
+// the harness measures the recovery exchange and re-commits the schedule
+// when it quiesces.
 func (cs *CoSim) Recover(id topology.NodeID, demand *traffic.Demand) error {
+	if !cs.Bus.Crashed(id) {
+		return fmt.Errorf("cosim: recover of node %d, which is not crashed", id)
+	}
 	cs.Bus.Restart(id)
 	return cs.Adjust(func(f *agent.Fleet) error {
 		return f.RestartNode(id, demand)
 	})
+}
+
+// EnableSelfHealing attaches a failure detector to the co-simulation: from
+// now on Bus.Crash outages are discovered from missing keepalives, orphans
+// are adopted, returning nodes are readmitted, and stale in-flight
+// adjustments are aborted — all on the shared virtual clock. tasks drives
+// the post-move demand recomputation (routes shift when a subtree is
+// re-homed); cfg.Demand, if set, overrides it. Call after New (the static
+// phase must have drained: the recurring sweep never lets the clock empty)
+// and drive the run with CoSim.Run.
+func (cs *CoSim) EnableSelfHealing(cfg agent.DetectorConfig, tasks *traffic.Set) (*agent.Detector, error) {
+	if cfg.Demand == nil {
+		if tasks == nil {
+			return nil, errors.New("cosim: self-healing needs tasks or a demand provider")
+		}
+		tree := cs.Fleet.Tree
+		cfg.Demand = func(moved, newParent topology.NodeID) *traffic.Demand {
+			t := tree
+			if moved != topology.None {
+				t = tree.Clone()
+				if err := t.Reparent(moved, newParent); err != nil {
+					// The detector never proposes an illegal move; fall back
+					// to the current routes rather than dying silently.
+					t = tree
+				}
+			}
+			d, err := traffic.Compute(t, tasks)
+			if err != nil {
+				return &traffic.Demand{}
+			}
+			return d
+		}
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = cs.Tracer
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = cs.Bus.Metrics()
+	}
+	det, err := agent.NewDetector(cs.Fleet, cs.Bus, cs.Clock, cfg)
+	if err != nil {
+		return nil, err
+	}
+	det.Start()
+	return det, nil
 }

@@ -360,3 +360,36 @@ func checkConvergence(f *agent.Fleet, p *core.Plan) error {
 	}
 	return nil
 }
+
+// Orphans returns the live nodes still attached below a down branch:
+// every node for which down reports false but that has an ancestor for
+// which it reports true, sorted. After a completed self-heal (failure
+// detection plus orphan adoption) the slice must be empty — every
+// survivor was re-homed under a live ancestor chain.
+func Orphans(tree *topology.Tree, down func(topology.NodeID) bool) []topology.NodeID {
+	var orphans []topology.NodeID
+	for _, id := range tree.Nodes() {
+		if id == topology.GatewayID || down(id) {
+			continue
+		}
+		ancestors, err := tree.Ancestors(id)
+		if err != nil {
+			continue
+		}
+		for _, a := range ancestors {
+			if down(a) {
+				orphans = append(orphans, id)
+				break
+			}
+		}
+	}
+	return orphans
+}
+
+// CheckNoOrphans fails if any live node still hangs below a down branch.
+func CheckNoOrphans(tree *topology.Tree, down func(topology.NodeID) bool) error {
+	if orphans := Orphans(tree, down); len(orphans) > 0 {
+		return fmt.Errorf("invariant: %d live nodes below dead branches (first: %d)", len(orphans), orphans[0])
+	}
+	return nil
+}

@@ -223,3 +223,65 @@ func Windows(events []Event) []Window {
 	}
 	return out
 }
+
+// RecoveryWindow is one node's failure-to-heal timeline, reconstructed
+// from the failure detector's trace events: the suspicion that opened the
+// case, the dead declaration, the orphan adoptions re-homing its subtree,
+// and — for transient outages — the readmission that closed it.
+type RecoveryWindow struct {
+	// Node is the node declared dead.
+	Node int
+	// SuspectVT is the virtual time of the last agent.suspect before the
+	// declaration (equal to DeadVT when the suspicion event is missing
+	// from the trace window).
+	SuspectVT float64
+	// DeadVT is the virtual time of the agent.dead declaration.
+	DeadVT float64
+	// Adoptions counts the orphans re-homed off this node; LastAdoptVT is
+	// the virtual time of the last of them (DeadVT when it had none).
+	Adoptions   int
+	LastAdoptVT float64
+	// ReadmitVT is the virtual time of the node's readmission, or -1 if it
+	// never returned within the trace.
+	ReadmitVT float64
+}
+
+// RecoveryWindows reconstructs per-node recovery timelines from a trace:
+// every agent.dead declaration opens a window, fed by the preceding
+// agent.suspect, the agent.adopt events attributed to it (their detail
+// carries the dead parent), and a later agent.readmit of the same node.
+func RecoveryWindows(events []Event) []RecoveryWindow {
+	lastSuspect := make(map[int]float64)
+	var out []RecoveryWindow
+	index := make(map[int]int) // node -> latest open window in out
+	for _, e := range events {
+		switch e.Kind {
+		case KindAgentSuspect:
+			lastSuspect[e.Node] = e.VT
+		case KindAgentDead:
+			w := RecoveryWindow{
+				Node: e.Node, SuspectVT: e.VT, DeadVT: e.VT,
+				LastAdoptVT: e.VT, ReadmitVT: -1,
+			}
+			if vt, ok := lastSuspect[e.Node]; ok {
+				w.SuspectVT = vt
+			}
+			index[e.Node] = len(out)
+			out = append(out, w)
+		case KindAgentAdopt:
+			var dead int
+			if _, err := fmt.Sscanf(e.Detail, "dead=%d", &dead); err != nil {
+				continue
+			}
+			if i, ok := index[dead]; ok {
+				out[i].Adoptions++
+				out[i].LastAdoptVT = e.VT
+			}
+		case KindAgentReadmit:
+			if i, ok := index[e.Node]; ok && out[i].ReadmitVT < 0 {
+				out[i].ReadmitVT = e.VT
+			}
+		}
+	}
+	return out
+}

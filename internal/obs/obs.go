@@ -103,6 +103,20 @@ const (
 	// KindAgentUnwind is an agent unwinding reserved state after a
 	// confirmable send to its parent was given up on.
 	KindAgentUnwind Kind = "agent.unwind"
+	// KindAgentSuspect is the failure detector suspecting a silent node.
+	KindAgentSuspect Kind = "agent.suspect"
+	// KindAgentDead is the failure detector declaring a suspect dead.
+	KindAgentDead Kind = "agent.dead"
+	// KindAgentAdopt is an orphan re-homing under a new parent after its
+	// parent was declared dead (Node is the orphan, Peer the new parent).
+	KindAgentAdopt Kind = "agent.adopt"
+	// KindAgentAbort is the adjustment watchdog rolling a stale in-flight
+	// adjustment back to the last committed layout.
+	KindAgentAbort Kind = "agent.abort"
+	// KindAgentReadmit is the failure detector re-admitting a node that
+	// spoke again after being declared dead (a reboot, or a healed false
+	// positive).
+	KindAgentReadmit Kind = "agent.readmit"
 
 	// KindMacTx is one successful slot transmission (sender side).
 	KindMacTx Kind = "mac.tx"

@@ -291,3 +291,34 @@ func TestTraceMetaRoundTrip(t *testing.T) {
 		t.Error("meta found in empty trace")
 	}
 }
+
+func TestRecoveryWindows(t *testing.T) {
+	events := []Event{
+		Ev(KindAgentSuspect).WithNode(5),
+		{Kind: KindAgentSuspect, Node: 5, VT: 800, Peer: None, Layer: None, Slot: None, Channel: None},
+		{Kind: KindAgentDead, Node: 5, VT: 1600, Peer: None, Layer: None, Slot: None, Channel: None},
+		{Kind: KindAgentAdopt, Node: 8, Peer: 4, VT: 1600, Layer: None, Slot: None, Channel: None, Detail: "dead=5"},
+		{Kind: KindAgentAdopt, Node: 9, Peer: 4, VT: 1700, Layer: None, Slot: None, Channel: None, Detail: "dead=5"},
+		{Kind: KindAgentReadmit, Node: 5, VT: 3200, Peer: None, Layer: None, Slot: None, Channel: None},
+		{Kind: KindAgentDead, Node: 7, VT: 2000, Peer: None, Layer: None, Slot: None, Channel: None},
+	}
+	wins := RecoveryWindows(events)
+	if len(wins) != 2 {
+		t.Fatalf("windows = %d, want 2", len(wins))
+	}
+	w := wins[0]
+	if w.Node != 5 || w.SuspectVT != 800 || w.DeadVT != 1600 {
+		t.Errorf("window 0 = %+v, want node 5 suspect 800 dead 1600", w)
+	}
+	if w.Adoptions != 2 || w.LastAdoptVT != 1700 {
+		t.Errorf("window 0 adoptions = %d last %v, want 2 by 1700", w.Adoptions, w.LastAdoptVT)
+	}
+	if w.ReadmitVT != 3200 {
+		t.Errorf("window 0 readmit = %v, want 3200", w.ReadmitVT)
+	}
+	// Node 7 died with no suspicion in the trace, no orphans, no comeback.
+	w = wins[1]
+	if w.Node != 7 || w.SuspectVT != 2000 || w.Adoptions != 0 || w.ReadmitVT != -1 {
+		t.Errorf("window 1 = %+v, want node 7, suspect=dead vt, no adoptions, no readmit", w)
+	}
+}

@@ -77,6 +77,23 @@ const (
 	// MetricDisruptionSlots is the histogram of measured adjustment
 	// disruption windows, in slots (one observation per commit).
 	MetricDisruptionSlots = "cosim.disruption_slots"
+
+	// MetricKeepalives counts background keepalive probes put on the
+	// channel by the failure detector (control traffic, never tallied in
+	// the delivery counters).
+	MetricKeepalives = "transport.keepalives"
+	// MetricLinkDropped counts deliveries discarded because the link
+	// between the endpoints was scripted down (chaos link flaps).
+	MetricLinkDropped = "transport.link_dropped"
+	// MetricSuspects counts suspect transitions of the failure detector.
+	MetricSuspects = "agent.suspects"
+	// MetricDeaths counts dead declarations of the failure detector.
+	MetricDeaths = "agent.deaths"
+	// MetricAdoptions counts orphan re-homings after a parent death.
+	MetricAdoptions = "agent.adoptions"
+	// MetricAborts counts stale in-flight adjustments rolled back by the
+	// adjustment watchdog.
+	MetricAborts = "agent.aborts"
 )
 
 // HistStat summarises one histogram series.

@@ -31,6 +31,11 @@ const (
 	PathInterface = "intf"
 	PathPartition = "part"
 	PathSchedule  = "sched"
+	// PathKeepalive is the failure detector's empty POST probe. It is not
+	// part of Table I: keepalives are control traffic, carried as
+	// background (uncounted) sends so protocol-overhead counts stay
+	// comparable with the paper's.
+	PathKeepalive = "ka"
 )
 
 // ErrDecode wraps all payload decoding failures.

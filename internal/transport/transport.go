@@ -202,6 +202,11 @@ type Bus struct {
 	// 16-byte NodeID struct.
 	lastDelivery map[uint64]float64
 
+	// linkDown holds the directed pairs whose deliveries are currently
+	// discarded (scripted link flaps / partitions); nil until the first
+	// SetLinkDown so the clean-channel delivery path pays one nil check.
+	linkDown map[uint64]bool
+
 	// envFree recycles settled envelopes (wire buffers included); see the
 	// envelope type comment.
 	envFree []*envelope
@@ -233,6 +238,9 @@ type Bus struct {
 	// retransmitted copies, so primary application-message latencies draw
 	// the exact same "transport.bus" sequence as a run without reliability.
 	retxRNG *rand.Rand
+	// bgRNG is the background-send latency stream used when reliability is
+	// off (see retxStream); nil until the first background send needs it.
+	bgRNG *rand.Rand
 	// outstanding holds the one in-progress exchange per ordered pair
 	// (NSTART=1); backlog queues further confirmable sends on the pair.
 	// Both are keyed by the packed slot pair.
@@ -485,6 +493,42 @@ func (b *Bus) Crashed(id topology.NodeID) bool {
 	return i >= 0 && b.nodes[i].crashed
 }
 
+// SetLinkDown takes the radio link between a and b off the air in both
+// directions: copies already queued and copies transmitted while the link
+// is down are discarded at delivery time (counted as MetricLinkDropped).
+// Senders are not told — a lost CON copy is recovered by retransmission
+// once the link heals, exactly like a channel fade.
+func (b *Bus) SetLinkDown(x, y topology.NodeID) {
+	xi, yi := b.slot(x), b.slot(y)
+	if xi < 0 || yi < 0 {
+		return
+	}
+	if b.linkDown == nil {
+		b.linkDown = make(map[uint64]bool)
+	}
+	b.linkDown[pairKey(xi, yi)] = true
+	b.linkDown[pairKey(yi, xi)] = true
+}
+
+// SetLinkUp heals a link downed by SetLinkDown (no-op if it was up).
+func (b *Bus) SetLinkUp(x, y topology.NodeID) {
+	xi, yi := b.slot(x), b.slot(y)
+	if xi < 0 || yi < 0 || b.linkDown == nil {
+		return
+	}
+	delete(b.linkDown, pairKey(xi, yi))
+	delete(b.linkDown, pairKey(yi, xi))
+}
+
+// LinkDown reports whether deliveries from x to y are currently discarded.
+func (b *Bus) LinkDown(x, y topology.NodeID) bool {
+	if b.linkDown == nil {
+		return false
+	}
+	xi, yi := b.slot(x), b.slot(y)
+	return xi >= 0 && yi >= 0 && b.linkDown[pairKey(xi, yi)]
+}
+
 // Send implements Network: the message is CoAP-encoded and queued with a
 // management-cell latency. In reliable mode non-confirmable requests are
 // upgraded to confirmable and tracked by an exchange; at most one exchange
@@ -531,6 +575,49 @@ func (b *Bus) Send(from, to topology.NodeID, msg coap.Message) error {
 	}
 	b.transmit(e, b.rng)
 	return nil
+}
+
+// SendBackground transmits a message as control traffic: like an ACK it is
+// never upgraded to confirmable, holds no in-flight slot (Pending()==0
+// still means protocol quiescence) and is excluded from the delivery
+// counters, but it rides the same channel — management-cell latency,
+// per-pair FIFO, crash drops, link flaps and injected faults all apply.
+// The failure detector's keepalives use this so enabling detection leaves
+// every protocol-overhead count byte-identical.
+func (b *Bus) SendBackground(from, to topology.NodeID, msg coap.Message) error {
+	ti := b.slot(to)
+	if ti < 0 {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	fi := b.slot(from)
+	if fi >= 0 && b.nodes[fi].crashed {
+		return nil // a crashed node transmits nothing (uncounted: control)
+	}
+	e := b.takeEnv()
+	wire, err := msg.AppendTo(e.wire[:0])
+	if err != nil {
+		e.refs = 1
+		b.releaseEnv(e)
+		return err
+	}
+	e.from, e.to, e.fi, e.ti, e.wire, e.mid, e.control = from, to, fi, ti, wire, msg.MessageID, true
+	b.metrics.Inc(obs.Key(obs.MetricKeepalives))
+	b.transmit(e, b.retxStream())
+	return nil
+}
+
+// retxStream returns the control-copy latency stream: the retx stream when
+// reliability is on, else a lazily-created stream on the detector's name —
+// never the primary stream, so background probes cannot perturb the
+// latency draws of application messages.
+func (b *Bus) retxStream() *rand.Rand {
+	if b.retxRNG != nil {
+		return b.retxRNG
+	}
+	if b.bgRNG == nil {
+		b.bgRNG = b.clock.RNG(vclock.StreamDetector, 0)
+	}
+	return b.bgRNG
 }
 
 // shardOf resolves the clock shard deliveries to a node ride on.
@@ -665,6 +752,14 @@ func (b *Bus) deliver(e *envelope, primary bool) {
 		}
 		return
 	}
+	if b.linkDown != nil && b.linkDown[pairKey(e.fi, e.ti)] {
+		b.metrics.Inc(obs.Key(obs.MetricLinkDropped))
+		if tr := b.tracer; tr.Enabled() {
+			tr.Emit(obs.Ev(obs.KindFaultDrop).WithNode(int(e.to)).WithPeer(int(e.from)).
+				WithParent(e.span))
+		}
+		return
+	}
 	if b.faultRNG != nil {
 		if b.faults.Drop > 0 && b.faultRNG.Float64() < b.faults.Drop {
 			b.metrics.Inc(obs.Key(obs.MetricDropped))
@@ -722,7 +817,11 @@ func (b *Bus) deliver(e *envelope, primary bool) {
 			}
 		}
 	}
-	b.count(msg, e.from, e.to)
+	if !e.control {
+		// Background sends (keepalives) are control traffic: delivered to
+		// the handler but never tallied, like ACKs.
+		b.count(msg, e.from, e.to)
+	}
 	if tr := b.tracer; tr.Enabled() {
 		// The rx span stays current while the handler runs, so every
 		// event the receiving agent emits — state transitions, further

@@ -426,6 +426,13 @@ const (
 	// StreamScale drives the scale experiment family's topology generation
 	// and adjustment placement.
 	StreamScale Stream = "experiments.scale"
+	// StreamDetector drives the failure detector's keepalive jitter, so
+	// enabling detection never perturbs the transport's latency draws.
+	StreamDetector Stream = "agent.detector"
+	// StreamChaos drives the chaos engine's fault scripting (victim
+	// selection, crash/restart times, link flaps) and the chaos
+	// experiment's topology generation.
+	StreamChaos Stream = "cosim.chaos"
 )
 
 // NewStream constructs a fresh generator for a registered stream. It is

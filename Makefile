@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-json fmt vet fuzz determinism benchgate faultsoak trace-smoke scale-smoke chaos-soak check clean
+.PHONY: all build test race lint lint-json fmt vet fuzz determinism benchgate faultsoak trace-smoke scale-smoke chaos-soak metrics-smoke check clean
 
 # Normalisation for report diffs: host and wall-time fields differ between
 # runs by construction, and the scale study's throughput/footprint keys
@@ -118,7 +118,29 @@ trace-smoke:
 	$(GO) run ./cmd/harptrace chrome -o /tmp/harptrace_smoke_chrome.json /tmp/harptrace_smoke.jsonl
 	jq -e '.traceEvents | length > 0' /tmp/harptrace_smoke_chrome.json > /dev/null
 
-check: fmt vet lint build test race trace-smoke
+# Metrics smoke: run a small co-simulation with the live inspection
+# endpoint, poll /healthz until the run publishes its final (done)
+# snapshot, then require a healthy verdict, golden-diff the Prometheus
+# exposition byte for byte (no timestamps by design, so the exposition
+# is a pure function of the seeds), and check the JSON series and pprof
+# endpoints answer. The endpoint serves the final snapshot until
+# signalled, so the poll has no race with process exit.
+METRICS_ADDR ?= 127.0.0.1:9464
+metrics-smoke:
+	$(GO) build -o /tmp/harpsim_smoke ./cmd/harpsim
+	/tmp/harpsim_smoke -topology fig1 -cosim -slotframes 30 -http $(METRICS_ADDR) > /tmp/metrics_smoke.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 120); do \
+		curl -sf http://$(METRICS_ADDR)/healthz 2>/dev/null | jq -e '.done == true' > /dev/null 2>&1 && break; \
+		sleep 0.5; \
+	done; \
+	curl -sf http://$(METRICS_ADDR)/healthz | jq -e '.done == true and .ok == true' > /dev/null; \
+	curl -sf http://$(METRICS_ADDR)/metrics > /tmp/metrics_smoke.prom; \
+	diff -u cmd/harpsim/testdata/metrics_smoke.prom /tmp/metrics_smoke.prom; \
+	curl -sf http://$(METRICS_ADDR)/series | jq -e 'length > 0' > /dev/null; \
+	curl -sf http://$(METRICS_ADDR)/debug/pprof/cmdline > /dev/null
+
+check: fmt vet lint build test race trace-smoke metrics-smoke
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@
 //	harpbench -json out.json  # also write a machine-readable bench report
 //	harpbench -gate BENCH_harpbench.json  # fail on metric drift / wall regression vs a baseline
 //	harpbench -trace t.jsonl  # record the fig10 co-simulation's protocol trace
+//	harpbench -http :8080     # live read-only inspection endpoint while the bench runs
 //	harpbench -cpuprofile p   # write a pprof CPU profile of the run
 //	harpbench -memprofile p   # write a pprof heap profile at exit
 //
@@ -79,6 +80,7 @@ func main() {
 	gateWallTol := flag.Float64("gate-wall-tol", defaultGateWallTol, "gate: tolerated wall-time multiplier over the baseline")
 	gateFormat := flag.String("gate-format", "text", "gate finding format: text or github (::error annotations)")
 	tracePath := flag.String("trace", "", "record the fig10 co-simulation's protocol trace to this JSONL path")
+	httpAddr := flag.String("http", "", "serve the live inspection endpoint (/healthz, /metrics, /series, /debug/pprof) on this address while the bench runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path at exit")
 	flag.Parse()
@@ -113,6 +115,16 @@ func main() {
 	}
 
 	runner := &runner{quick: *quick, trace: *tracePath}
+	if *httpAddr != "" {
+		ins := obs.NewInspector()
+		addr, err := ins.Serve(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("live inspection endpoint on http://%s\n", addr)
+		runner.inspect = ins
+	}
 	if *scaleSizes != "" {
 		for _, s := range strings.Split(*scaleSizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -213,6 +225,9 @@ type runner struct {
 	trace string
 	// scaleSizes overrides the scale study's fleet sizes (-scale-sizes).
 	scaleSizes []int
+	// inspect is the -http endpoint's snapshot sink (nil without -http);
+	// the co-simulated experiments publish their telemetry into it.
+	inspect *obs.Inspector
 }
 
 func (r *runner) table1() (map[string]float64, error) {
@@ -266,6 +281,7 @@ func (r *runner) fig10() (map[string]float64, error) {
 	// committed its schedule on the shared clock.
 	mcfg := experiments.DefaultFig10()
 	mcfg.Trace = r.trace != ""
+	mcfg.Inspect = r.inspect
 	measured, err := experiments.Fig10(mcfg)
 	if err != nil {
 		return nil, err
@@ -280,7 +296,13 @@ func (r *runner) fig10() (map[string]float64, error) {
 	printFig10Events(measured.Events)
 	fmt.Println()
 	fmt.Println(measured.Table)
-	fmt.Printf("max latency (measured): %.2fs\n\n", measured.MaxLatencySec)
+	fmt.Printf("max latency (measured): %.2fs\n", measured.MaxLatencySec)
+	if measured.Health != nil {
+		if err := measured.Health.WriteText(os.Stdout); err != nil {
+			return nil, err
+		}
+	}
+	fmt.Println()
 
 	// Analytic ablation: same scenario with the §VI-A half-slotframe-per-
 	// message delay model instead of simulated protocol traffic. Its
@@ -309,6 +331,11 @@ func (r *runner) fig10() (map[string]float64, error) {
 		metrics["cosim_last_event_msgs"] = float64(last.Messages)
 		metrics["cosim_disruption_s"] = last.DelaySec
 	}
+	// Escalation→commit latency distribution (milli-slots): integer-exact
+	// virtual-time quantities, so the gate holds them to strict equality.
+	metrics["cosim_esc_commit_p50_ms"] = float64(measured.EscCommit.Quantile(0.5))
+	metrics["cosim_esc_commit_p99_ms"] = float64(measured.EscCommit.Quantile(0.99))
+	metrics["cosim_esc_commit_max_ms"] = float64(measured.EscCommit.Max)
 	return metrics, nil
 }
 
@@ -431,7 +458,9 @@ func (r *runner) churn() (map[string]float64, error) {
 }
 
 func (r *runner) losssweep() (map[string]float64, error) {
-	res, err := experiments.LossSweep(experiments.DefaultLossSweep())
+	cfg := experiments.DefaultLossSweep()
+	cfg.Inspect = r.inspect
+	res, err := experiments.LossSweep(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -451,6 +480,11 @@ func (r *runner) losssweep() (map[string]float64, error) {
 		metrics[key+"_conv_sf"] = float64(p.ConvergenceSlotframes)
 		metrics[key+"_matches_lossless"] = boolAs(p.MatchesLossless)
 	}
+	// CON RTT distribution merged across every PDR point (milli-slots):
+	// virtual-time exact, gated at strict equality.
+	metrics["loss_rtt_p50_ms"] = float64(res.ConRtt.Quantile(0.5))
+	metrics["loss_rtt_p99_ms"] = float64(res.ConRtt.Quantile(0.99))
+	metrics["loss_rtt_max_ms"] = float64(res.ConRtt.Max)
 	return metrics, nil
 }
 
@@ -484,11 +518,18 @@ func (r *runner) scale() (map[string]float64, error) {
 }
 
 func (r *runner) chaos() (map[string]float64, error) {
-	res, err := experiments.ChaosExp(experiments.DefaultChaosExp())
+	cfg := experiments.DefaultChaosExp()
+	cfg.Inspect = r.inspect
+	res, err := experiments.ChaosExp(cfg)
 	if err != nil {
 		return nil, err
 	}
 	fmt.Println(res.Table)
+	if res.Health != nil {
+		if err := res.Health.WriteText(os.Stdout); err != nil {
+			return nil, err
+		}
+	}
 	// All chaos keys are virtual-time quantities: seed-deterministic at any
 	// worker or shard count.
 	key := fmt.Sprintf("chaos_%d", res.Nodes)
@@ -507,6 +548,9 @@ func (r *runner) chaos() (map[string]float64, error) {
 		key + "_orphans_remaining": float64(res.OrphansRemaining),
 		key + "_keepalives":        float64(res.Keepalives),
 		key + "_shards":            float64(res.Shards),
+		key + "_adopt_p50_ms":      float64(res.DetectAdopt.Quantile(0.5)),
+		key + "_adopt_p99_ms":      float64(res.DetectAdopt.Quantile(0.99)),
+		key + "_adopt_max_ms":      float64(res.DetectAdopt.Max),
 	}, nil
 }
 

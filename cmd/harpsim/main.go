@@ -8,6 +8,7 @@
 //	harpsim -nodes 50 -layers 5 -scheduler msf -rate 3 -channels 8
 //	harpsim -topology-file net.json -scheduler ldsf -seed 7
 //	harpsim -topology fig1 -cosim -trace trace.jsonl  # record a protocol trace
+//	harpsim -topology fig1 -cosim -http :8080  # live /healthz, /metrics, /series, pprof
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/harpnet/harp/internal/agent"
@@ -47,10 +50,11 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		cosimFlag  = flag.Bool("cosim", false, "co-simulate the distributed HARP protocol with the MAC on one shared clock: agents build the schedule over real CoAP exchanges, and a mid-run traffic change measures the disruption window (ignores -scheduler)")
 		tracePath  = flag.String("trace", "", "with -cosim: record the protocol event trace to this JSONL path (analyse with harptrace)")
+		httpAddr   = flag.String("http", "", "with -cosim: serve the live read-only inspection endpoint (/healthz, /metrics, /series, /debug/pprof) on this address; after the run the final snapshot is served until interrupted")
 	)
 	flag.Parse()
 	if err := run(*topoName, *topoFile, *nodes, *layers, *fanout, *schedName,
-		*rate, *perLink, *slots, *dataSlots, *channels, *slotframes, *pdr, *seed, *cosimFlag, *tracePath); err != nil {
+		*rate, *perLink, *slots, *dataSlots, *channels, *slotframes, *pdr, *seed, *cosimFlag, *tracePath, *httpAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "harpsim:", err)
 		os.Exit(1)
 	}
@@ -92,7 +96,7 @@ func pickTopology(name, file string, nodes, layers, fanout int, rng *rand.Rand) 
 }
 
 func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
-	rate float64, perLink bool, slots, dataSlots, channels, slotframes int, pdr float64, seed int64, cosimMode bool, tracePath string) error {
+	rate float64, perLink bool, slots, dataSlots, channels, slotframes int, pdr float64, seed int64, cosimMode bool, tracePath, httpAddr string) error {
 	rng := rand.New(rand.NewSource(seed))
 	tree, err := pickTopology(topoName, topoFile, nodes, layers, fanout, rng)
 	if err != nil {
@@ -118,10 +122,13 @@ func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
 	}
 
 	if cosimMode {
-		return runCoSim(tree, frame, tasks, demand, slotframes, pdr, seed, tracePath)
+		return runCoSim(tree, frame, tasks, demand, slotframes, pdr, seed, tracePath, httpAddr)
 	}
 	if tracePath != "" {
 		return fmt.Errorf("-trace requires -cosim (only the protocol co-simulation is traced)")
+	}
+	if httpAddr != "" {
+		return fmt.Errorf("-http requires -cosim (only the protocol co-simulation publishes telemetry)")
 	}
 
 	sched, err := pickScheduler(schedName)
@@ -179,13 +186,25 @@ func run(topoName, topoFile string, nodes, layers, fanout int, schedName string,
 // window is the measured gap between the traffic change and the slot the
 // protocol commits the adjusted schedule.
 func runCoSim(tree *topology.Tree, frame schedule.Slotframe, tasks *traffic.Set,
-	demand *traffic.Demand, slotframes int, pdr float64, seed int64, tracePath string) error {
+	demand *traffic.Demand, slotframes int, pdr float64, seed int64, tracePath, httpAddr string) error {
+	var ins *obs.Inspector
+	if httpAddr != "" {
+		ins = obs.NewInspector()
+		addr, err := ins.Serve(httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("live inspection endpoint on http://%s\n", addr)
+	}
 	cs, err := cosim.New(cosim.Config{
 		Tree: tree, Frame: frame, Tasks: tasks, Demand: demand,
 		PDR: pdr, Seed: seed, Trace: tracePath != "",
 	})
 	if err != nil {
 		return err
+	}
+	if ins != nil {
+		cs.AttachInspector(ins)
 	}
 	fmt.Printf("topology: %d nodes, %d layers; distributed HARP fleet on a shared virtual clock\n",
 		tree.Len(), tree.MaxLayer())
@@ -241,12 +260,26 @@ func runCoSim(tree *topology.Tree, frame schedule.Slotframe, tasks *traffic.Set,
 	if !cs.Quiesced() {
 		fmt.Println("adjustment still in flight at run end")
 	}
+	health := obs.EvalHealth(cs.Bus.Metrics(), cs.StaticConverged && cs.Quiesced(), 0,
+		obs.DefaultBudgets(frame.Slots))
+	if err := health.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	cs.PublishState(true, &health)
 	if tracePath != "" {
 		events := cs.Tracer.Events()
 		if err := obs.WriteJSONLFile(tracePath, events); err != nil {
 			return err
 		}
 		fmt.Printf("protocol trace written to %s (%d events)\n", tracePath, len(events))
+	}
+	if ins != nil {
+		// Keep serving the final snapshot so scrapers (and the metrics-smoke
+		// CI target) can read the completed run; SIGINT/SIGTERM ends it.
+		fmt.Println("run complete; serving final snapshot until interrupted")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 	return nil
 }

@@ -1300,6 +1300,12 @@ func (n *Node) applyPartition(d topology.Direction, layer int, region schedule.R
 		st.childComps[layer] = st.pendingComps[layer]
 		delete(st.pendingLayouts, layer)
 		delete(st.pendingComps, layer)
+		if since, stamped := st.pendingSince[layer]; stamped && n.vnow != nil {
+			// Escalation→commit latency: from hosting the escalated child
+			// component (the pendingSince stamp) to this grant committing
+			// the recomposition, in milli-slots.
+			n.metrics.Dist(obs.Key(obs.MetricEscCommitMs)).Observe(int64((n.vnow() - since) * 1000))
+		}
 		n.metrics.Inc(obs.NodeKey(int(n.id), obs.MetricCommits))
 		if tr := n.tracer; tr.Enabled() {
 			tr.Emit(obs.Ev(obs.KindAgentCommit).WithNode(int(n.id)).WithLayer(layer).WithDetail(d.String()))

@@ -388,7 +388,15 @@ func (d *Detector) declareDead(id topology.NodeID, now float64) {
 		if d.DeadOrCrashed(orphan) {
 			continue
 		}
-		d.adopt(orphan, id, now)
+		// Detect→adopt latency, one observation per re-homed orphan: from
+		// the sweep that first suspected the dead parent to this adoption
+		// (milli-slots). Readmission-path adoptions have no suspicion
+		// context and are deliberately not observed.
+		if d.adopt(orphan, id, now) {
+			if m := d.cfg.Metrics; m != nil {
+				m.Dist(obs.Key(obs.MetricDetectAdoptMs)).Observe(int64((now - rec.SuspectedAt) * 1000))
+			}
+		}
 	}
 
 	d.fleet.node(id).resetResources()
@@ -398,16 +406,16 @@ func (d *Detector) declareDead(id topology.NodeID, now float64) {
 // candidate and records it.
 //
 //harplint:locked — single-threaded on the virtual clock (sweep events).
-func (d *Detector) adopt(orphan, deadParent topology.NodeID, now float64) {
+func (d *Detector) adopt(orphan, deadParent topology.NodeID, now float64) bool {
 	candidate := d.adoptiveParent(deadParent)
 	if candidate == topology.None {
 		d.errs = append(d.errs, fmt.Errorf("agent: no live adoptive parent for %d", orphan))
-		return
+		return false
 	}
 	demand := d.cfg.Demand(orphan, candidate)
 	if err := d.fleet.Adopt(orphan, candidate, demand, d.DeadOrCrashed); err != nil {
 		d.errs = append(d.errs, fmt.Errorf("agent: adopting %d under %d: %w", orphan, candidate, err))
-		return
+		return false
 	}
 	d.Adoptions = append(d.Adoptions, AdoptionRecord{
 		Orphan: orphan, DeadParent: deadParent, NewParent: candidate, At: now,
@@ -419,6 +427,7 @@ func (d *Detector) adopt(orphan, deadParent topology.NodeID, now float64) {
 		tr.Emit(obs.Ev(obs.KindAgentAdopt).WithNode(int(orphan)).WithPeer(int(candidate)).
 			WithDetail(fmt.Sprintf("dead=%d", deadParent)))
 	}
+	return true
 }
 
 // adoptiveParent picks where a dead node's orphans go: the lowest-ID live

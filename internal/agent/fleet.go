@@ -500,3 +500,38 @@ func (f *Fleet) Rejections() int {
 	}
 	return total
 }
+
+// BindVirtualTime gives every agent a virtual-clock reading so
+// escalations are stamped (pendingSince) and escalation→commit latency
+// is observed. The failure detector's setLiveness later overwrites the
+// source with the same clock plus its delivery hook; binding here only
+// means stamping works on runs without a detector. Behaviour-neutral:
+// the stamps are read only by the watchdog and the latency telemetry.
+func (f *Fleet) BindVirtualTime(vnow func() float64) {
+	for _, n := range f.nodes {
+		if n == nil {
+			continue
+		}
+		n.mu.Lock()
+		n.vnow = vnow
+		n.mu.Unlock()
+	}
+}
+
+// PendingAdjustments counts the fleet's in-flight adjustments: layers
+// holding a stamped escalation whose grant has not committed yet. The
+// telemetry layer samples it at window boundaries.
+func (f *Fleet) PendingAdjustments() int {
+	total := 0
+	for _, n := range f.nodes {
+		if n == nil {
+			continue
+		}
+		n.mu.Lock()
+		for _, d := range topology.Directions() {
+			total += len(n.dir(d).pendingSince)
+		}
+		n.mu.Unlock()
+	}
+	return total
+}

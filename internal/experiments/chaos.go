@@ -44,6 +44,12 @@ type ChaosExpConfig struct {
 	StormSlotframes int
 	DrainSlotframes int
 	Seed            int64
+	// Trace enables protocol tracing; the causal event trace lands in
+	// ChaosExpResult.Trace.
+	Trace bool
+	// Inspect, when non-nil, receives live telemetry snapshots (one per
+	// slotframe window plus a final one carrying the health report).
+	Inspect *obs.Inspector
 }
 
 // DefaultChaosExp returns the committed 1000-node scenario: 12% of the
@@ -74,6 +80,14 @@ type ChaosExpResult struct {
 	// price of the failure detector in control messages.
 	Keepalives int
 	Table      *stats.Table
+	// DetectAdopt is the suspicion→adoption latency distribution in
+	// milli-slots, one observation per re-homed orphan.
+	DetectAdopt obs.Hist
+	// Health is the end-of-run SLO verdict against the default budgets.
+	Health *obs.HealthReport
+	// Trace is the causal protocol event trace (with ChaosExpConfig.Trace
+	// set; nil otherwise).
+	Trace []obs.Event
 }
 
 // ChaosExp runs the study.
@@ -114,9 +128,13 @@ func ChaosExp(cfg ChaosExpConfig) (ChaosExpResult, error) {
 		RootGap:  2,
 		Reliable: true,
 		Shards:   shards,
+		Trace:    cfg.Trace,
 	})
 	if err != nil {
 		return ChaosExpResult{}, err
+	}
+	if cfg.Inspect != nil {
+		cs.AttachInspector(cfg.Inspect)
 	}
 	sf := float64(frame.Slots)
 	det, err := cs.EnableSelfHealing(agent.DetectorConfig{
@@ -171,7 +189,15 @@ func ChaosExp(cfg ChaosExpConfig) (ChaosExpResult, error) {
 		Shards:      shards,
 		ChaosReport: ch.Report(),
 		Keepalives:  int(keepalives),
+		Trace:       cs.Tracer.Events(),
 	}
+	reg := cs.Bus.Metrics()
+	if h, ok := reg.DistStat(obs.Key(obs.MetricDetectAdoptMs)); ok {
+		res.DetectAdopt = h
+	}
+	health := obs.EvalHealth(reg, cs.Quiesced(), res.OrphansRemaining, obs.DefaultBudgets(frame.Slots))
+	res.Health = &health
+	cs.PublishState(true, res.Health)
 	if res.OrphansRemaining != 0 {
 		return ChaosExpResult{}, fmt.Errorf("chaos: %d orphans remain after the heal", res.OrphansRemaining)
 	}

@@ -41,6 +41,10 @@ type Fig10Config struct {
 	// model. The default (false) measures the disruption window from the
 	// slot the actual CoAP exchange commits on the shared clock.
 	Analytic bool
+	// Inspect, when non-nil, receives live read-only telemetry snapshots
+	// (one per slotframe window plus a final one carrying the health
+	// report) for the -http inspection endpoint. Measured mode only.
+	Inspect *obs.Inspector
 }
 
 // DefaultFig10 returns the paper's scenario (measured co-simulation).
@@ -89,6 +93,12 @@ type Fig10Result struct {
 	// Trace is the causal protocol event trace (measured mode with
 	// Fig10Config.Trace set; nil otherwise).
 	Trace []obs.Event
+	// EscCommit is the dynamic phase's escalation→commit latency
+	// distribution in milli-slots (measured mode only).
+	EscCommit obs.Hist
+	// Health is the end-of-run SLO verdict against the default budgets
+	// (measured mode only; nil in the analytic ablation).
+	Health *obs.HealthReport
 }
 
 // fig10Provisioning returns the scenario's task set and provisioned
@@ -163,6 +173,9 @@ func fig10Measured(cfg Fig10Config, tree *topology.Tree, frame schedule.Slotfram
 	})
 	if err != nil {
 		return Fig10Result{}, err
+	}
+	if cfg.Inspect != nil {
+		cs.AttachInspector(cfg.Inspect)
 	}
 
 	// provisioned tracks each link's current allocation so a step requests
@@ -239,6 +252,14 @@ func fig10Measured(cfg Fig10Config, tree *topology.Tree, frame schedule.Slotfram
 	res := fig10Trace(cfg, cs.Sim.Records(), frame, events)
 	res.SwapDrops = cs.Sim.SwapDrops
 	res.Trace = cs.Tracer.Events()
+	reg := cs.Bus.Metrics()
+	if h, ok := reg.DistStat(obs.Key(obs.MetricEscCommitMs)); ok {
+		res.EscCommit = h
+	}
+	converged := cs.StaticConverged && cs.Quiesced() && len(cs.Commits) == len(steps)
+	health := obs.EvalHealth(reg, converged, 0, obs.DefaultBudgets(frame.Slots))
+	res.Health = &health
+	cs.PublishState(true, res.Health)
 	return res, nil
 }
 

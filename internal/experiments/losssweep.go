@@ -40,6 +40,11 @@ type LossSweepConfig struct {
 	// LossSweepResult.Trace concatenated in PDR order, so the bytes are
 	// independent of the worker count.
 	Trace bool
+	// Inspect, when non-nil, receives live telemetry snapshots from every
+	// point of the sweep. Points run in parallel, so the published state
+	// is whichever point wrote last — each snapshot is still internally
+	// consistent.
+	Inspect *obs.Inspector
 }
 
 // DefaultLossSweep returns the committed baseline scenario.
@@ -83,6 +88,9 @@ type LossSweepPoint struct {
 	// MatchesLossless reports whether the final schedule equals the
 	// lossless sweep point's final schedule cell for cell.
 	MatchesLossless bool
+	// ConRtt is the point's CON send→ACK round-trip distribution in
+	// milli-slots (run-cumulative: static phase plus the adjustment).
+	ConRtt obs.Hist
 }
 
 // LossSweepResult carries the sweep.
@@ -93,6 +101,9 @@ type LossSweepResult struct {
 	// LossSweepConfig.Trace set; nil otherwise). Points appear in PDR
 	// order regardless of the worker count.
 	Trace []obs.Event
+	// ConRtt is the per-point RTT distributions merged across the sweep
+	// (merge order cannot change the buckets: Hist.Merge is commutative).
+	ConRtt obs.Hist
 }
 
 // lossSweepRun drives one PDR point and returns the point plus the final
@@ -120,6 +131,9 @@ func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.S
 	})
 	if err != nil {
 		return LossSweepPoint{}, nil, nil, err
+	}
+	if cfg.Inspect != nil {
+		cs.AttachInspector(cfg.Inspect)
 	}
 	static := cs.Bus.Faults()
 	pt := LossSweepPoint{
@@ -171,6 +185,10 @@ func lossSweepRun(cfg LossSweepConfig, pdr float64) (LossSweepPoint, *schedule.S
 		pt.ConvergenceSlotframes = cm.Slotframes(frame)
 		pt.Messages = cm.Messages
 	}
+	if h, ok := cs.Bus.Metrics().DistStat(obs.Key(obs.MetricConRttMs)); ok {
+		pt.ConRtt = h
+	}
+	cs.PublishState(true, nil)
 	sched, err := cs.Fleet.BuildSchedule()
 	if err != nil {
 		// A non-converged endpoint has no comparable schedule; the point
@@ -216,6 +234,7 @@ func LossSweep(cfg LossSweepConfig) (LossSweepResult, error) {
 		pt := o.pt
 		pt.MatchesLossless = ref != nil && o.sched != nil && schedulesEqual(o.sched, ref)
 		res.Points = append(res.Points, pt)
+		res.ConRtt.Merge(&pt.ConRtt)
 		res.Trace = append(res.Trace, o.trace...)
 		table.AddRow(
 			fmt.Sprintf("%.2f", pt.PDR),

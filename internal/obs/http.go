@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Live inspection endpoint: a read-only HTTP boundary over published
+// registry snapshots. The simulation goroutine publishes an immutable
+// InspectState at window boundaries (and once more, flagged Done, at
+// run end); HTTP handlers render only whatever state was last
+// published. The virtual-time run never blocks on — or even observes —
+// the wall-clock side, so serving, scraping and profiling a live run
+// cannot perturb determinism.
+
+// InspectState is one published, immutable view of a run.
+type InspectState struct {
+	// VT is the virtual time (slots) the state was published at.
+	VT float64 `json:"vt"`
+	// Window is the slotframe-window index of the publication.
+	Window int64 `json:"window"`
+	// Done reports that the run has finished; the state is final.
+	Done bool `json:"done"`
+	// Snapshot is the registry copy backing /metrics and /series.
+	Snapshot Snapshot `json:"-"`
+	// Health is the run's verdict (set on the final publication).
+	Health *HealthReport `json:"health,omitempty"`
+}
+
+// Inspector owns the published state. A nil *Inspector is the disabled
+// inspector: Publish is a no-op, so runtime code calls it unguarded.
+type Inspector struct {
+	state atomic.Pointer[InspectState]
+}
+
+// NewInspector returns an inspector holding an empty initial state.
+func NewInspector() *Inspector {
+	ins := &Inspector{}
+	ins.state.Store(&InspectState{})
+	return ins
+}
+
+// Publish makes st the state served from now on. The caller must not
+// mutate st afterwards. Safe on the nil receiver.
+func (ins *Inspector) Publish(st *InspectState) {
+	if ins == nil || st == nil {
+		return
+	}
+	ins.state.Store(st)
+}
+
+// State returns the last published state (never nil on a NewInspector;
+// nil on the nil receiver).
+func (ins *Inspector) State() *InspectState {
+	if ins == nil {
+		return nil
+	}
+	return ins.state.Load()
+}
+
+// healthzBody is the /healthz JSON document.
+type healthzBody struct {
+	OK     bool          `json:"ok"`
+	Done   bool          `json:"done"`
+	VT     float64       `json:"vt"`
+	Window int64         `json:"window"`
+	Health *HealthReport `json:"health,omitempty"`
+}
+
+// Handler returns the inspection mux: /healthz (JSON verdict),
+// /metrics (Prometheus text exposition of the registry and
+// histograms), /series (JSON windowed-series snapshot) and the
+// net/http/pprof profiling endpoints under /debug/pprof/.
+func (ins *Inspector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := ins.State()
+		body := healthzBody{OK: true, Done: st.Done, VT: st.VT, Window: st.Window, Health: st.Health}
+		if st.Health != nil {
+			body.OK = st.Health.OK
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(body) //harplint:allow errcheck a failed write means the scraper hung up; nothing to do
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := ins.State()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = WritePrometheus(w, st.Snapshot) //harplint:allow errcheck a failed write means the scraper hung up; nothing to do
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		st := ins.State()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st.Snapshot.Series) //harplint:allow errcheck a failed write means the scraper hung up; nothing to do
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the inspection server on addr (e.g. ":9464", or ":0"
+// for an ephemeral port) and returns the bound address. The server runs
+// on its own goroutine for the life of the process; it only ever reads
+// published snapshots, so the virtual-time run is never perturbed.
+//
+//harplint:realtime the HTTP boundary is wall-clock by design: handlers render published snapshots only
+func (ins *Inspector) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: ins.Handler()}
+	go func() {
+		_ = srv.Serve(ln) //harplint:allow errcheck server lives until process exit; Serve always returns a non-nil error on close
+	}()
+	return ln.Addr().String(), nil
+}

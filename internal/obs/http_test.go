@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func inspectorFixture() *Inspector {
+	r := NewRegistry()
+	r.Inc(Key(MetricDelivered))
+	r.Dist(Key(MetricEscCommitMs)).Observe(1500)
+	r.Series(Key(MetricWinCollisions), 100).Add(150, 3)
+	health := EvalHealth(r, true, 0, DefaultBudgets(100))
+	ins := NewInspector()
+	ins.Publish(&InspectState{VT: 1234.5, Window: 12, Done: true, Snapshot: r.Snapshot(), Health: &health})
+	return ins
+}
+
+func TestInspectorHealthz(t *testing.T) {
+	srv := httptest.NewServer(inspectorFixture().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /healthz: %s", resp.Status)
+	}
+	var body struct {
+		OK     bool    `json:"ok"`
+		Done   bool    `json:"done"`
+		VT     float64 `json:"vt"`
+		Window int64   `json:"window"`
+		Health *HealthReport
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.OK || !body.Done || body.VT != 1234.5 || body.Window != 12 {
+		t.Errorf("healthz body wrong: %+v", body)
+	}
+	if body.Health == nil || len(body.Health.Checks) == 0 {
+		t.Errorf("healthz body missing health report: %+v", body.Health)
+	}
+}
+
+func TestInspectorMetrics(t *testing.T) {
+	srv := httptest.NewServer(inspectorFixture().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{"harp_coap_delivered 1\n", "harp_agent_esc_commit_ms_count 1\n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInspectorSeries(t *testing.T) {
+	srv := httptest.NewServer(inspectorFixture().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var series []SeriesSample
+	if err := json.NewDecoder(resp.Body).Decode(&series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Width != 100 {
+		t.Fatalf("series = %+v, want one width-100 entry", series)
+	}
+	if vals := series[0].Values; len(vals) != 2 || vals[1] != 3 {
+		t.Errorf("series values = %v, want [0 3]", vals)
+	}
+}
+
+// An inspector that never saw a Publish still serves: /healthz reports
+// ok (no health report yet), /metrics renders an empty exposition.
+func TestInspectorEmptyState(t *testing.T) {
+	srv := httptest.NewServer(NewInspector().Handler())
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/metrics", "/series"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s on empty inspector: %s", path, resp.Status)
+		}
+	}
+}

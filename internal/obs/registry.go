@@ -96,6 +96,40 @@ const (
 	MetricAborts = "agent.aborts"
 )
 
+// Distribution kinds: run-cumulative power-of-two histograms (Dist) and
+// fixed-width windowed series (Series). Latency distributions are in
+// milli-slots (virtual-time delta × 1000, truncated); see dist.go.
+const (
+	// MetricEscCommitMs is the escalation→commit latency distribution:
+	// from an agent hosting an escalated child component to the commit
+	// of the resulting partition layout, per (node, layer) adjustment.
+	MetricEscCommitMs = "agent.esc_commit_ms"
+	// MetricDetectAdoptMs is the detect→adopt latency distribution: from
+	// the failure detector first suspecting a node to each orphan of
+	// that node being re-homed under a new parent.
+	MetricDetectAdoptMs = "agent.detect_adopt_ms"
+	// MetricConRttMs is the CON round-trip distribution: first
+	// transmission of a confirmable exchange to its settling ACK.
+	MetricConRttMs = "transport.con_rtt_ms"
+	// MetricConRetx is the retransmissions-per-exchange distribution,
+	// one observation per finished confirmable exchange (settled or
+	// given up).
+	MetricConRetx = "transport.con_retx_per_exchange"
+	// MetricDisruptionMs is the adjustment disruption-window
+	// distribution (trigger slot to commit slot), in milli-slots.
+	MetricDisruptionMs = "cosim.disruption_ms"
+
+	// MetricWinCollisions counts MAC collisions per slotframe window.
+	MetricWinCollisions = "mac.win_collisions"
+	// MetricWinQueueDepth samples the MAC's total queued packets at each
+	// slotframe-window boundary.
+	MetricWinQueueDepth = "mac.win_queue_depth"
+	// MetricWinPending samples the fleet's in-flight adjustment count
+	// (layers with a hosted-but-uncommitted layout) at each window
+	// boundary.
+	MetricWinPending = "agent.win_pending_adjustments"
+)
+
 // HistStat summarises one histogram series.
 type HistStat struct {
 	// Count is the number of observations.
@@ -127,6 +161,10 @@ type Registry struct {
 	counters map[MetricKey]int64
 	gauges   map[MetricKey]float64
 	hists    map[MetricKey]*HistStat
+	// dists and series are the tier-2 distribution metrics. Unlike the
+	// tallies above they are run-cumulative: Reset leaves them alone.
+	dists  map[MetricKey]*Hist
+	series map[MetricKey]*WindowSeries
 }
 
 // NewRegistry returns an empty registry.
@@ -135,6 +173,8 @@ func NewRegistry() *Registry {
 		counters: make(map[MetricKey]int64),
 		gauges:   make(map[MetricKey]float64),
 		hists:    make(map[MetricKey]*HistStat),
+		dists:    make(map[MetricKey]*Hist),
+		series:   make(map[MetricKey]*WindowSeries),
 	}
 }
 
@@ -200,10 +240,70 @@ func (r *Registry) Hist(k MetricKey) (HistStat, bool) {
 	return *h, true
 }
 
-// Reset clears every series. The co-simulation calls this at a trigger
-// so each adjustment's overhead is measured on its own — note it clears
-// the whole registry (transport, agent and MAC series alike), exactly as
-// the legacy Bus.ResetCounters cleared all its tallies.
+// Dist returns the power-of-two histogram for k, creating it on first
+// use. On the nil receiver it returns nil — and the nil *Hist is itself
+// a no-op observer — so call sites may chain r.Dist(k).Observe(v)
+// unguarded, and hot paths may cache the pointer once at setup.
+func (r *Registry) Dist(k MetricKey) *Hist {
+	if r == nil {
+		return nil
+	}
+	h := r.dists[k]
+	if h == nil {
+		h = &Hist{}
+		r.dists[k] = h
+	}
+	return h
+}
+
+// DistStat returns a copy of k's histogram and whether it exists.
+func (r *Registry) DistStat(k MetricKey) (Hist, bool) {
+	if r == nil {
+		return Hist{}, false
+	}
+	h, ok := r.dists[k]
+	if !ok {
+		return Hist{}, false
+	}
+	return *h, true
+}
+
+// Series returns the windowed series for k, creating it with the given
+// window width (slots) on first use. Nil-receiver behaviour matches
+// Dist: a nil registry yields a nil, no-op series.
+func (r *Registry) Series(k MetricKey, width int) *WindowSeries {
+	if r == nil {
+		return nil
+	}
+	s := r.series[k]
+	if s == nil {
+		s = &WindowSeries{Width: width}
+		r.series[k] = s
+	}
+	return s
+}
+
+// SeriesStat returns a copy of k's windowed series values and its
+// width, and whether the series exists.
+func (r *Registry) SeriesStat(k MetricKey) (width int, vals []int64, ok bool) {
+	if r == nil {
+		return 0, nil, false
+	}
+	s, found := r.series[k]
+	if !found {
+		return 0, nil, false
+	}
+	return s.Width, s.Values(), true
+}
+
+// Reset clears every counter, gauge and summary-histogram series. The
+// co-simulation calls this at a trigger so each adjustment's overhead
+// is measured on its own — note it clears those maps wholesale
+// (transport, agent and MAC series alike), exactly as the legacy
+// Bus.ResetCounters cleared all its tallies. The distribution metrics
+// (Dist, Series) are deliberately NOT cleared: they are run-cumulative
+// — latency histograms and windowed series must span every adjustment
+// of the run to support SLO verdicts and p50/p99 bench keys.
 func (r *Registry) Reset() {
 	if r == nil {
 		return
@@ -273,4 +373,84 @@ func (r *Registry) Nodes(kinds ...string) []int {
 	}
 	sort.Ints(nodes)
 	return nodes
+}
+
+// lessNLK is the exporter ordering contract: keys sort by node, then
+// layer, then kind. (CounterKeys keeps its older kind-major order for
+// the report tables; exporters use this one.)
+func lessNLK(a, b MetricKey) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Layer != b.Layer {
+		return a.Layer < b.Layer
+	}
+	return a.Kind < b.Kind
+}
+
+// CounterSample is one counter in a snapshot.
+type CounterSample struct {
+	Key   MetricKey
+	Value int64
+}
+
+// GaugeSample is one gauge in a snapshot.
+type GaugeSample struct {
+	Key   MetricKey
+	Value float64
+}
+
+// DistSample is one power-of-two histogram in a snapshot (a copy).
+type DistSample struct {
+	Key  MetricKey
+	Hist Hist
+}
+
+// SeriesSample is one windowed series in a snapshot (values copied).
+type SeriesSample struct {
+	Key    MetricKey
+	Width  int
+	Values []int64
+}
+
+// Snapshot is a point-in-time copy of a registry, with every section
+// sorted by (node, layer, kind). It shares no storage with the registry,
+// so it can be handed to another goroutine (the HTTP inspector) while
+// the run keeps writing.
+type Snapshot struct {
+	Counters []CounterSample
+	Gauges   []GaugeSample
+	Dists    []DistSample
+	Series   []SeriesSample
+}
+
+// Snapshot copies the registry. Iteration order of every section is
+// pinned to (node, layer, kind) ascending — the contract exporters
+// (Prometheus text, JSON series) rely on for golden-diff stability.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	var s Snapshot
+	s.Counters = make([]CounterSample, 0, len(r.counters))
+	for k, v := range r.counters {
+		s.Counters = append(s.Counters, CounterSample{Key: k, Value: v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return lessNLK(s.Counters[i].Key, s.Counters[j].Key) })
+	s.Gauges = make([]GaugeSample, 0, len(r.gauges))
+	for k, v := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSample{Key: k, Value: v})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return lessNLK(s.Gauges[i].Key, s.Gauges[j].Key) })
+	s.Dists = make([]DistSample, 0, len(r.dists))
+	for k, h := range r.dists {
+		s.Dists = append(s.Dists, DistSample{Key: k, Hist: *h})
+	}
+	sort.Slice(s.Dists, func(i, j int) bool { return lessNLK(s.Dists[i].Key, s.Dists[j].Key) })
+	s.Series = make([]SeriesSample, 0, len(r.series))
+	for k, w := range r.series {
+		s.Series = append(s.Series, SeriesSample{Key: k, Width: w.Width, Values: w.Values()})
+	}
+	sort.Slice(s.Series, func(i, j int) bool { return lessNLK(s.Series[i].Key, s.Series[j].Key) })
+	return s
 }

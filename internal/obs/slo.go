@@ -1,0 +1,126 @@
+package obs
+
+import "fmt"
+
+// Offline SLO reconstruction: fold a recorded trace back into the same
+// latency distributions the runtime registry accumulates, so `harptrace
+// slo` can grade a finished run from its JSONL alone. The pairings
+// mirror the runtime observation points — escalation stamps are
+// overwritten by a merged re-escalation and dropped on unwind/abort
+// exactly as the agents' pendingSince bookkeeping does — but the CON
+// round trip is necessarily a reconstruction: the trace records the
+// send, while the runtime clock starts when NSTART admits the exchange,
+// so the offline RTT additionally includes any per-pair backlog delay.
+
+// TraceSLO carries the distributions reconstructed from one trace, in
+// the registry's milli-slot units.
+type TraceSLO struct {
+	// EscCommit pairs each agent.escalate with the agent.commit that
+	// resolves it, per (node, layer).
+	EscCommit Hist
+	// ConRtt pairs each coap.tx with its coap.ack FIFO per ordered
+	// (sender, receiver) pair; abandoned exchanges (coap.giveup)
+	// consume their slot without an observation.
+	ConRtt Hist
+	// DetectAdopt pairs each adoption with the first suspicion of the
+	// dead parent it re-homes from.
+	DetectAdopt Hist
+	// Disruption is one observation per complete trigger/commit window.
+	Disruption Hist
+	// Triggers and Commits count the cosim adjustment events; equal
+	// counts mean every adjustment quiesced within the trace.
+	Triggers, Commits int
+}
+
+// Converged reports whether every injected adjustment committed.
+func (s TraceSLO) Converged() bool { return s.Triggers == s.Commits }
+
+// ReconstructSLO scans the trace once and builds the distributions.
+func ReconstructSLO(events []Event) TraceSLO {
+	var s TraceSLO
+	type nodeLayer struct{ node, layer int }
+	escSince := make(map[nodeLayer]float64)
+	type ordered struct{ from, to int }
+	rttQ := make(map[ordered][]float64)
+	suspectAt := make(map[int]float64)
+	for _, e := range events {
+		switch e.Kind {
+		case KindAgentEscalate:
+			escSince[nodeLayer{e.Node, e.Layer}] = e.VT
+		case KindAgentCommit:
+			k := nodeLayer{e.Node, e.Layer}
+			if since, ok := escSince[k]; ok {
+				s.EscCommit.Observe(int64((e.VT - since) * 1000))
+				delete(escSince, k)
+			}
+		case KindAgentUnwind, KindAgentAbort:
+			delete(escSince, nodeLayer{e.Node, e.Layer})
+		case KindCoapTx:
+			p := ordered{e.Node, e.Peer}
+			rttQ[p] = append(rttQ[p], e.VT)
+		case KindCoapAck:
+			p := ordered{e.Node, e.Peer}
+			if q := rttQ[p]; len(q) > 0 {
+				s.ConRtt.Observe(int64((e.VT - q[0]) * 1000))
+				rttQ[p] = q[1:]
+			}
+		case KindCoapGiveUp:
+			p := ordered{e.Node, e.Peer}
+			if q := rttQ[p]; len(q) > 0 {
+				rttQ[p] = q[1:]
+			}
+		case KindAgentSuspect:
+			if _, ok := suspectAt[e.Node]; !ok {
+				suspectAt[e.Node] = e.VT
+			}
+		case KindAgentReadmit:
+			delete(suspectAt, e.Node)
+		case KindAgentAdopt:
+			var dead int
+			if _, err := fmt.Sscanf(e.Detail, "dead=%d", &dead); err == nil {
+				if t, ok := suspectAt[dead]; ok {
+					s.DetectAdopt.Observe(int64((e.VT - t) * 1000))
+				}
+			}
+		case KindCosimTrigger:
+			s.Triggers++
+		case KindCosimCommit:
+			s.Commits++
+		}
+	}
+	for _, w := range Windows(events) {
+		s.Disruption.Observe(int64(w.Slots) * 1000)
+	}
+	return s
+}
+
+// Registry materialises the reconstructed distributions under their
+// run-global keys, so EvalHealth grades an offline trace exactly like a
+// live run.
+func (s TraceSLO) Registry() *Registry {
+	r := NewRegistry()
+	*r.Dist(Key(MetricEscCommitMs)) = s.EscCommit
+	*r.Dist(Key(MetricConRttMs)) = s.ConRtt
+	*r.Dist(Key(MetricDetectAdoptMs)) = s.DetectAdopt
+	*r.Dist(Key(MetricDisruptionMs)) = s.Disruption
+	return r
+}
+
+// ReconstructSeries counts trace events per kind in fixed-width
+// virtual-time windows (width in slots), the offline twin of the
+// runtime's windowed series.
+func ReconstructSeries(events []Event, width int) map[Kind]*WindowSeries {
+	out := make(map[Kind]*WindowSeries)
+	if width <= 0 {
+		return out
+	}
+	for _, e := range events {
+		w := out[e.Kind]
+		if w == nil {
+			w = &WindowSeries{Width: width}
+			out[e.Kind] = w
+		}
+		w.Add(int(e.VT), 1)
+	}
+	return out
+}

@@ -249,6 +249,10 @@ type Simulator struct {
 	// the run's unified registry.
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	// winCollisions, when metrics are attached, is the per-slotframe
+	// collision series the transmit hot path feeds (cached so the hot
+	// path never touches the registry map).
+	winCollisions *obs.WindowSeries
 
 	// Drops counts queue-overflow losses.
 	Drops int
@@ -541,9 +545,15 @@ func (s *Simulator) Frame() schedule.Slotframe { return s.frame }
 func (s *Simulator) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // SetMetrics attaches the unified metrics registry the simulator mirrors
-// its swap-drop tally into (nil detaches; the public counter fields are
-// maintained either way).
-func (s *Simulator) SetMetrics(m *obs.Registry) { s.metrics = m }
+// its swap-drop tally and per-slotframe collision series into (nil
+// detaches; the public counter fields are maintained either way).
+func (s *Simulator) SetMetrics(m *obs.Registry) {
+	s.metrics = m
+	s.winCollisions = nil
+	if m != nil {
+		s.winCollisions = m.Series(obs.Key(obs.MetricWinCollisions), s.frame.Slots)
+	}
+}
 
 // SetSchedule installs (or replaces) the active cell schedule. Queued
 // packets are retained and continue over the new cells — except packets on
@@ -1063,6 +1073,7 @@ func (s *Simulator) transmit() error {
 		sc := &cells[ai]
 		if s.usersCh[sc.cell.Channel] > 1 {
 			s.Collisions++
+			s.winCollisions.Add(s.now, 1)
 			if tr := s.tracer; tr.Enabled() {
 				tr.Emit(obs.Ev(obs.KindMacCollision).WithNode(int(sc.sender)).WithPeer(int(sc.receiver)).
 					WithSlot(s.now, sc.cell.Channel))

@@ -168,6 +168,9 @@ type busExchange struct {
 	env   *envelope
 	ex    *coap.Exchange
 	timer *vclock.Handle
+	// start is the virtual time the exchange's first copy was sent,
+	// feeding the CON round-trip distribution when the ACK settles it.
+	start float64
 }
 
 // Bus is the deterministic virtual-time transport. Delivery between any
@@ -647,7 +650,7 @@ func (b *Bus) transmit(e *envelope, r *rand.Rand) {
 // the first copy and arm the retransmission timer.
 func (b *Bus) startExchange(pair uint64, e *envelope) {
 	jitter := b.retxRNG.Float64()
-	bx := &busExchange{env: e, ex: b.params.NewExchange(e.mid, b.clock.Now(), jitter)}
+	bx := &busExchange{env: e, ex: b.params.NewExchange(e.mid, b.clock.Now(), jitter), start: b.clock.Now()}
 	b.outstanding[pair] = bx
 	b.transmit(e, b.rng)
 	bx.timer = b.clock.ScheduleCancelableIn(b.shardOf(e.to), bx.ex.NextAt, func() { b.onRetxTimer(pair, bx) })
@@ -688,6 +691,14 @@ func (b *Bus) finishExchange(pair uint64, bx *busExchange, failed bool) {
 	delete(b.outstanding, pair)
 	bx.timer.Cancel()
 	b.inFlight--
+	// Distribution telemetry: RTT of settled exchanges (first copy to
+	// ACK, milli-slots) and retransmissions per finished exchange. These
+	// are run-cumulative (Registry.Reset leaves distributions alone), so
+	// they span every adjustment of the run.
+	if !failed {
+		b.metrics.Dist(obs.Key(obs.MetricConRttMs)).Observe(int64((b.clock.Now() - bx.start) * 1000))
+	}
+	b.metrics.Dist(obs.Key(obs.MetricConRetx)).Observe(int64(bx.ex.Attempts - 1))
 	if q := b.backlog[pair]; len(q) > 0 {
 		next := q[0]
 		if len(q) == 1 {

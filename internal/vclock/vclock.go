@@ -143,6 +143,14 @@ type Clock struct {
 	// advanced to the event's time and before the event's callback. The
 	// observability tracer uses it to reset per-event causal context.
 	stepHook func(at float64, seq uint64)
+	// windowHook, if set, fires once whenever a dispatch crosses into a
+	// new fixed-width virtual-time window (window = floor(now/width));
+	// the telemetry layer samples gauges and publishes inspection
+	// snapshots from it. Dispatch order is worker- and shard-blind, so
+	// the firing sequence is a pure function of the seeds.
+	windowHook  func(window int64, at float64)
+	windowWidth float64
+	window      int64 // highest window index the hook has fired for
 	// free recycles dispatched poolable events so a steady-state
 	// schedule/dispatch cycle (the simulator's slot ticks) allocates
 	// nothing per event.
@@ -358,6 +366,12 @@ func (c *Clock) Step() bool {
 	if c.stepHook != nil {
 		c.stepHook(c.now, seq)
 	}
+	if c.windowHook != nil {
+		if w := int64(c.now / c.windowWidth); w > c.window {
+			c.window = w
+			c.windowHook(w, c.now)
+		}
+	}
 	if fn != nil {
 		fn()
 	} else {
@@ -395,6 +409,24 @@ func (c *Clock) RunUntil(t float64) {
 // before the event's callback — the order the observability layer needs
 // to stamp everything the callback emits with the right virtual time.
 func (c *Clock) SetStepHook(fn func(at float64, seq uint64)) { c.stepHook = fn }
+
+// SetWindowHook installs (or, with nil fn, removes) the window-tick
+// observer: fn fires at most once per dispatched event, when the
+// dispatch advances Now into a window index (floor(Now/width)) higher
+// than any seen before. It runs after the step hook and before the
+// event's callback. With event-driven stepping several windows may be
+// crossed by one dispatch — fn then fires once with the latest index;
+// the skipped windows had no events and so nothing to sample. A
+// non-positive width disables the hook.
+func (c *Clock) SetWindowHook(width float64, fn func(window int64, at float64)) {
+	if fn == nil || width <= 0 {
+		c.windowHook, c.windowWidth = nil, 0
+		return
+	}
+	c.windowWidth = width
+	c.windowHook = fn
+	c.window = int64(c.now / width)
+}
 
 // Stream names one source of randomness in the system. Runtime packages
 // must reach randomness through a named stream — never the global
